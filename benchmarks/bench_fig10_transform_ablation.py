@@ -1,0 +1,44 @@
+"""Figure 10: average throughput of optimal cascades when the cascade set is
+restricted to different input-transformation subsets (None / Color Variations /
+Resizing / Full).
+
+Paper shape to reproduce: resolution reduction is by far the most valuable
+transformation (nearly an order of magnitude over None in the paper), color
+variations help less, and the Full set is the best of all.
+"""
+
+from _util import write_result
+from repro.experiments.ablation import TRANSFORM_SUBSETS, transform_ablation
+from repro.experiments.reporting import format_table
+
+SCENARIO = "infer_only"
+
+
+def test_fig10_transform_ablation(benchmark, default_workspace, results_dir):
+    rows = benchmark.pedantic(
+        transform_ablation, args=(default_workspace,),
+        kwargs={"scenario_name": SCENARIO}, rounds=1, iterations=1)
+
+    table = [[row.category] + [f"{row.subset_throughputs[name]:,.0f}"
+                               for name in TRANSFORM_SUBSETS]
+             for row in rows]
+    averages = ["average"] + [
+        f"{sum(row.subset_throughputs[name] for row in rows) / len(rows):,.0f}"
+        for name in TRANSFORM_SUBSETS]
+    body = (f"scenario: {SCENARIO}; ALC-average throughput (fps) of optimal "
+            "cascades,\ncomputed over the Full set's accuracy range per "
+            "predicate.\n\n"
+            + format_table(["predicate", "none", "color variations", "resizing",
+                            "full"], table + [averages]))
+    write_result(results_dir, "fig10_transform_ablation",
+                 "Figure 10 — effect of input-transformation subsets", body)
+
+    def mean(name):
+        return sum(row.subset_throughputs[name] for row in rows) / len(rows)
+
+    # Full is the best subset, and both transformation families beat None.
+    assert mean("full") >= mean("none")
+    assert mean("resize") >= mean("none")
+    assert mean("color") >= mean("none")
+    # Resolution reduction is the dominant transformation, as in the paper.
+    assert mean("resize") >= mean("color")

@@ -1,0 +1,42 @@
+"""Figure 11: evolution of the Pareto frontier (and of the evaluation cost) as
+the maximum cascade depth grows.
+
+Paper shape to reproduce: moving beyond two levels plus a reference tail adds
+almost no throughput while the cascade set — and with it the evaluation time
+at system-initialization — grows combinatorially, which is why the paper caps
+its cascades at "two level + ResNet50".
+"""
+
+from _util import write_result
+from repro.experiments.ablation import depth_analysis
+from repro.experiments.reporting import format_table
+
+CATEGORY = "fence"
+SCENARIO = "camera"
+POOL_SIZE = 8
+
+
+def test_fig11_cascade_depth(benchmark, default_workspace, results_dir):
+    rows = benchmark.pedantic(
+        depth_analysis, args=(default_workspace, CATEGORY),
+        kwargs={"scenario_name": SCENARIO, "max_depth": 3, "pool_size": POOL_SIZE},
+        rounds=1, iterations=1)
+
+    table = [[row.label, f"{row.n_cascades:,}", f"{row.evaluation_seconds:.2f}",
+              f"{row.average_throughput:,.0f}"]
+             for row in rows]
+    body = (f"predicate: {CATEGORY}   scenario: {SCENARIO}   "
+            f"model pool: {POOL_SIZE} best models\n\n"
+            + format_table(["cascade set", "cascades", "evaluation (s)",
+                            "avg optimal throughput (fps)"], table))
+    write_result(results_dir, "fig11_depth",
+                 "Figure 11 — effect of increasing cascade depth", body)
+
+    # Cascade counts explode with depth while throughput gains flatten out.
+    n_cascades = [row.n_cascades for row in rows]
+    assert n_cascades == sorted(n_cascades)
+    assert n_cascades[-1] > 20 * n_cascades[1]
+    depth2 = next(r for r in rows if r.max_depth == 2 and r.with_reference_tail)
+    depth3 = next(r for r in rows if r.max_depth == 3 and r.with_reference_tail)
+    gain = (depth3.average_throughput - depth2.average_throughput)
+    assert gain <= 0.25 * depth2.average_throughput + 1e-9

@@ -1,0 +1,41 @@
+"""Figure 4: all cascades and the Pareto frontier for one deployment scenario,
+compared with the cascades that would be "optimal" if only inference costs
+were considered.
+
+Paper shape to reproduce: the scenario-aware frontier dominates the re-priced
+inference-only frontier, i.e. ignoring data-handling costs leaves throughput
+on the table at most accuracy levels.
+"""
+
+from _util import write_result
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import frontier_example
+
+CATEGORY = "komondor"
+SCENARIO = "camera"
+
+
+def test_fig4_frontier_example(benchmark, default_workspace, results_dir):
+    comparison = benchmark.pedantic(
+        frontier_example, args=(default_workspace, CATEGORY),
+        kwargs={"scenario_name": SCENARIO}, rounds=1, iterations=1)
+
+    frontier_rows = [[f"{accuracy:.3f}", f"{throughput:,.0f}"]
+                     for accuracy, throughput in
+                     sorted(comparison.aware_frontier, reverse=True)]
+    oblivious_rows = [[f"{accuracy:.3f}", f"{throughput:,.0f}"]
+                      for accuracy, throughput in
+                      sorted(comparison.oblivious_frontier, reverse=True)]
+    body = (f"predicate: {CATEGORY}   scenario: {SCENARIO}\n"
+            f"cascades evaluated: {len(comparison.all_points):,}\n\n"
+            "Scenario-aware Pareto frontier (accuracy, fps):\n"
+            + format_table(["accuracy", "throughput (fps)"], frontier_rows)
+            + "\n\nINFER-ONLY-optimal cascades re-priced under this scenario:\n"
+            + format_table(["accuracy", "throughput (fps)"], oblivious_rows)
+            + f"\n\nALC gain of scenario awareness: "
+              f"{comparison.awareness_gain():.2f}x")
+    write_result(results_dir, "fig4_frontier_example",
+                 "Figure 4 — cascade space and frontiers for one scenario", body)
+
+    assert comparison.awareness_gain() >= 1.0 - 1e-9
+    assert len(comparison.all_points) > len(comparison.aware_frontier)

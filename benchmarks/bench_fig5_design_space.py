@@ -1,0 +1,38 @@
+"""Figure 5: TAHOMA's cascade design space vs. the Baseline cascade space.
+
+Paper shape to reproduce: TAHOMA's space (input transformations + deeper
+cascades) is markedly larger than the Baseline space (full-size, full-color
+inputs, reference-classifier tails), and its Pareto frontier dominates the
+baseline frontier — a double-digit ALC speedup in the paper.
+"""
+
+from _util import write_result
+from repro.experiments.reporting import format_table
+from repro.experiments.speedups import design_space_comparison
+
+CATEGORY = "komondor"
+SCENARIO = "camera"
+
+
+def test_fig5_design_space(benchmark, default_workspace, results_dir):
+    comparison = benchmark.pedantic(
+        design_space_comparison, args=(default_workspace, CATEGORY),
+        kwargs={"scenario_name": SCENARIO}, rounds=1, iterations=1)
+
+    rows = [
+        ["TAHOMA", len(comparison.tahoma_points), len(comparison.tahoma_frontier),
+         f"{max(t for _, t in comparison.tahoma_frontier):,.0f}"],
+        ["Baseline", len(comparison.baseline_points),
+         len(comparison.baseline_frontier),
+         f"{max(t for _, t in comparison.baseline_frontier):,.0f}"],
+    ]
+    body = (f"predicate: {CATEGORY}   scenario: {SCENARIO}\n\n"
+            + format_table(["cascade set", "cascades", "frontier points",
+                            "fastest frontier fps"], rows)
+            + f"\n\nTAHOMA ALC speedup over Baseline: "
+              f"{comparison.tahoma_speedup():.1f}x")
+    write_result(results_dir, "fig5_design_space",
+                 "Figure 5 — TAHOMA vs Baseline cascade design space", body)
+
+    assert len(comparison.tahoma_points) > 10 * len(comparison.baseline_points)
+    assert comparison.tahoma_speedup() >= 1.0

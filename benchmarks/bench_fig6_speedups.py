@@ -1,0 +1,39 @@
+"""Figure 6: average speedup of TAHOMA over the baselines, per deployment scenario.
+
+Paper shape to reproduce: under INFER ONLY, TAHOMA shows its largest speedups
+over the fine-tuned reference classifier (98x in the paper) and over the
+Baseline cascades (35x average / 59x at the fastest baseline's accuracy);
+data-handling overheads shrink the gains in the other scenarios, with ARCHIVE
+the smallest (around 2x in the paper) — but TAHOMA wins in every scenario.
+"""
+
+from _util import write_result
+from repro.experiments.reporting import format_table
+from repro.experiments.speedups import average_speedups
+
+SCENARIOS = ("infer_only", "ongoing", "camera", "archive")
+
+
+def test_fig6_average_speedups(benchmark, default_workspace, results_dir):
+    rows = benchmark.pedantic(average_speedups,
+                              args=(default_workspace, SCENARIOS),
+                              rounds=1, iterations=1)
+
+    table = [[row.scenario_name, f"{row.vs_reference:.1f}x",
+              f"{row.vs_baseline_fastest:.1f}x", f"{row.vs_baseline_average:.1f}x"]
+             for row in rows]
+    body = ("Average over the 10 Table II predicates.\n\n"
+            + format_table(["scenario", "vs reference (ResNet50 stand-in)",
+                            "vs Baseline (fastest)", "vs Baseline (average)"],
+                           table))
+    write_result(results_dir, "fig6_speedups",
+                 "Figure 6 — TAHOMA speedups over the baselines", body)
+
+    by_name = {row.scenario_name: row for row in rows}
+    # TAHOMA wins in every scenario.
+    assert all(row.vs_reference > 1.0 for row in rows)
+    assert all(row.vs_baseline_average > 1.0 for row in rows)
+    # The speedup is largest when data handling is ignored and smallest when
+    # everything must be loaded and transformed (ARCHIVE).
+    assert by_name["infer_only"].vs_reference >= by_name["archive"].vs_reference
+    assert by_name["infer_only"].vs_baseline_average >= by_name["archive"].vs_baseline_average

@@ -1,0 +1,43 @@
+"""Figure 8: NoScope vs. TAHOMA+DD on the two video streams.
+
+Paper shape to reproduce: with the same difference detector, the same oracle
+and the same target precision (0.95), TAHOMA+DD outperforms the NoScope
+pipeline on both streams, with a much larger margin on the harder stream
+(jackson in the paper: 27.5x vs 3.1x on coral) because TAHOMA's cascade avoids
+falling back to the expensive oracle.
+"""
+
+from _util import write_result
+from repro.experiments.noscope_exp import noscope_comparison
+from repro.experiments.presets import DEFAULT_SCALE
+from repro.experiments.reporting import format_table
+
+STREAMS = ("coral", "jackson")
+
+
+def test_fig8_noscope_comparison(benchmark, results_dir):
+    results = benchmark.pedantic(
+        noscope_comparison, args=(DEFAULT_SCALE,),
+        kwargs={"stream_names": STREAMS, "seed": 0}, rounds=1, iterations=1)
+
+    table = []
+    for comparison in results:
+        noscope, tahoma = comparison.noscope, comparison.tahoma_dd
+        table.append([comparison.stream_name,
+                      f"{noscope.throughput:,.0f}", f"{noscope.accuracy:.3f}",
+                      f"{noscope.oracle_fraction * 100:.0f}%",
+                      f"{tahoma.throughput:,.0f}", f"{tahoma.accuracy:.3f}",
+                      f"{comparison.speedup:.1f}x",
+                      f"{noscope.reuse_fraction * 100:.0f}%"])
+    body = ("Synthetic stand-ins for the NoScope datasets; INFER ONLY cost\n"
+            "accounting, shared oracle and difference detector, precision 0.95.\n\n"
+            + format_table(["stream", "NoScope fps", "NoScope acc",
+                            "NoScope oracle use", "TAHOMA+DD fps",
+                            "TAHOMA+DD acc", "speedup", "frames reused"], table))
+    write_result(results_dir, "fig8_noscope",
+                 "Figure 8 — NoScope vs TAHOMA+DD on video streams", body)
+
+    assert len(results) == 2
+    for comparison in results:
+        assert comparison.speedup >= 1.0
+        assert comparison.tahoma_dd.accuracy >= comparison.noscope.accuracy - 0.1

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+section.  They all share a single DEFAULT_SCALE workspace (trained model pools
+for the ten Table II predicates) built once per session; the measured part of
+each benchmark is the *query-time* analysis TAHOMA performs (cascade
+evaluation, Pareto frontiers, selection), which is the part the paper times.
+
+Each benchmark also writes the rows it produces to
+``benchmarks/results/<name>.txt`` so the reproduction numbers recorded in
+EXPERIMENTS.md can be regenerated verbatim.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent
+_SRC = _ROOT.parent / "src"
+for path in (str(_SRC), str(_ROOT)):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+RESULTS_DIR = _ROOT / "results"
+
+
+@pytest.fixture(scope="session")
+def default_workspace():
+    """The DEFAULT_SCALE workspace: ten predicates, ~60 models each."""
+    from repro.experiments.presets import DEFAULT_SCALE
+    from repro.experiments.workspace import get_workspace
+
+    return get_workspace(DEFAULT_SCALE)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the in-tree package importable without installation.
+
+The repository is normally installed with ``pip install -e .``; this shim only
+matters for offline environments where the editable install cannot build a
+wheel (no network to fetch the ``wheel`` package).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,25 @@
+"""Reproduction of TAHOMA (Anderson et al., ICDE 2019).
+
+*Physical Representation-based Predicate Optimization for a Visual Analytics
+Database* speeds up ``contains_object`` predicates over image/video corpora by
+building classifier cascades from hundreds of small CNNs that vary both their
+architecture and their *physical input representation* (resolution, color
+channels), and by selecting cascades with awareness of deployment-specific
+data-handling costs.
+
+Package map
+-----------
+``repro.nn``          NumPy CNN substrate (layers, training, FLOP accounting)
+``repro.transforms``  physical input representations (the set ``F``)
+``repro.data``        synthetic image corpus and video streams
+``repro.costs``       deployment scenarios and the analytic cost model
+``repro.storage``     storage tiers and the representation store
+``repro.core``        the TAHOMA optimizer itself
+``repro.baselines``   reference classifier, baseline cascades, NoScope, +DD
+``repro.query``       relational layer with the contains_object operator
+``repro.experiments`` harness regenerating every table and figure
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

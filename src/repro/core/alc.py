@@ -1,0 +1,127 @@
+"""Area-left-of-curve (ALC) throughput comparison (paper Section VII-A).
+
+To compare two cascade sets, the paper plots accuracy (y) against throughput
+(x), interpolates each Pareto frontier as a step function, and integrates the
+area to the *left* of the curve over a shared accuracy range.  Dividing the
+area by the range length gives the average throughput over that range;
+dividing one set's area by another's gives the speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["area_left_of_curve", "average_throughput", "speedup",
+           "shared_accuracy_range"]
+
+# numpy 2.0 renamed trapz to trapezoid.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+
+def _step_throughput(points: list[tuple[float, float]],
+                     accuracies: np.ndarray) -> np.ndarray:
+    """Best achievable throughput at each requested accuracy (step function).
+
+    For a set of (accuracy, throughput) points, the best throughput available
+    at accuracy level ``a`` is the maximum throughput among points with
+    accuracy >= ``a``; below the minimum accuracy it is the overall maximum,
+    above the maximum accuracy it is zero (no cascade reaches it).
+    """
+    acc = np.array([p[0] for p in points], dtype=np.float64)
+    thr = np.array([p[1] for p in points], dtype=np.float64)
+    order = np.argsort(acc)
+    acc, thr = acc[order], thr[order]
+    # Suffix maximum of throughput: best throughput at accuracy >= acc[i].
+    suffix_max = np.maximum.accumulate(thr[::-1])[::-1]
+    result = np.zeros_like(accuracies)
+    for i, level in enumerate(accuracies):
+        pos = np.searchsorted(acc, level, side="left")
+        result[i] = suffix_max[pos] if pos < acc.size else 0.0
+    return result
+
+
+def area_left_of_curve(points: list[tuple[float, float]],
+                       accuracy_range: tuple[float, float],
+                       resolution: int = 512) -> float:
+    """Integral of achievable throughput over the accuracy range.
+
+    Parameters
+    ----------
+    points:
+        ``(accuracy, throughput)`` tuples (typically a Pareto frontier, but
+        any set is accepted — the paper re-prices one scenario's frontier
+        under another scenario's costs, which is no longer a frontier).
+    accuracy_range:
+        ``(low, high)`` accuracy interval to integrate over.
+    resolution:
+        Number of evaluation points for the step-function integration.
+    """
+    if not points:
+        raise ValueError("points must be non-empty")
+    low, high = accuracy_range
+    if not low <= high:
+        raise ValueError("accuracy_range must be ordered (low, high)")
+    if resolution < 2:
+        raise ValueError("resolution must be at least 2")
+    if low == high:
+        return 0.0
+    accuracies = np.linspace(low, high, resolution)
+    throughputs = _step_throughput(points, accuracies)
+    return float(_trapezoid(throughputs, accuracies))
+
+
+def average_throughput(points: list[tuple[float, float]],
+                       accuracy_range: tuple[float, float],
+                       resolution: int = 512) -> float:
+    """ALC divided by the accuracy-range width: average achievable throughput."""
+    low, high = accuracy_range
+    if low == high:
+        # Degenerate range: fall back to the best throughput at that accuracy.
+        return float(_step_throughput(points, np.array([low]))[0])
+    return area_left_of_curve(points, accuracy_range, resolution) / (high - low)
+
+
+def speedup(points_a: list[tuple[float, float]],
+            points_b: list[tuple[float, float]],
+            accuracy_range: tuple[float, float],
+            resolution: int = 512) -> float:
+    """Speedup of set A over set B: the ratio of their ALC values.
+
+    A degenerate accuracy range (low == high, which happens when one set's
+    cascades all share a single accuracy value) falls back to comparing the
+    best achievable throughput at that accuracy level.
+    """
+    low, high = accuracy_range
+    if low == high:
+        baseline = average_throughput(points_b, accuracy_range, resolution)
+        if baseline == 0:
+            raise ZeroDivisionError("baseline set has zero throughput at this accuracy")
+        return average_throughput(points_a, accuracy_range, resolution) / baseline
+    area_b = area_left_of_curve(points_b, accuracy_range, resolution)
+    if area_b == 0:
+        raise ZeroDivisionError("baseline set has zero area over this range")
+    return area_left_of_curve(points_a, accuracy_range, resolution) / area_b
+
+
+def shared_accuracy_range(*point_sets: list[tuple[float, float]]
+                          ) -> tuple[float, float]:
+    """The smallest accuracy range spanned by any of the given sets.
+
+    The paper compares frontiers over "the accuracy range for the full set of
+    cascades for each configuration, choosing the smallest said range"; this
+    helper implements that choice.
+    """
+    if not point_sets:
+        raise ValueError("need at least one point set")
+    lows, highs = [], []
+    for points in point_sets:
+        if not points:
+            raise ValueError("point sets must be non-empty")
+        accuracies = [p[0] for p in points]
+        lows.append(min(accuracies))
+        highs.append(max(accuracies))
+    low, high = max(lows), min(highs)
+    if high < low:
+        # Ranges do not overlap; fall back to the tightest single point.
+        return (low, low)
+    return (low, high)

@@ -1,0 +1,219 @@
+"""Classifier cascades and cascade enumeration (paper Sections V-B to V-D)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import TrainedModel
+from repro.core.thresholds import DecisionThresholds
+from repro.storage.store import RepresentationStore
+
+__all__ = ["CascadeLevel", "Cascade", "CascadeBuilder", "count_cascades"]
+
+
+@dataclass(frozen=True, eq=False)
+class CascadeLevel:
+    """One level of a cascade: a model plus its decision thresholds.
+
+    The final level of a cascade has ``thresholds=None``: its output is always
+    accepted (a 0.5 cut on the probability).
+    """
+
+    model: TrainedModel
+    thresholds: DecisionThresholds | None = None
+
+    @property
+    def is_final(self) -> bool:
+        return self.thresholds is None
+
+    @property
+    def name(self) -> str:
+        if self.thresholds is None:
+            return self.model.name
+        return f"{self.model.name}@p{self.thresholds.precision_target:.2f}"
+
+
+@dataclass(frozen=True, eq=False)
+class Cascade:
+    """An ordered sequence of cascade levels; the last level always decides."""
+
+    levels: tuple[CascadeLevel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("a cascade needs at least one level")
+        for level in self.levels[:-1]:
+            if level.thresholds is None:
+                raise ValueError("only the final level may omit thresholds")
+        if self.levels[-1].thresholds is not None:
+            raise ValueError("the final level must not have thresholds")
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    @property
+    def name(self) -> str:
+        return " -> ".join(level.name for level in self.levels)
+
+    @property
+    def models(self) -> tuple[TrainedModel, ...]:
+        return tuple(level.model for level in self.levels)
+
+    def ends_in_reference(self) -> bool:
+        """Whether the final level is the expensive reference classifier."""
+        return self.levels[-1].model.is_reference
+
+    # -- execution ---------------------------------------------------------
+    def classify(self, raw_images: np.ndarray,
+                 store: RepresentationStore | None = None,
+                 batch_size: int = 256) -> np.ndarray:
+        """Actually execute the cascade over raw images, returning hard labels.
+
+        A :class:`~repro.storage.store.RepresentationStore` can be passed so
+        representations shared across levels (or across cascades) are computed
+        only once, mirroring the paper's once-per-input data-handling rule.
+        """
+        labels, _ = self.classify_with_stats(raw_images, store=store,
+                                             batch_size=batch_size)
+        return labels
+
+    def classify_with_stats(self, raw_images: np.ndarray,
+                            store: RepresentationStore | None = None,
+                            batch_size: int = 256
+                            ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Like :meth:`classify` but also returns per-level execution counts.
+
+        The stats dictionary contains ``evaluated`` (images reaching each
+        level) and ``decided`` (images decided at each level), both arrays of
+        length ``depth``.
+        """
+        if raw_images.ndim != 4:
+            raise ValueError(f"expected NHWC batch, got shape {raw_images.shape}")
+        n = raw_images.shape[0]
+        store = store if store is not None else RepresentationStore()
+        labels = np.zeros(n, dtype=np.int64)
+        pending = np.arange(n)
+        evaluated = np.zeros(self.depth, dtype=np.int64)
+        decided = np.zeros(self.depth, dtype=np.int64)
+
+        for index, level in enumerate(self.levels):
+            if pending.size == 0:
+                break
+            evaluated[index] = pending.size
+            representation = store.get_or_transform(level.model.transform,
+                                                    raw_images)
+            probabilities = level.model.predict_proba_transformed(
+                representation[pending], batch_size=batch_size)
+            if level.is_final:
+                labels[pending] = (probabilities >= 0.5).astype(np.int64)
+                decided[index] = pending.size
+                pending = np.array([], dtype=np.int64)
+            else:
+                confident = level.thresholds.confident_mask(probabilities)
+                decided_idx = pending[confident]
+                labels[decided_idx] = level.thresholds.decide(
+                    probabilities[confident])
+                decided[index] = decided_idx.size
+                pending = pending[~confident]
+
+        return labels, {"evaluated": evaluated, "decided": decided}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cascade({self.name})"
+
+
+def count_cascades(n_models: int, n_precision_targets: int, max_depth: int,
+                   with_reference_tail: bool) -> int:
+    """Size of the cascade design space enumerated by :class:`CascadeBuilder`.
+
+    Counts every ordered arrangement of distinct models where the first
+    ``depth - 1`` levels additionally pick one of the precision targets, for
+    all depths up to ``max_depth``, plus (when ``with_reference_tail``) the
+    variants whose thresholded prefix is followed by the reference classifier.
+    This is the analogue of the paper's ~1.3 million cascades per predicate.
+    """
+    if n_models <= 0 or n_precision_targets <= 0 or max_depth <= 0:
+        raise ValueError("all counts must be positive")
+    total = 0
+    for depth in range(1, max_depth + 1):
+        arrangements = 1
+        for i in range(depth - 1):
+            arrangements *= (n_models - i) * n_precision_targets
+        arrangements *= (n_models - (depth - 1))
+        total += arrangements
+        if with_reference_tail:
+            # Same prefix but every level is thresholded and the reference
+            # classifier is appended as the always-accept final level.
+            tail_arrangements = 1
+            for i in range(depth):
+                tail_arrangements *= (n_models - i) * n_precision_targets
+            total += tail_arrangements
+    return total
+
+
+class CascadeBuilder:
+    """Enumerates the cascade set ``C`` from a pool of trained models.
+
+    Parameters
+    ----------
+    precision_thresholds:
+        Mapping from model name to the list of calibrated
+        :class:`~repro.core.thresholds.DecisionThresholds` for that model
+        (one per precision target).
+    max_depth:
+        Maximum number of levels drawn from the specialized model pool.
+    reference_model:
+        Optional expensive classifier appended as an extra final level,
+        producing the paper's "+ ResNet50" cascade variants.
+    """
+
+    def __init__(self, precision_thresholds: dict[str, list[DecisionThresholds]],
+                 max_depth: int = 2,
+                 reference_model: TrainedModel | None = None) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.precision_thresholds = precision_thresholds
+        self.max_depth = max_depth
+        self.reference_model = reference_model
+
+    def _thresholds_for(self, model: TrainedModel) -> list[DecisionThresholds]:
+        thresholds = self.precision_thresholds.get(model.name, [])
+        if not thresholds:
+            raise KeyError(f"no calibrated thresholds for model {model.name!r}")
+        return thresholds
+
+    def build(self, models: list[TrainedModel],
+              include_reference_tail: bool = True) -> list[Cascade]:
+        """Enumerate all cascades up to ``max_depth`` (plus reference tails)."""
+        if not models:
+            raise ValueError("models must be non-empty")
+        cascades: list[Cascade] = []
+        self._extend(models, (), cascades, include_reference_tail)
+        return cascades
+
+    def _extend(self, models: list[TrainedModel],
+                prefix: tuple[CascadeLevel, ...],
+                output: list[Cascade],
+                include_reference_tail: bool) -> None:
+        depth_so_far = len(prefix)
+        used = {level.model.name for level in prefix}
+
+        if depth_so_far >= 1 and include_reference_tail and self.reference_model is not None:
+            output.append(Cascade(prefix + (CascadeLevel(self.reference_model, None),)))
+
+        if depth_so_far >= self.max_depth:
+            return
+
+        for model in models:
+            if model.name in used or model.is_reference:
+                continue
+            # This model as the cascade's final (always-accept) level.
+            output.append(Cascade(prefix + (CascadeLevel(model, None),)))
+            # This model as an intermediate level, at every precision target.
+            for thresholds in self._thresholds_for(model):
+                self._extend(models,
+                             prefix + (CascadeLevel(model, thresholds),),
+                             output, include_reference_tail)

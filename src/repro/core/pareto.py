@@ -1,0 +1,69 @@
+"""Pareto-frontier computation over (accuracy, throughput) points.
+
+The paper (Section V-E) computes, for millions of candidate cascades, the
+subset that is non-dominated in accuracy and throughput.  With two criteria
+this is the classic maxima-of-a-point-set problem and runs in O(n log n)
+(Kung, Luccio & Preparata, 1975): sort by one coordinate descending and sweep,
+keeping points that improve the running maximum of the other coordinate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pareto_frontier_indices", "pareto_frontier", "is_dominated"]
+
+
+def pareto_frontier_indices(accuracy: np.ndarray,
+                            throughput: np.ndarray) -> np.ndarray:
+    """Indices of the Pareto-optimal points, maximizing both coordinates.
+
+    Ties are handled conservatively: a point is kept only if no other point is
+    at least as good in both coordinates and strictly better in one.  The
+    returned indices are sorted by descending throughput.
+    """
+    accuracy = np.asarray(accuracy, dtype=np.float64)
+    throughput = np.asarray(throughput, dtype=np.float64)
+    if accuracy.shape != throughput.shape:
+        raise ValueError("accuracy and throughput must have the same shape")
+    if accuracy.ndim != 1:
+        raise ValueError("expected 1-D arrays")
+    n = accuracy.size
+    if n == 0:
+        return np.array([], dtype=np.int64)
+
+    # Sort by throughput descending; break ties by accuracy descending so the
+    # best-accuracy point at a given throughput is seen first.
+    order = np.lexsort((-accuracy, -throughput))
+    frontier: list[int] = []
+    best_accuracy = -np.inf
+    for index in order:
+        if accuracy[index] > best_accuracy:
+            frontier.append(int(index))
+            best_accuracy = accuracy[index]
+    return np.asarray(frontier, dtype=np.int64)
+
+
+def pareto_frontier(points: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Pareto frontier of ``(accuracy, throughput)`` tuples, maximizing both."""
+    if not points:
+        return []
+    accuracy = np.array([p[0] for p in points])
+    throughput = np.array([p[1] for p in points])
+    indices = pareto_frontier_indices(accuracy, throughput)
+    return [points[i] for i in indices]
+
+
+def is_dominated(point: tuple[float, float],
+                 others: list[tuple[float, float]]) -> bool:
+    """Whether ``point`` is dominated by any point in ``others``.
+
+    A point is dominated when another point is at least as good in both
+    coordinates and strictly better in at least one.
+    """
+    acc, thr = point
+    for other_acc, other_thr in others:
+        if (other_acc >= acc and other_thr >= thr
+                and (other_acc > acc or other_thr > thr)):
+            return True
+    return False

@@ -1,0 +1,64 @@
+"""Synthetic visual corpus generation.
+
+The paper evaluates on ten ImageNet categories plus two NoScope video
+datasets.  Neither is redistributable (nor usable offline), so this package
+provides a parametric substitute:
+
+* :mod:`repro.data.categories` — the ten Table II categories, each mapped to a
+  procedural object renderer (shape, color signature, texture),
+* :mod:`repro.data.synthesis` — the renderer that composites objects onto
+  cluttered backgrounds,
+* :mod:`repro.data.corpus` — labeled datasets and train/config/eval splits per
+  binary predicate, plus a queryable image corpus with metadata,
+* :mod:`repro.data.video` — temporally coherent synthetic video streams used
+  for the NoScope comparison (Figure 8), and
+* :mod:`repro.data.augment` — the horizontal-flip augmentation the paper uses.
+
+The relevant behaviour preserved by the substitution: labels are exact, task
+difficulty responds to resolution and color-channel reduction, and video
+streams exhibit controllable frame-to-frame redundancy.
+"""
+
+from repro.data.augment import augment_with_flips
+from repro.data.categories import (
+    TABLE2_CATEGORIES,
+    CategoryDef,
+    get_category,
+    list_category_names,
+)
+from repro.data.corpus import (
+    ImageCorpus,
+    LabeledDataset,
+    PredicateDataSplits,
+    build_predicate_dataset,
+    build_predicate_splits,
+    generate_corpus,
+)
+from repro.data.synthesis import render_image
+from repro.data.video import (
+    CORAL_PRESET,
+    JACKSON_PRESET,
+    VideoStream,
+    VideoStreamConfig,
+    generate_video_stream,
+)
+
+__all__ = [
+    "CategoryDef",
+    "TABLE2_CATEGORIES",
+    "get_category",
+    "list_category_names",
+    "render_image",
+    "LabeledDataset",
+    "PredicateDataSplits",
+    "ImageCorpus",
+    "build_predicate_dataset",
+    "build_predicate_splits",
+    "generate_corpus",
+    "augment_with_flips",
+    "VideoStream",
+    "VideoStreamConfig",
+    "generate_video_stream",
+    "CORAL_PRESET",
+    "JACKSON_PRESET",
+]

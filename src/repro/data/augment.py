@@ -1,0 +1,31 @@
+"""Data augmentation.
+
+The paper doubles each training set by adding a left-right flipped copy of
+every image (Section VII-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.corpus import LabeledDataset
+from repro.transforms.ops import horizontal_flip
+
+__all__ = ["augment_with_flips"]
+
+
+def augment_with_flips(dataset: LabeledDataset,
+                       rng: np.random.Generator | None = None) -> LabeledDataset:
+    """Return a dataset twice the size containing each image and its mirror.
+
+    If ``rng`` is provided the combined dataset is shuffled; otherwise the
+    flipped copies are appended after the originals.
+    """
+    if len(dataset) == 0:
+        return dataset
+    flipped = LabeledDataset(horizontal_flip(dataset.images),
+                             dataset.labels.copy())
+    combined = dataset.concat(flipped)
+    if rng is not None:
+        combined = combined.shuffled(rng)
+    return combined

@@ -1,0 +1,88 @@
+"""The ten binary-predicate categories (paper Table II).
+
+Each category maps to a procedural renderer configuration: a base shape, a
+color signature (so color-channel reduction matters), a texture frequency (so
+resolution reduction matters) and a size range.  The ImageNet synset ids are
+kept purely as provenance labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CategoryDef", "TABLE2_CATEGORIES", "get_category", "list_category_names"]
+
+#: Shapes understood by :mod:`repro.data.synthesis`.
+SHAPES = ("disk", "square", "triangle", "ring", "cross", "stripes",
+          "diamond", "checker", "blob", "star")
+
+
+@dataclass(frozen=True)
+class CategoryDef:
+    """Parameters of one procedural object category.
+
+    Parameters
+    ----------
+    name:
+        Category name (matches the paper's Table II predicate names).
+    imagenet_id:
+        The ImageNet synset id from Table II (provenance only).
+    shape:
+        Base geometric shape drawn for positive examples.
+    color:
+        RGB color signature of the object, values in [0, 1].
+    texture_frequency:
+        Spatial frequency of the texture modulating the object; higher values
+        mean finer detail that is lost at low resolutions.
+    size_range:
+        (min, max) object radius as a fraction of the image size.
+    """
+
+    name: str
+    imagenet_id: str
+    shape: str
+    color: tuple[float, float, float]
+    texture_frequency: float
+    size_range: tuple[float, float] = (0.18, 0.32)
+
+    def __post_init__(self) -> None:
+        if self.shape not in SHAPES:
+            raise ValueError(f"unknown shape {self.shape!r}")
+        if not all(0.0 <= c <= 1.0 for c in self.color):
+            raise ValueError("color components must be in [0, 1]")
+        if self.texture_frequency <= 0:
+            raise ValueError("texture_frequency must be positive")
+        low, high = self.size_range
+        if not 0 < low <= high < 0.5:
+            raise ValueError("size_range must satisfy 0 < low <= high < 0.5")
+
+
+#: The ten categories of Table II, with procedural render parameters.
+TABLE2_CATEGORIES: tuple[CategoryDef, ...] = (
+    CategoryDef("acorn", "n12267677", "disk", (0.55, 0.35, 0.10), 6.0),
+    CategoryDef("amphibian", "n02704792", "blob", (0.20, 0.55, 0.25), 4.0),
+    CategoryDef("cloak", "n03045698", "triangle", (0.45, 0.15, 0.50), 3.0),
+    CategoryDef("coho", "n02536864", "diamond", (0.70, 0.30, 0.30), 8.0),
+    CategoryDef("fence", "n03930313", "stripes", (0.50, 0.45, 0.40), 10.0),
+    CategoryDef("ferret", "n02443484", "blob", (0.60, 0.50, 0.35), 7.0),
+    CategoryDef("komondor", "n02105505", "ring", (0.85, 0.82, 0.75), 9.0),
+    CategoryDef("pinwheel", "n03944341", "star", (0.20, 0.40, 0.80), 5.0),
+    CategoryDef("scorpion", "n01770393", "cross", (0.35, 0.25, 0.15), 6.0),
+    CategoryDef("wallet", "n04548362", "square", (0.30, 0.20, 0.10), 4.0),
+)
+
+_BY_NAME = {category.name: category for category in TABLE2_CATEGORIES}
+
+
+def get_category(name: str) -> CategoryDef:
+    """Look up a category by name, raising ``KeyError`` with suggestions."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown category {name!r}; "
+                       f"available: {sorted(_BY_NAME)}") from None
+
+
+def list_category_names() -> list[str]:
+    """Names of all built-in categories, in Table II order."""
+    return [category.name for category in TABLE2_CATEGORIES]

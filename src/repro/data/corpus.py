@@ -1,0 +1,222 @@
+"""Labeled datasets, per-predicate splits and a queryable image corpus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.categories import TABLE2_CATEGORIES, CategoryDef
+from repro.data.synthesis import render_image
+
+__all__ = [
+    "LabeledDataset",
+    "PredicateDataSplits",
+    "ImageCorpus",
+    "build_predicate_dataset",
+    "build_predicate_splits",
+    "generate_corpus",
+]
+
+
+@dataclass
+class LabeledDataset:
+    """A set of images with binary labels.
+
+    ``images`` has shape ``(n, size, size, 3)`` with values in [0, 1];
+    ``labels`` has shape ``(n,)`` with values in {0, 1}.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64).ravel()
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ValueError("images and labels have different lengths")
+        if self.images.ndim != 4:
+            raise ValueError(
+                f"images must be NHWC, got shape {self.images.shape}")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def image_size(self) -> int:
+        return int(self.images.shape[1])
+
+    @property
+    def positive_fraction(self) -> float:
+        if len(self) == 0:
+            return float("nan")
+        return float(self.labels.mean())
+
+    def subset(self, indices: np.ndarray) -> "LabeledDataset":
+        """A new dataset containing only the given indices."""
+        indices = np.asarray(indices)
+        return LabeledDataset(self.images[indices], self.labels[indices])
+
+    def shuffled(self, rng: np.random.Generator) -> "LabeledDataset":
+        """A copy with examples in random order."""
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    def concat(self, other: "LabeledDataset") -> "LabeledDataset":
+        """Concatenate two datasets (images must share shape)."""
+        if other.images.shape[1:] != self.images.shape[1:]:
+            raise ValueError("cannot concatenate datasets of different image shapes")
+        return LabeledDataset(
+            np.concatenate([self.images, other.images], axis=0),
+            np.concatenate([self.labels, other.labels], axis=0))
+
+    def split(self, fractions: tuple[float, ...],
+              rng: np.random.Generator) -> list["LabeledDataset"]:
+        """Random split into ``len(fractions)`` parts with the given fractions."""
+        if not np.isclose(sum(fractions), 1.0):
+            raise ValueError("fractions must sum to 1")
+        order = rng.permutation(len(self))
+        sizes = [int(round(f * len(self))) for f in fractions[:-1]]
+        sizes.append(len(self) - sum(sizes))
+        parts, start = [], 0
+        for size in sizes:
+            parts.append(self.subset(order[start:start + size]))
+            start += size
+        return parts
+
+
+@dataclass
+class PredicateDataSplits:
+    """The paper's three per-predicate datasets.
+
+    * ``train`` — used to fit each candidate model,
+    * ``config`` — used to calibrate per-model decision thresholds,
+    * ``eval`` — used to measure cascade accuracy (held out from both).
+    """
+
+    train: LabeledDataset
+    config: LabeledDataset
+    eval: LabeledDataset
+
+    def sizes(self) -> tuple[int, int, int]:
+        return (len(self.train), len(self.config), len(self.eval))
+
+
+def build_predicate_dataset(category: CategoryDef, n_positive: int,
+                            n_negative: int, image_size: int,
+                            rng: np.random.Generator,
+                            distractors: tuple[CategoryDef, ...] | None = None
+                            ) -> LabeledDataset:
+    """Render a balanced labeled dataset for one binary predicate."""
+    if n_positive < 0 or n_negative < 0:
+        raise ValueError("example counts must be non-negative")
+    distractors = distractors if distractors is not None else TABLE2_CATEGORIES
+    images, labels = [], []
+    for _ in range(n_positive):
+        images.append(render_image(category, image_size, True, rng, distractors))
+        labels.append(1)
+    for _ in range(n_negative):
+        images.append(render_image(category, image_size, False, rng, distractors))
+        labels.append(0)
+    if not images:
+        return LabeledDataset(np.zeros((0, image_size, image_size, 3)),
+                              np.zeros((0,), dtype=np.int64))
+    dataset = LabeledDataset(np.stack(images), np.asarray(labels))
+    return dataset.shuffled(rng)
+
+
+def build_predicate_splits(category: CategoryDef, *, n_train: int = 240,
+                           n_config: int = 120, n_eval: int = 120,
+                           image_size: int = 64,
+                           rng: np.random.Generator | None = None,
+                           distractors: tuple[CategoryDef, ...] | None = None
+                           ) -> PredicateDataSplits:
+    """Render the train/config/eval splits for one binary predicate.
+
+    Counts are per split and are rendered balanced (half positive examples).
+    Defaults are scaled down from the paper's 3,000-4,000 labeled images so
+    the full pipeline runs on CPU; all counts are parameters.
+    """
+    rng = rng or np.random.default_rng(0)
+
+    def balanced(total: int) -> LabeledDataset:
+        n_pos = total // 2
+        return build_predicate_dataset(category, n_pos, total - n_pos,
+                                       image_size, rng, distractors)
+
+    return PredicateDataSplits(train=balanced(n_train),
+                               config=balanced(n_config),
+                               eval=balanced(n_eval))
+
+
+@dataclass
+class ImageCorpus:
+    """A queryable corpus: images plus metadata plus ground-truth content tuples.
+
+    This is the object the query engine (:mod:`repro.query`) operates over.
+    ``content`` maps category name to a boolean presence vector; the query
+    engine never reads it (it exists to check query results in tests and
+    experiments).
+    """
+
+    images: np.ndarray
+    metadata: dict[str, np.ndarray]
+    content: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float64)
+        n = self.images.shape[0]
+        for key, values in self.metadata.items():
+            if np.asarray(values).shape[0] != n:
+                raise ValueError(f"metadata column {key!r} has wrong length")
+        for key, values in self.content.items():
+            if np.asarray(values).shape[0] != n:
+                raise ValueError(f"content column {key!r} has wrong length")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def image_size(self) -> int:
+        return int(self.images.shape[1])
+
+
+def generate_corpus(categories: tuple[CategoryDef, ...], n_images: int,
+                    image_size: int, rng: np.random.Generator | None = None,
+                    locations: tuple[str, ...] = ("detroit", "seattle", "austin"),
+                    positive_rate: float = 0.35) -> ImageCorpus:
+    """Generate a mixed corpus where each image may contain several categories.
+
+    Each image independently contains each category with probability
+    ``positive_rate / len(categories)`` scaled so the expected number of
+    object-bearing images stays moderate; metadata columns ``location`` and
+    ``timestamp`` are attached for metadata-predicate queries.
+    """
+    if n_images <= 0:
+        raise ValueError("n_images must be positive")
+    if not categories:
+        raise ValueError("categories must be non-empty")
+    rng = rng or np.random.default_rng(0)
+
+    images = np.zeros((n_images, image_size, image_size, 3), dtype=np.float64)
+    content = {category.name: np.zeros(n_images, dtype=bool)
+               for category in categories}
+    per_category_rate = min(1.0, positive_rate)
+
+    from repro.data.synthesis import render_background, render_object
+
+    for index in range(n_images):
+        image = render_background(image_size, rng)
+        for category in categories:
+            if rng.random() < per_category_rate / len(categories):
+                image = render_object(image, category, rng)
+                content[category.name][index] = True
+        images[index] = image
+
+    metadata = {
+        "location": np.array([locations[rng.integers(0, len(locations))]
+                              for _ in range(n_images)]),
+        "timestamp": np.sort(rng.uniform(0, 86_400, size=n_images)),
+        "camera_id": rng.integers(0, 8, size=n_images),
+    }
+    return ImageCorpus(images=images, metadata=metadata, content=content)

@@ -1,0 +1,159 @@
+"""Procedural image synthesis.
+
+Every image is a cluttered background with zero or more objects composited on
+top.  A *positive* example for a category contains that category's object; a
+*negative* example contains only distractor objects drawn from other
+categories.  Objects carry a color signature and a texture whose spatial
+frequency scales with the category's ``texture_frequency``, so both
+color-channel reduction and resolution reduction degrade (but do not destroy)
+separability — the property the paper's representation study depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.categories import CategoryDef
+
+__all__ = ["render_background", "render_object", "render_image", "shape_mask"]
+
+
+def _coordinate_grid(size: int) -> tuple[np.ndarray, np.ndarray]:
+    coords = (np.arange(size) + 0.5) / size
+    return np.meshgrid(coords, coords, indexing="ij")
+
+
+def shape_mask(shape: str, size: int, center: tuple[float, float],
+               radius: float, rng: np.random.Generator) -> np.ndarray:
+    """Binary (soft) mask of a shape on a ``size`` x ``size`` canvas.
+
+    ``center`` and ``radius`` are in normalized [0, 1] image coordinates.
+    """
+    yy, xx = _coordinate_grid(size)
+    cy, cx = center
+    dy, dx = yy - cy, xx - cx
+    dist = np.sqrt(dy ** 2 + dx ** 2)
+
+    if shape == "disk":
+        mask = dist <= radius
+    elif shape == "square":
+        mask = (np.abs(dy) <= radius) & (np.abs(dx) <= radius)
+    elif shape == "diamond":
+        mask = (np.abs(dy) + np.abs(dx)) <= radius * 1.3
+    elif shape == "ring":
+        mask = (dist <= radius) & (dist >= radius * 0.55)
+    elif shape == "triangle":
+        mask = (dy >= -radius) & (np.abs(dx) <= (dy + radius) * 0.6) & (dy <= radius)
+    elif shape == "cross":
+        arm = radius * 0.35
+        mask = (((np.abs(dy) <= arm) & (np.abs(dx) <= radius))
+                | ((np.abs(dx) <= arm) & (np.abs(dy) <= radius)))
+    elif shape == "stripes":
+        inside = (np.abs(dy) <= radius) & (np.abs(dx) <= radius)
+        period = max(radius / 2.0, 2.0 / size)
+        bands = (np.floor((dx + radius) / period) % 2) == 0
+        mask = inside & bands
+    elif shape == "checker":
+        inside = (np.abs(dy) <= radius) & (np.abs(dx) <= radius)
+        period = max(radius / 2.0, 2.0 / size)
+        cells = ((np.floor((dx + radius) / period)
+                  + np.floor((dy + radius) / period)) % 2) == 0
+        mask = inside & cells
+    elif shape == "star":
+        angle = np.arctan2(dy, dx)
+        lobes = 0.65 + 0.35 * np.cos(5.0 * angle)
+        mask = dist <= radius * lobes
+    elif shape == "blob":
+        angle = np.arctan2(dy, dx)
+        phase = rng.uniform(0, 2 * np.pi)
+        wobble = 0.8 + 0.2 * np.sin(3.0 * angle + phase)
+        mask = dist <= radius * wobble
+    else:
+        raise ValueError(f"unknown shape {shape!r}")
+    return mask.astype(np.float64)
+
+
+def render_background(size: int, rng: np.random.Generator,
+                      clutter: float = 0.35) -> np.ndarray:
+    """A low-frequency cluttered background image of shape ``(size, size, 3)``."""
+    base_color = rng.uniform(0.25, 0.55, size=3)
+    image = np.ones((size, size, 3), dtype=np.float64) * base_color
+
+    yy, xx = _coordinate_grid(size)
+    # Low-frequency "lighting" gradients per channel.
+    for channel in range(3):
+        fy, fx = rng.uniform(0.5, 2.0, size=2)
+        phase = rng.uniform(0, 2 * np.pi)
+        image[:, :, channel] += 0.08 * np.sin(
+            2 * np.pi * (fy * yy + fx * xx) + phase)
+
+    # Random clutter blobs.
+    n_blobs = rng.integers(2, 6)
+    for _ in range(n_blobs):
+        center = rng.uniform(0.1, 0.9, size=2)
+        radius = rng.uniform(0.05, 0.15)
+        color = rng.uniform(0.2, 0.7, size=3)
+        mask = shape_mask("disk", size, tuple(center), radius, rng)
+        image += clutter * mask[:, :, None] * (color - image)
+
+    image += rng.normal(0.0, 0.02, size=image.shape)
+    return np.clip(image, 0.0, 1.0)
+
+
+def render_object(image: np.ndarray, category: CategoryDef,
+                  rng: np.random.Generator,
+                  jitter: float = 0.06) -> np.ndarray:
+    """Composite one instance of ``category`` onto ``image`` (in place copy)."""
+    size = image.shape[0]
+    out = image.copy()
+    radius = rng.uniform(*category.size_range)
+    center = tuple(rng.uniform(radius + 0.05, 1.0 - radius - 0.05, size=2))
+    mask = shape_mask(category.shape, size, center, radius, rng)
+
+    yy, xx = _coordinate_grid(size)
+    freq = category.texture_frequency
+    phase = rng.uniform(0, 2 * np.pi)
+    texture = 0.5 + 0.5 * np.sin(2 * np.pi * freq * (xx + yy) + phase)
+
+    color = np.asarray(category.color) + rng.normal(0.0, jitter, size=3)
+    color = np.clip(color, 0.0, 1.0)
+    layer = color[None, None, :] * (0.75 + 0.25 * texture[:, :, None])
+    alpha = mask[:, :, None] * 0.95
+    out = out * (1.0 - alpha) + layer * alpha
+    return np.clip(out, 0.0, 1.0)
+
+
+def render_image(category: CategoryDef, size: int, positive: bool,
+                 rng: np.random.Generator,
+                 distractors: tuple[CategoryDef, ...] = (),
+                 max_distractors: int = 2) -> np.ndarray:
+    """Render one labeled example for a binary predicate.
+
+    Parameters
+    ----------
+    category:
+        The predicate's target category.
+    size:
+        Square image size in pixels.
+    positive:
+        Whether the target object should be present.
+    rng:
+        Random generator controlling all stochastic choices.
+    distractors:
+        Categories from which negative/extra objects may be drawn.
+    max_distractors:
+        Maximum number of distractor objects composited per image.
+    """
+    if size < 8:
+        raise ValueError("size must be at least 8 pixels")
+    image = render_background(size, rng)
+
+    usable = [d for d in distractors if d.name != category.name]
+    n_distractors = int(rng.integers(0, max_distractors + 1)) if usable else 0
+    for _ in range(n_distractors):
+        distractor = usable[rng.integers(0, len(usable))]
+        image = render_object(image, distractor, rng)
+
+    if positive:
+        image = render_object(image, category, rng)
+    return image

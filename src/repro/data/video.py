@@ -1,0 +1,161 @@
+"""Temporally coherent synthetic video streams.
+
+These stand in for NoScope's ``coral`` and ``jackson`` fixed-camera datasets
+in the Figure 8 comparison.  The properties that matter for that experiment —
+and that the generator therefore controls — are:
+
+* a *static background* shared by all frames (so a difference detector can
+  skip redundant frames),
+* objects that *enter and dwell* for geometrically distributed runs of frames
+  (temporal coherence / class skew), and
+* per-frame sensor noise controlling how often the difference detector fires.
+
+``CORAL_PRESET`` models an easy stream (large redundancy, easy classification)
+and ``JACKSON_PRESET`` a hard one (little redundancy, harder classification),
+mirroring the relative difficulty the NoScope authors report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.categories import TABLE2_CATEGORIES, CategoryDef, get_category
+from repro.data.corpus import LabeledDataset
+from repro.data.synthesis import render_background, render_object
+
+__all__ = ["VideoStreamConfig", "VideoStream", "generate_video_stream",
+           "CORAL_PRESET", "JACKSON_PRESET"]
+
+
+@dataclass(frozen=True)
+class VideoStreamConfig:
+    """Parameters of a synthetic fixed-camera video stream.
+
+    Parameters
+    ----------
+    name:
+        Stream name (used in reports).
+    category_name:
+        The target category whose presence defines the positive label.
+    n_frames:
+        Number of frames to generate.
+    frame_size:
+        Square frame size in pixels.
+    positive_rate:
+        Long-run fraction of frames containing the target object.
+    mean_dwell:
+        Mean number of consecutive frames an object stays once it appears
+        (and, symmetrically, the mean length of empty runs is scaled to hit
+        ``positive_rate``).  Larger values mean more temporal redundancy.
+    sensor_noise:
+        Standard deviation of per-frame additive noise; lower values mean a
+        difference detector can reuse more previous results.
+    difficulty:
+        Extra clutter objects per frame; higher is harder to classify.
+    """
+
+    name: str
+    category_name: str
+    n_frames: int = 600
+    frame_size: int = 64
+    positive_rate: float = 0.3
+    mean_dwell: float = 12.0
+    sensor_noise: float = 0.01
+    difficulty: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_frames <= 0:
+            raise ValueError("n_frames must be positive")
+        if not 0.0 < self.positive_rate < 1.0:
+            raise ValueError("positive_rate must be in (0, 1)")
+        if self.mean_dwell < 1.0:
+            raise ValueError("mean_dwell must be at least 1 frame")
+        if self.sensor_noise < 0:
+            raise ValueError("sensor_noise must be non-negative")
+
+
+@dataclass
+class VideoStream:
+    """A generated stream: frames, labels and the generating config."""
+
+    config: VideoStreamConfig
+    frames: np.ndarray
+    labels: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.frames.shape[0])
+
+    def as_dataset(self) -> LabeledDataset:
+        """View the stream as a labeled dataset (for training/evaluation)."""
+        return LabeledDataset(self.frames, self.labels)
+
+    def temporal_redundancy(self) -> float:
+        """Fraction of frames whose label equals the previous frame's label."""
+        if len(self) < 2:
+            return 1.0
+        return float((self.labels[1:] == self.labels[:-1]).mean())
+
+
+def _dwell_labels(config: VideoStreamConfig, rng: np.random.Generator) -> np.ndarray:
+    """Alternating present/absent runs with geometric dwell times."""
+    labels = np.zeros(config.n_frames, dtype=np.int64)
+    # Mean run lengths chosen so the long-run positive fraction matches.
+    mean_present = config.mean_dwell
+    mean_absent = mean_present * (1.0 - config.positive_rate) / config.positive_rate
+    mean_absent = max(mean_absent, 1.0)
+
+    position = 0
+    present = rng.random() < config.positive_rate
+    while position < config.n_frames:
+        mean_run = mean_present if present else mean_absent
+        run = 1 + rng.geometric(1.0 / mean_run)
+        labels[position:position + run] = int(present)
+        position += run
+        present = not present
+    return labels
+
+
+def generate_video_stream(config: VideoStreamConfig,
+                          rng: np.random.Generator | None = None,
+                          category: CategoryDef | None = None) -> VideoStream:
+    """Generate a :class:`VideoStream` according to ``config``."""
+    rng = rng or np.random.default_rng(0)
+    category = category or get_category(config.category_name)
+
+    labels = _dwell_labels(config, rng)
+    background = render_background(config.frame_size, rng)
+    distractors = [c for c in TABLE2_CATEGORIES if c.name != category.name]
+
+    frames = np.zeros((config.n_frames, config.frame_size, config.frame_size, 3),
+                      dtype=np.float64)
+    object_layer: np.ndarray | None = None
+    for index in range(config.n_frames):
+        frame = background.copy()
+        # Occasional passing distractor objects make the stream harder.
+        for _ in range(config.difficulty):
+            if distractors and rng.random() < 0.15:
+                distractor = distractors[rng.integers(0, len(distractors))]
+                frame = render_object(frame, distractor, rng)
+        if labels[index] == 1:
+            # Re-render the object only when it (re)appears so consecutive
+            # positive frames stay nearly identical, as in a real fixed camera.
+            if index == 0 or labels[index - 1] == 0 or object_layer is None:
+                object_layer = render_object(background, category, rng)
+            frame = object_layer.copy()
+        frame += rng.normal(0.0, config.sensor_noise, size=frame.shape)
+        frames[index] = np.clip(frame, 0.0, 1.0)
+
+    return VideoStream(config=config, frames=frames, labels=labels)
+
+
+#: Easy stream: heavy temporal redundancy, low noise (analogue of ``coral``).
+CORAL_PRESET = VideoStreamConfig(
+    name="coral", category_name="coho", n_frames=600, frame_size=64,
+    positive_rate=0.25, mean_dwell=24.0, sensor_noise=0.005, difficulty=0)
+
+#: Hard stream: little redundancy, more noise (analogue of ``jackson``).
+JACKSON_PRESET = VideoStreamConfig(
+    name="jackson", category_name="scorpion", n_frames=600, frame_size=64,
+    positive_rate=0.45, mean_dwell=3.0, sensor_noise=0.06, difficulty=3)

@@ -1,0 +1,49 @@
+"""Plain-text reporting helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_float", "to_csv_lines"]
+
+
+def format_float(value: Any, digits: int = 1) -> str:
+    """Format numbers compactly; pass everything else through ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 digits: int = 1) -> str:
+    """Render an aligned text table (the benchmarks print these)."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    rendered = [[format_float(cell, digits) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def to_csv_lines(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> list[str]:
+    """Simple CSV rendering (no quoting needs arise in our reports)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(str(cell) for cell in row))
+    return lines

@@ -1,0 +1,153 @@
+"""Scenario-awareness experiments: Figure 4, Figure 9 and Table III."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alc import average_throughput
+from repro.core.cascade import Cascade, CascadeLevel
+from repro.core.evaluator import EvaluatedCascadeSet, evaluate_cascade
+from repro.core.selector import UserConstraints, select_cascade
+from repro.experiments.workspace import ExperimentWorkspace, PredicateWorkspace
+
+__all__ = ["FrontierComparison", "frontier_example", "scenario_frontiers",
+           "AwarenessRow", "scenario_awareness_table", "reference_only_evaluation"]
+
+
+@dataclass
+class FrontierComparison:
+    """One predicate's cascade space under a scenario vs. the oblivious choice.
+
+    ``all_points`` are every cascade's (accuracy, throughput) under the target
+    scenario; ``aware_frontier`` is the Pareto frontier computed under that
+    scenario; ``oblivious_frontier`` contains the cascades that are Pareto-
+    optimal under the *oblivious* scenario (INFER ONLY by default), re-priced
+    under the target scenario — the orange points of Figures 4 and 9.
+    """
+
+    category: str
+    scenario_name: str
+    oblivious_scenario_name: str
+    all_points: list[tuple[float, float]]
+    aware_frontier: list[tuple[float, float]]
+    oblivious_frontier: list[tuple[float, float]]
+
+    def awareness_gain(self) -> float:
+        """ALC ratio of the aware frontier over the re-priced oblivious one."""
+        accuracies = [p[0] for p in self.aware_frontier]
+        accuracy_range = (min(accuracies), max(accuracies))
+        aware = average_throughput(self.aware_frontier, accuracy_range)
+        oblivious = average_throughput(self.oblivious_frontier, accuracy_range)
+        if oblivious == 0:
+            return float("inf")
+        return aware / oblivious
+
+
+def frontier_example(workspace: ExperimentWorkspace, category: str,
+                     scenario_name: str = "camera",
+                     oblivious_scenario_name: str = "infer_only"
+                     ) -> FrontierComparison:
+    """Figure 4: one predicate's cascades, aware vs. oblivious frontiers."""
+    predicate = workspace.predicates[category]
+    target_profiler = workspace.profiler(scenario_name)
+    oblivious_profiler = workspace.profiler(oblivious_scenario_name)
+
+    target_eval = predicate.optimizer.evaluate(target_profiler)
+    oblivious_eval = predicate.optimizer.evaluate(oblivious_profiler)
+
+    # Re-price the oblivious frontier's cascades under the target scenario.
+    oblivious_frontier_cascades = [evaluation.cascade
+                                   for evaluation in oblivious_eval.frontier()]
+    repriced = [evaluate_cascade(cascade, predicate.optimizer.cache, target_profiler)
+                for cascade in oblivious_frontier_cascades]
+
+    return FrontierComparison(
+        category=category, scenario_name=scenario_name,
+        oblivious_scenario_name=oblivious_scenario_name,
+        all_points=target_eval.points(),
+        aware_frontier=target_eval.frontier_points(),
+        oblivious_frontier=[evaluation.point() for evaluation in repriced])
+
+
+def scenario_frontiers(workspace: ExperimentWorkspace,
+                       categories: list[str] | None = None,
+                       scenario_name: str = "camera") -> list[FrontierComparison]:
+    """Figure 9: the Figure 4 comparison for several predicates."""
+    categories = categories or workspace.category_names()
+    return [frontier_example(workspace, category, scenario_name)
+            for category in categories]
+
+
+def reference_only_evaluation(predicate: PredicateWorkspace, profiler):
+    """Evaluate the reference classifier alone (the ResNet50 baseline)."""
+    cascade = Cascade((CascadeLevel(predicate.reference_model, None),))
+    return evaluate_cascade(cascade, predicate.optimizer.cache, profiler)
+
+
+@dataclass
+class AwarenessRow:
+    """One row of Table III: a scenario at one permissible accuracy loss."""
+
+    scenario_name: str
+    accuracy_loss: float
+    oblivious_fps: float
+    aware_fps: float
+
+    @property
+    def gain_percent(self) -> float:
+        if self.oblivious_fps == 0:
+            return float("inf")
+        return 100.0 * (self.aware_fps / self.oblivious_fps - 1.0)
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+def scenario_awareness_table(workspace: ExperimentWorkspace,
+                             loss_levels: tuple[float, ...] = (0.0, 0.02, 0.05, 0.10),
+                             scenario_names: tuple[str, ...] = ("archive", "camera",
+                                                                "ongoing"),
+                             oblivious_scenario_name: str = "infer_only"
+                             ) -> list[AwarenessRow]:
+    """Table III: throughput when cascades are chosen obliviously vs. aware.
+
+    For every scenario and accuracy-loss budget, the *aware* choice selects
+    the cascade from the scenario's own frontier, while the *oblivious* choice
+    selects from the INFER ONLY frontier and is then re-priced under the
+    scenario's true costs.  Throughputs are averaged over all predicates.
+    """
+    rows = []
+    oblivious_profiler = workspace.profiler(oblivious_scenario_name)
+
+    # Cache per-predicate evaluations so each (predicate, scenario) pair is
+    # evaluated once across all loss levels.
+    oblivious_evals: dict[str, EvaluatedCascadeSet] = {}
+    scenario_evals: dict[tuple[str, str], EvaluatedCascadeSet] = {}
+    for name, predicate in workspace.predicates.items():
+        oblivious_evals[name] = predicate.optimizer.evaluate(oblivious_profiler)
+        for scenario_name in scenario_names:
+            scenario_evals[(name, scenario_name)] = predicate.optimizer.evaluate(
+                workspace.profiler(scenario_name))
+
+    for scenario_name in scenario_names:
+        target_profiler = workspace.profiler(scenario_name)
+        for loss in loss_levels:
+            constraints = UserConstraints(max_accuracy_loss=loss if loss > 0 else None)
+            oblivious_fps, aware_fps = [], []
+            for name, predicate in workspace.predicates.items():
+                aware_choice = select_cascade(
+                    scenario_evals[(name, scenario_name)].frontier(), constraints)
+                aware_fps.append(aware_choice.throughput)
+
+                oblivious_choice = select_cascade(
+                    oblivious_evals[name].frontier(), constraints)
+                repriced = evaluate_cascade(oblivious_choice.cascade,
+                                            predicate.optimizer.cache,
+                                            target_profiler)
+                oblivious_fps.append(repriced.throughput)
+            rows.append(AwarenessRow(scenario_name=scenario_name,
+                                     accuracy_loss=loss,
+                                     oblivious_fps=_mean(oblivious_fps),
+                                     aware_fps=_mean(aware_fps)))
+    return rows

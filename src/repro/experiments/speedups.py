@@ -1,0 +1,164 @@
+"""Speedup experiments: Figure 5, Figure 6 and Figure 7."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.baseline_cascades import build_baseline_cascades
+from repro.core.alc import average_throughput, shared_accuracy_range, speedup
+from repro.core.evaluator import EvaluatedCascadeSet, evaluate_cascades
+from repro.core.selector import select_fastest, select_matching_accuracy
+from repro.experiments.scenarios import reference_only_evaluation
+from repro.experiments.workspace import ExperimentWorkspace, PredicateWorkspace
+
+__all__ = ["DesignSpaceComparison", "design_space_comparison", "SpeedupRow",
+           "average_speedups", "FastestRow", "fastest_throughput",
+           "baseline_evaluation"]
+
+
+def baseline_evaluation(predicate: PredicateWorkspace, profiler,
+                        source_resolution: int) -> EvaluatedCascadeSet:
+    """Evaluate the paper's Baseline cascade set for one predicate."""
+    cascades = build_baseline_cascades(
+        predicate.optimizer.models, predicate.optimizer.thresholds,
+        predicate.reference_model, source_resolution)
+    return evaluate_cascades(cascades, predicate.optimizer.cache, profiler)
+
+
+@dataclass
+class DesignSpaceComparison:
+    """Figure 5: TAHOMA's cascade space vs. the Baseline cascade space."""
+
+    category: str
+    scenario_name: str
+    tahoma_points: list[tuple[float, float]]
+    tahoma_frontier: list[tuple[float, float]]
+    baseline_points: list[tuple[float, float]]
+    baseline_frontier: list[tuple[float, float]]
+
+    def tahoma_speedup(self) -> float:
+        """ALC speedup of TAHOMA's frontier over the Baseline frontier."""
+        accuracy_range = shared_accuracy_range(self.tahoma_frontier,
+                                               self.baseline_frontier)
+        return speedup(self.tahoma_frontier, self.baseline_frontier, accuracy_range)
+
+
+def design_space_comparison(workspace: ExperimentWorkspace, category: str,
+                            scenario_name: str = "camera") -> DesignSpaceComparison:
+    """Figure 5 for one predicate under one scenario."""
+    predicate = workspace.predicates[category]
+    profiler = workspace.profiler(scenario_name)
+    tahoma_eval = predicate.optimizer.evaluate(profiler)
+    baseline_eval = baseline_evaluation(predicate, profiler,
+                                        workspace.scale.image_size)
+    return DesignSpaceComparison(
+        category=category, scenario_name=scenario_name,
+        tahoma_points=tahoma_eval.points(),
+        tahoma_frontier=tahoma_eval.frontier_points(),
+        baseline_points=baseline_eval.points(),
+        baseline_frontier=baseline_eval.frontier_points())
+
+
+@dataclass
+class SpeedupRow:
+    """Figure 6: TAHOMA's average speedups under one deployment scenario."""
+
+    scenario_name: str
+    vs_reference: float
+    vs_baseline_fastest: float
+    vs_baseline_average: float
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+def average_speedups(workspace: ExperimentWorkspace,
+                     scenario_names: tuple[str, ...] = ("infer_only", "ongoing",
+                                                        "camera", "archive")
+                     ) -> list[SpeedupRow]:
+    """Figure 6: average speedup of TAHOMA over the baselines, per scenario.
+
+    * ``vs_reference`` — at the accuracy of the reference classifier, the
+      speedup of the Pareto cascade with the nearest higher accuracy.
+    * ``vs_baseline_fastest`` — at the accuracy of the fastest Baseline
+      cascade, the speedup of TAHOMA's nearest-higher-accuracy cascade.
+    * ``vs_baseline_average`` — the ALC speedup over the Baseline cascade
+      set's accuracy range.
+    """
+    rows = []
+    for scenario_name in scenario_names:
+        profiler = workspace.profiler(scenario_name)
+        vs_reference, vs_fastest, vs_average = [], [], []
+        for predicate in workspace.predicates.values():
+            tahoma_eval = predicate.optimizer.evaluate(profiler)
+            frontier = tahoma_eval.frontier()
+            baseline_eval = baseline_evaluation(predicate, profiler,
+                                                workspace.scale.image_size)
+
+            reference_eval = reference_only_evaluation(predicate, profiler)
+            match = select_matching_accuracy(frontier, reference_eval.accuracy)
+            vs_reference.append(match.throughput / reference_eval.throughput)
+
+            baseline_fastest = select_fastest(baseline_eval.evaluations)
+            match = select_matching_accuracy(frontier, baseline_fastest.accuracy)
+            vs_fastest.append(match.throughput / baseline_fastest.throughput)
+
+            accuracy_range = shared_accuracy_range(baseline_eval.points(),
+                                                   tahoma_eval.points())
+            vs_average.append(speedup(tahoma_eval.frontier_points(),
+                                      baseline_eval.frontier_points(),
+                                      accuracy_range))
+        rows.append(SpeedupRow(scenario_name=scenario_name,
+                               vs_reference=_mean(vs_reference),
+                               vs_baseline_fastest=_mean(vs_fastest),
+                               vs_baseline_average=_mean(vs_average)))
+    return rows
+
+
+@dataclass
+class FastestRow:
+    """Figure 7: throughput of the fastest optimal cascade vs. the reference."""
+
+    scenario_name: str
+    reference_fps: float
+    tahoma_fastest_fps: float
+    tahoma_fastest_accuracy: float
+    reference_accuracy: float
+
+    @property
+    def speedup(self) -> float:
+        if self.reference_fps == 0:
+            return float("inf")
+        return self.tahoma_fastest_fps / self.reference_fps
+
+    @property
+    def accuracy_drop(self) -> float:
+        """Accuracy given up by taking the fastest cascade (paper: ~12%)."""
+        return self.reference_accuracy - self.tahoma_fastest_accuracy
+
+
+def fastest_throughput(workspace: ExperimentWorkspace,
+                       scenario_names: tuple[str, ...] = ("infer_only", "ongoing",
+                                                          "camera", "archive")
+                       ) -> list[FastestRow]:
+    """Figure 7: the fastest Pareto-optimal cascade per scenario, averaged."""
+    rows = []
+    for scenario_name in scenario_names:
+        profiler = workspace.profiler(scenario_name)
+        reference_fps, fastest_fps = [], []
+        fastest_accuracy, reference_accuracy = [], []
+        for predicate in workspace.predicates.values():
+            frontier = predicate.optimizer.frontier(profiler)
+            fastest = select_fastest(frontier)
+            reference_eval = reference_only_evaluation(predicate, profiler)
+            fastest_fps.append(fastest.throughput)
+            fastest_accuracy.append(fastest.accuracy)
+            reference_fps.append(reference_eval.throughput)
+            reference_accuracy.append(reference_eval.accuracy)
+        rows.append(FastestRow(scenario_name=scenario_name,
+                               reference_fps=_mean(reference_fps),
+                               tahoma_fastest_fps=_mean(fastest_fps),
+                               tahoma_fastest_accuracy=_mean(fastest_accuracy),
+                               reference_accuracy=_mean(reference_accuracy)))
+    return rows

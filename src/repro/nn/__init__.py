@@ -1,0 +1,67 @@
+"""A small, self-contained NumPy deep-learning substrate.
+
+This package stands in for the Keras/TensorFlow stack the TAHOMA paper used
+to train and execute its convolutional classifiers.  It provides:
+
+* layers (:mod:`repro.nn.layers`): convolution, pooling, dense, activations,
+  dropout and a light batch-normalization layer,
+* losses (:mod:`repro.nn.losses`) and optimizers (:mod:`repro.nn.optimizers`),
+* a :class:`~repro.nn.network.Sequential` container with forward/backward
+  passes and parameter management,
+* a training loop (:mod:`repro.nn.train`) with mini-batching, shuffling and
+  early stopping,
+* per-layer FLOP accounting (:mod:`repro.nn.flops`) used by the analytic cost
+  model, and
+* weight (de)serialization (:mod:`repro.nn.serialize`).
+
+The layer API is intentionally tiny: every layer implements ``forward``,
+``backward`` and exposes ``params`` / ``grads`` dictionaries.  Input tensors
+use the NHWC layout (batch, height, width, channels).
+"""
+
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAveragePool,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+)
+from repro.nn.losses import BinaryCrossEntropy, Loss, MeanSquaredError
+from repro.nn.network import Sequential
+from repro.nn.optimizers import SGD, Adam, Momentum, Optimizer
+from repro.nn.train import EarlyStopping, TrainingHistory, evaluate_accuracy, fit
+from repro.nn.flops import count_network_flops, count_layer_flops
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "MaxPool2D",
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Softmax",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "GlobalAveragePool",
+    "Loss",
+    "BinaryCrossEntropy",
+    "MeanSquaredError",
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Adam",
+    "Sequential",
+    "fit",
+    "evaluate_accuracy",
+    "EarlyStopping",
+    "TrainingHistory",
+    "count_network_flops",
+    "count_layer_flops",
+]

@@ -1,0 +1,32 @@
+"""Per-layer and per-network FLOP accounting.
+
+The analytic cost model in :mod:`repro.costs` estimates inference time as
+``flops / device_flops_per_second``.  The counts here are multiply-accumulate
+based and deliberately simple — the optimizer only needs costs that scale
+correctly with input resolution, channel count and architecture size, which
+these do.
+"""
+
+from __future__ import annotations
+
+from repro.nn.network import Sequential
+
+__all__ = ["count_layer_flops", "count_network_flops"]
+
+
+def count_layer_flops(layer, input_shape: tuple[int, ...]) -> int:
+    """FLOPs for one forward pass of ``layer`` on a single example."""
+    return int(layer.flops(input_shape))
+
+
+def count_network_flops(network: Sequential,
+                        input_shape: tuple[int, ...] | None = None) -> int:
+    """Total FLOPs for one forward pass of ``network`` on a single example."""
+    shape = input_shape if input_shape is not None else network.input_shape
+    if shape is None:
+        raise ValueError("input_shape must be provided")
+    total = 0
+    for layer in network.layers:
+        total += count_layer_flops(layer, shape)
+        shape = layer.output_shape(shape)
+    return int(total)

@@ -1,0 +1,465 @@
+"""Neural-network layers for the NumPy substrate.
+
+Every layer implements:
+
+* ``forward(x, training=False)`` returning the layer output,
+* ``backward(grad_output)`` returning the gradient with respect to the input
+  and populating ``self.grads`` for parameters,
+* ``params`` / ``grads`` dictionaries keyed by parameter name,
+* ``output_shape(input_shape)`` for static shape inference (batch dim omitted),
+* ``flops(input_shape)`` giving the multiply-accumulate count of one forward
+  pass on a single example, used by the analytic cost model.
+
+Image tensors use the NHWC layout (batch, height, width, channels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.im2col import col2im, conv_output_size, im2col
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "MaxPool2D",
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Softmax",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "GlobalAveragePool",
+]
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    # -- interface -------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape of a single example's output given a single example's input."""
+        return input_shape
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        """Approximate multiply-accumulate count for one example."""
+        return 0
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Conv2D(Layer):
+    """2-D convolution over NHWC inputs, implemented with im2col.
+
+    Parameters
+    ----------
+    in_channels:
+        Number of input channels.
+    out_channels:
+        Number of filters.
+    kernel_size:
+        Square receptive-field size.
+    stride:
+        Spatial stride.
+    padding:
+        Either ``"same"`` (zero-pad to preserve spatial size for stride 1) or
+        ``"valid"`` (no padding), or an explicit integer.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 stride: int = 1, padding: str | int = "same",
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ValueError("Conv2D dimensions must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        if padding == "same":
+            self.pad = (kernel_size - 1) // 2
+        elif padding == "valid":
+            self.pad = 0
+        elif isinstance(padding, int):
+            self.pad = padding
+        else:
+            raise ValueError(f"unknown padding {padding!r}")
+
+        rng = rng or np.random.default_rng(0)
+        fan_in = kernel_size * kernel_size * in_channels
+        weight = initializers.he_normal(
+            (fan_in, out_channels), fan_in=fan_in, rng=rng)
+        self.params = {"weight": weight,
+                       "bias": initializers.zeros((out_channels,))}
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"Conv2D expects NHWC input, got shape {x.shape}")
+        if x.shape[3] != self.in_channels:
+            raise ValueError(
+                f"Conv2D configured for {self.in_channels} channels, "
+                f"got input with {x.shape[3]}")
+        batch, height, width, _ = x.shape
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.pad)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.pad)
+        cols = im2col(x, self.kernel_size, self.kernel_size, self.stride, self.pad)
+        out = cols @ self.params["weight"] + self.params["bias"]
+        out = out.reshape(batch, out_h, out_w, self.out_channels)
+        self._cache = (x.shape, cols)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, cols = self._cache
+        batch = x_shape[0]
+        grad_flat = grad_output.reshape(-1, self.out_channels)
+        self.grads["weight"] = cols.T @ grad_flat
+        self.grads["bias"] = grad_flat.sum(axis=0)
+        grad_cols = grad_flat @ self.params["weight"].T
+        grad_input = col2im(grad_cols, x_shape, self.kernel_size,
+                            self.kernel_size, self.stride, self.pad)
+        return grad_input
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        height, width, _ = input_shape
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.pad)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.pad)
+        return (out_h, out_w, self.out_channels)
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        out_h, out_w, out_c = self.output_shape(input_shape)
+        macs_per_output = self.kernel_size * self.kernel_size * self.in_channels
+        return int(out_h * out_w * out_c * macs_per_output)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Conv2D({self.in_channels}->{self.out_channels}, "
+                f"k={self.kernel_size}, s={self.stride}, p={self.pad})")
+
+
+class MaxPool2D(Layer):
+    """Max pooling over NHWC inputs."""
+
+    def __init__(self, pool_size: int = 2, stride: int | None = None) -> None:
+        super().__init__()
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self.stride = stride if stride is not None else pool_size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        batch, height, width, channels = x.shape
+        pool, stride = self.pool_size, self.stride
+        out_h = conv_output_size(height, pool, stride, 0)
+        out_w = conv_output_size(width, pool, stride, 0)
+        if out_h == 0 or out_w == 0:
+            raise ValueError(
+                f"input spatial size {(height, width)} too small for pool "
+                f"size {pool}")
+
+        s0, s1, s2, s3 = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(batch, out_h, out_w, pool, pool, channels),
+            strides=(s0, s1 * stride, s2 * stride, s1, s2, s3),
+            writeable=False,
+        )
+        flat = windows.reshape(batch, out_h, out_w, pool * pool, channels)
+        argmax = flat.argmax(axis=3)
+        out = np.take_along_axis(flat, argmax[:, :, :, None, :], axis=3)[:, :, :, 0, :]
+        self._cache = (x.shape, argmax, out_h, out_w)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, argmax, out_h, out_w = self._cache
+        batch, height, width, channels = x_shape
+        pool, stride = self.pool_size, self.stride
+        grad_input = np.zeros(x_shape, dtype=grad_output.dtype)
+
+        # Scatter each output gradient back to the argmax location.
+        rows = argmax // pool
+        cols = argmax % pool
+        b_idx, i_idx, j_idx, c_idx = np.meshgrid(
+            np.arange(batch), np.arange(out_h), np.arange(out_w),
+            np.arange(channels), indexing="ij")
+        h_idx = i_idx * stride + rows
+        w_idx = j_idx * stride + cols
+        np.add.at(grad_input, (b_idx, h_idx, w_idx, c_idx), grad_output)
+        return grad_input
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        height, width, channels = input_shape
+        out_h = conv_output_size(height, self.pool_size, self.stride, 0)
+        out_w = conv_output_size(width, self.pool_size, self.stride, 0)
+        return (out_h, out_w, channels)
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        out_h, out_w, channels = self.output_shape(input_shape)
+        return int(out_h * out_w * channels * self.pool_size * self.pool_size)
+
+
+class GlobalAveragePool(Layer):
+    """Average the spatial dimensions of an NHWC tensor, yielding (batch, C)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._cache = x.shape
+        return x.mean(axis=(1, 2))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        batch, height, width, channels = self._cache
+        scale = 1.0 / (height * width)
+        grad = np.broadcast_to(
+            grad_output[:, None, None, :] * scale,
+            (batch, height, width, channels))
+        return np.array(grad)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        _, _, channels = input_shape
+        return (channels,)
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        height, width, channels = input_shape
+        return int(height * width * channels)
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._cache = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._cache)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Dense dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng(0)
+        weight = initializers.glorot_uniform(
+            (in_features, out_features), in_features, out_features, rng)
+        self.params = {"weight": weight,
+                       "bias": initializers.zeros((out_features,))}
+        self._cache: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"Dense expects 2-D input, got shape {x.shape}")
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense configured for {self.in_features} features, got "
+                f"{x.shape[1]}")
+        self._cache = x
+        return x @ self.params["weight"] + self.params["bias"]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache
+        self.grads["weight"] = x.T @ grad_output
+        self.grads["bias"] = grad_output.sum(axis=0)
+        return grad_output @ self.params["weight"].T
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (self.out_features,)
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        return int(self.in_features * self.out_features)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dense({self.in_features}->{self.out_features})"
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        return int(np.prod(input_shape))
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        exp_x = np.exp(x[~pos])
+        out[~pos] = exp_x / (1.0 + exp_x)
+        self._out = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._out * (1.0 - self._out)
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        return int(np.prod(input_shape)) * 4
+
+
+class Softmax(Layer):
+    """Softmax over the last dimension (used by multi-class heads)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        shifted = x - x.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        out = exp / exp.sum(axis=-1, keepdims=True)
+        self._out = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        out = self._out
+        dot = (grad_output * out).sum(axis=-1, keepdims=True)
+        return out * (grad_output - dot)
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        return int(np.prod(input_shape)) * 5
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity when not training."""
+
+    def __init__(self, rate: float = 0.5,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the last (channel/feature) dimension."""
+
+    def __init__(self, num_features: int, momentum: float = 0.9,
+                 epsilon: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.epsilon = epsilon
+        self.params = {
+            "gamma": initializers.constant((num_features,), 1.0),
+            "beta": initializers.zeros((num_features,)),
+        }
+        self.running_mean = np.zeros(num_features, dtype=np.float64)
+        self.running_var = np.ones(num_features, dtype=np.float64)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        axes = tuple(range(x.ndim - 1))
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (self.momentum * self.running_mean
+                                 + (1 - self.momentum) * mean)
+            self.running_var = (self.momentum * self.running_var
+                                + (1 - self.momentum) * var)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        x_hat = (x - mean) / np.sqrt(var + self.epsilon)
+        self._cache = (x_hat, var, axes)
+        return self.params["gamma"] * x_hat + self.params["beta"]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, var, axes = self._cache
+        count = int(np.prod([grad_output.shape[a] for a in axes]))
+        gamma = self.params["gamma"]
+        self.grads["gamma"] = (grad_output * x_hat).sum(axis=axes)
+        self.grads["beta"] = grad_output.sum(axis=axes)
+        std_inv = 1.0 / np.sqrt(var + self.epsilon)
+        dx_hat = grad_output * gamma
+        grad_input = (std_inv / count) * (
+            count * dx_hat
+            - dx_hat.sum(axis=axes)
+            - x_hat * (dx_hat * x_hat).sum(axis=axes))
+        return grad_input
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        return int(np.prod(input_shape)) * 4

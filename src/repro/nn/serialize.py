@@ -1,0 +1,37 @@
+"""Weight (de)serialization for Sequential networks.
+
+Weights are stored as ``.npz`` archives keyed by the same flat names produced
+by :meth:`repro.nn.network.Sequential.parameters`, so a network built from the
+same architecture specification can be re-hydrated exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.network import Sequential
+
+__all__ = ["save_weights", "load_weights"]
+
+
+def save_weights(network: Sequential, path: str | Path) -> Path:
+    """Save the network's parameters to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **network.parameters())
+    return path
+
+
+def load_weights(network: Sequential, path: str | Path) -> Sequential:
+    """Load parameters saved by :func:`save_weights` into ``network`` in place."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        params = {key: archive[key] for key in archive.files}
+    network.set_parameters(params)
+    return network

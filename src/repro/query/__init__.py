@@ -1,0 +1,30 @@
+"""A small relational query layer over an image corpus.
+
+The paper frames TAHOMA's output as a *virtual column* in a relation over the
+corpus and envisions the `contains_object` operator wrapped as an RDBMS UDF.
+This package provides that surface:
+
+* :mod:`repro.query.relation` — an in-memory columnar relation,
+* :mod:`repro.query.predicates` — metadata predicates and the
+  ``contains_object`` binary predicate, and
+* :mod:`repro.query.processor` — a SELECT/WHERE processor that evaluates
+  metadata predicates first, runs the selected cascade only over the
+  surviving rows, and materializes the resulting binary predicate column for
+  reuse by later queries.
+"""
+
+from repro.query.predicates import ContainsObject, MetadataPredicate
+from repro.query.processor import Query, QueryProcessor, QueryResult
+from repro.query.relation import Relation
+from repro.query.sql import SqlParseError, parse_query
+
+__all__ = [
+    "Relation",
+    "MetadataPredicate",
+    "ContainsObject",
+    "Query",
+    "QueryResult",
+    "QueryProcessor",
+    "parse_query",
+    "SqlParseError",
+]

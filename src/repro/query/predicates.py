@@ -1,0 +1,73 @@
+"""Query predicates: cheap metadata predicates and the contains_object predicate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.query.relation import Relation
+
+__all__ = ["MetadataPredicate", "ContainsObject"]
+
+_OPERATORS = {
+    "==": lambda col, value: col == value,
+    "!=": lambda col, value: col != value,
+    "<": lambda col, value: col < value,
+    "<=": lambda col, value: col <= value,
+    ">": lambda col, value: col > value,
+    ">=": lambda col, value: col >= value,
+    "in": lambda col, value: np.isin(col, list(value)),
+}
+
+
+@dataclass(frozen=True)
+class MetadataPredicate:
+    """A predicate over a metadata column, e.g. ``location == 'detroit'``.
+
+    Metadata predicates are cheap and are evaluated before any classifier
+    runs, shrinking the set of images the expensive ``contains_object``
+    operator must touch.
+    """
+
+    column: str
+    operator: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise ValueError(f"unknown operator {self.operator!r}; "
+                             f"available: {sorted(_OPERATORS)}")
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        """Boolean mask of rows satisfying the predicate."""
+        column = relation.column(self.column)
+        return np.asarray(_OPERATORS[self.operator](column, self.value), dtype=bool)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.column} {self.operator} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class ContainsObject:
+    """The binary content predicate ``contains_object(category)``.
+
+    Evaluating it requires running a classifier (cascade) over image pixels;
+    the query processor decides which cascade, under which deployment
+    scenario and user constraints.
+    """
+
+    category: str
+
+    def __post_init__(self) -> None:
+        if not self.category:
+            raise ValueError("category must be non-empty")
+
+    @property
+    def column_name(self) -> str:
+        """Name of the virtual column this predicate materializes."""
+        return f"contains_{self.category}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"contains_object({self.category})"

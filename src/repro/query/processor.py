@@ -1,0 +1,145 @@
+"""The query processor: SELECT ... FROM images WHERE <predicates>."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.evaluator import CascadeEvaluation
+from repro.core.optimizer import TahomaOptimizer
+from repro.core.selector import UserConstraints
+from repro.costs.profiler import CostProfiler
+from repro.data.corpus import ImageCorpus
+from repro.query.predicates import ContainsObject, MetadataPredicate
+from repro.query.relation import Relation
+from repro.storage.store import RepresentationStore
+
+__all__ = ["Query", "QueryResult", "QueryProcessor"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A conjunctive SELECT query over the corpus.
+
+    All predicates are ANDed, mirroring the paper's decomposition of queries
+    into metadata predicates plus binary ``contains_object`` predicates.
+    """
+
+    metadata_predicates: tuple[MetadataPredicate, ...] = ()
+    content_predicates: tuple[ContainsObject, ...] = ()
+    constraints: UserConstraints = field(default_factory=UserConstraints)
+
+    def __post_init__(self) -> None:
+        if not self.metadata_predicates and not self.content_predicates:
+            raise ValueError("a query needs at least one predicate")
+
+
+@dataclass
+class QueryResult:
+    """Rows selected by a query plus bookkeeping about how they were produced."""
+
+    relation: Relation
+    selected_indices: np.ndarray
+    cascades_used: dict[str, CascadeEvaluation]
+    images_classified: dict[str, int]
+
+    def __len__(self) -> int:
+        return int(self.selected_indices.size)
+
+
+class QueryProcessor:
+    """Answers queries over an :class:`~repro.data.corpus.ImageCorpus`.
+
+    Parameters
+    ----------
+    corpus:
+        The image corpus with metadata columns.
+    optimizers:
+        Mapping from category name to an *initialized*
+        :class:`~repro.core.optimizer.TahomaOptimizer` for that predicate.
+    profiler:
+        Cost profiler describing the current deployment scenario, used to
+        select the cascade for each content predicate at query time.
+    """
+
+    def __init__(self, corpus: ImageCorpus,
+                 optimizers: dict[str, TahomaOptimizer],
+                 profiler: CostProfiler) -> None:
+        if len(corpus) == 0:
+            raise ValueError("corpus is empty")
+        self.corpus = corpus
+        self.optimizers = dict(optimizers)
+        self.profiler = profiler
+        self._base_relation = Relation(
+            {**corpus.metadata, "image_id": np.arange(len(corpus))})
+        # Materialized virtual columns: category -> (mask of rows evaluated,
+        # labels for evaluated rows).  Later queries reuse these.
+        self._materialized: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    # -- public API ----------------------------------------------------------
+    @property
+    def relation(self) -> Relation:
+        """The metadata relation (without content columns)."""
+        return self._base_relation
+
+    def execute(self, query: Query) -> QueryResult:
+        """Evaluate a query: metadata predicates first, then content predicates."""
+        mask = np.ones(len(self.corpus), dtype=bool)
+        for predicate in query.metadata_predicates:
+            mask &= predicate.evaluate(self._base_relation)
+
+        cascades_used: dict[str, CascadeEvaluation] = {}
+        images_classified: dict[str, int] = {}
+        relation = self._base_relation
+
+        for predicate in query.content_predicates:
+            labels, evaluation, n_classified = self._evaluate_content(
+                predicate, mask, query.constraints)
+            cascades_used[predicate.category] = evaluation
+            images_classified[predicate.category] = n_classified
+            relation = relation.with_column(predicate.column_name, labels)
+            mask &= labels.astype(bool)
+
+        selected = np.where(mask)[0]
+        return QueryResult(relation=relation.filter(mask),
+                           selected_indices=selected,
+                           cascades_used=cascades_used,
+                           images_classified=images_classified)
+
+    # -- internals ---------------------------------------------------------------
+    def _optimizer_for(self, category: str) -> TahomaOptimizer:
+        try:
+            return self.optimizers[category]
+        except KeyError:
+            raise KeyError(f"no optimizer installed for category {category!r}; "
+                           f"available: {sorted(self.optimizers)}") from None
+
+    def _evaluate_content(self, predicate: ContainsObject,
+                          candidate_mask: np.ndarray,
+                          constraints: UserConstraints
+                          ) -> tuple[np.ndarray, CascadeEvaluation, int]:
+        """Populate the virtual column for one contains_object predicate.
+
+        Only rows surviving the metadata predicates (and not already
+        materialized by an earlier query) are classified.
+        """
+        optimizer = self._optimizer_for(predicate.category)
+        evaluation = optimizer.select(self.profiler, constraints)
+
+        n = len(self.corpus)
+        evaluated_mask, labels = self._materialized.get(
+            predicate.category, (np.zeros(n, dtype=bool), np.zeros(n, dtype=np.int64)))
+
+        to_classify = candidate_mask & ~evaluated_mask
+        n_classified = int(to_classify.sum())
+        if n_classified > 0:
+            store = RepresentationStore()
+            new_labels = optimizer.query(self.corpus.images[to_classify],
+                                         evaluation, store=store)
+            labels = labels.copy()
+            labels[to_classify] = new_labels
+            evaluated_mask = evaluated_mask | to_classify
+            self._materialized[predicate.category] = (evaluated_mask, labels)
+
+        return labels, evaluation, n_classified

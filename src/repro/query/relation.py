@@ -1,0 +1,77 @@
+"""An in-memory columnar relation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A named collection of equal-length columns (NumPy arrays).
+
+    This is the minimal relational substrate the query processor needs:
+    column access, row filtering by boolean mask, projection and appending
+    derived (virtual) columns.
+    """
+
+    def __init__(self, columns: dict[str, np.ndarray]) -> None:
+        if not columns:
+            raise ValueError("a relation needs at least one column")
+        lengths = {name: np.asarray(values).shape[0]
+                   for name, values in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise ValueError(f"columns have mismatched lengths: {lengths}")
+        self._columns = {name: np.asarray(values) for name, values in columns.items()}
+
+    # -- basic accessors ---------------------------------------------------
+    def __len__(self) -> int:
+        return int(next(iter(self._columns.values())).shape[0])
+
+    def column_names(self) -> list[str]:
+        return sorted(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(f"unknown column {name!r}; "
+                           f"available: {self.column_names()}") from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    # -- relational operations -------------------------------------------------
+    def with_column(self, name: str, values: np.ndarray) -> "Relation":
+        """A new relation with an added (or replaced) column."""
+        values = np.asarray(values)
+        if values.shape[0] != len(self):
+            raise ValueError(f"column {name!r} has length {values.shape[0]}, "
+                             f"expected {len(self)}")
+        columns = dict(self._columns)
+        columns[name] = values
+        return Relation(columns)
+
+    def filter(self, mask: np.ndarray) -> "Relation":
+        """A new relation keeping only rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != len(self):
+            raise ValueError("mask length does not match relation length")
+        return Relation({name: values[mask]
+                         for name, values in self._columns.items()})
+
+    def project(self, names: list[str]) -> "Relation":
+        """A new relation with only the named columns."""
+        if not names:
+            raise ValueError("projection needs at least one column")
+        return Relation({name: self.column(name) for name in names})
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        """A shallow copy of the column mapping."""
+        return dict(self._columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation(rows={len(self)}, columns={self.column_names()})"

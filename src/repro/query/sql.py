@@ -1,0 +1,126 @@
+"""A tiny SQL-ish front end for the query processor.
+
+The paper frames TAHOMA's workload as queries of the form::
+
+    SELECT * FROM images WHERE location = 'detroit' AND contains_object(bicycle)
+
+This module parses that restricted dialect into a
+:class:`~repro.query.processor.Query`.  Supported grammar (case-insensitive
+keywords)::
+
+    SELECT * FROM <table>
+    [WHERE <predicate> [AND <predicate>]*]
+
+where a predicate is either
+
+* ``contains_object(<category>)`` — a binary content predicate, or
+* ``<column> <op> <literal>`` with ``op`` one of ``=``, ``!=``, ``<``, ``<=``,
+  ``>``, ``>=`` and a literal that is a quoted string or a number.
+
+Only conjunctions are supported, mirroring the paper's decomposition of
+queries into metadata predicates plus binary content predicates.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.selector import UserConstraints
+from repro.query.predicates import ContainsObject, MetadataPredicate
+from repro.query.processor import Query
+
+__all__ = ["parse_query", "SqlParseError"]
+
+
+class SqlParseError(ValueError):
+    """Raised when a query string does not match the supported dialect."""
+
+
+_SELECT_RE = re.compile(
+    r"^\s*select\s+\*\s+from\s+(?P<table>[a-zA-Z_][\w]*)"
+    r"(?:\s+where\s+(?P<where>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL)
+
+_CONTAINS_RE = re.compile(
+    r"^contains_object\(\s*'?(?P<category>[\w-]+)'?\s*\)$", re.IGNORECASE)
+
+_COMPARISON_RE = re.compile(
+    r"^(?P<column>[a-zA-Z_][\w]*)\s*(?P<op>=|!=|<=|>=|<|>)\s*(?P<value>.+)$")
+
+#: SQL comparison spellings mapped to MetadataPredicate operators.
+_OP_MAP = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def _split_conjuncts(where: str) -> list[str]:
+    """Split a WHERE clause on top-level ANDs (no parentheses supported)."""
+    parts = re.split(r"\s+and\s+", where, flags=re.IGNORECASE)
+    conjuncts = [part.strip() for part in parts if part.strip()]
+    if not conjuncts:
+        raise SqlParseError("empty WHERE clause")
+    return conjuncts
+
+
+def _parse_literal(text: str):
+    text = text.strip()
+    if (text.startswith("'") and text.endswith("'")) or \
+            (text.startswith('"') and text.endswith('"')):
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise SqlParseError(f"cannot parse literal {text!r}; "
+                            "use quotes for strings") from None
+
+
+def _parse_predicate(text: str) -> MetadataPredicate | ContainsObject:
+    contains = _CONTAINS_RE.match(text)
+    if contains:
+        return ContainsObject(contains.group("category"))
+    comparison = _COMPARISON_RE.match(text)
+    if comparison:
+        operator = _OP_MAP[comparison.group("op")]
+        value = _parse_literal(comparison.group("value"))
+        return MetadataPredicate(comparison.group("column"), operator, value)
+    raise SqlParseError(f"unsupported predicate: {text!r}")
+
+
+def parse_query(sql: str,
+                constraints: UserConstraints | None = None) -> Query:
+    """Parse a ``SELECT * FROM images WHERE ...`` string into a :class:`Query`.
+
+    Parameters
+    ----------
+    sql:
+        The query text.
+    constraints:
+        Optional accuracy/throughput constraints attached to the query (the
+        paper has users supply these alongside the query, in the spirit of
+        BlinkDB-style approximation contracts).
+    """
+    if not sql or not sql.strip():
+        raise SqlParseError("empty query")
+    match = _SELECT_RE.match(sql)
+    if not match:
+        raise SqlParseError(
+            "only 'SELECT * FROM <table> [WHERE ...]' queries are supported")
+
+    where = match.group("where")
+    metadata: list[MetadataPredicate] = []
+    content: list[ContainsObject] = []
+    if where:
+        for conjunct in _split_conjuncts(where):
+            predicate = _parse_predicate(conjunct)
+            if isinstance(predicate, ContainsObject):
+                content.append(predicate)
+            else:
+                metadata.append(predicate)
+    if not metadata and not content:
+        raise SqlParseError("a query needs at least one predicate")
+
+    return Query(metadata_predicates=tuple(metadata),
+                 content_predicates=tuple(content),
+                 constraints=constraints or UserConstraints())

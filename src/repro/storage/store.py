@@ -1,0 +1,95 @@
+"""Representation store: pre-materialized input representations.
+
+In the paper's ONGOING scenario, video is transformed into the required input
+representations as it is ingested and those representations are stored on SSD,
+so only the (much smaller) representation bytes are loaded at query time.
+:class:`RepresentationStore` models that behaviour and is also a convenient
+cache when evaluating many models that share a representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.encoding import representation_bytes
+from repro.storage.tiers import SSD, StorageTier
+from repro.transforms.spec import TransformSpec
+
+__all__ = ["RepresentationStore"]
+
+
+class RepresentationStore:
+    """Holds transformed copies of a corpus, keyed by representation name.
+
+    Parameters
+    ----------
+    tier:
+        The storage tier the representations notionally live on; used to
+        answer simulated load-time questions.
+    """
+
+    def __init__(self, tier: StorageTier = SSD) -> None:
+        self.tier = tier
+        self._arrays: dict[str, np.ndarray] = {}
+        self._specs: dict[str, TransformSpec] = {}
+
+    # -- ingest ------------------------------------------------------------
+    def materialize(self, images: np.ndarray,
+                    specs: list[TransformSpec] | tuple[TransformSpec, ...]) -> None:
+        """Transform ``images`` into every representation in ``specs`` and keep them."""
+        if images.ndim != 4:
+            raise ValueError(f"expected NHWC batch, got shape {images.shape}")
+        for spec in specs:
+            self._arrays[spec.name] = spec.apply_batch(images)
+            self._specs[spec.name] = spec
+
+    def add(self, spec: TransformSpec, array: np.ndarray) -> None:
+        """Store an already-transformed array under ``spec``."""
+        expected = spec.shape
+        if array.shape[1:] != expected:
+            raise ValueError(
+                f"array shape {array.shape[1:]} does not match spec {expected}")
+        self._arrays[spec.name] = array
+        self._specs[spec.name] = spec
+
+    # -- access --------------------------------------------------------------
+    def __contains__(self, spec: TransformSpec) -> bool:
+        return spec.name in self._arrays
+
+    def get(self, spec: TransformSpec) -> np.ndarray:
+        """The stored representation array for ``spec``."""
+        try:
+            return self._arrays[spec.name]
+        except KeyError:
+            raise KeyError(f"representation {spec.name!r} not materialized; "
+                           f"available: {sorted(self._arrays)}") from None
+
+    def get_or_transform(self, spec: TransformSpec,
+                         source_images: np.ndarray) -> np.ndarray:
+        """Return the stored representation, transforming and caching on miss."""
+        if spec in self:
+            return self.get(spec)
+        array = spec.apply_batch(source_images)
+        self.add(spec, array)
+        return array
+
+    def specs(self) -> list[TransformSpec]:
+        """The representation specs currently materialized."""
+        return [self._specs[name] for name in sorted(self._specs)]
+
+    # -- accounting -------------------------------------------------------------
+    def bytes_stored(self, per_image: bool = False) -> int:
+        """Total simulated bytes occupied by all stored representations."""
+        total = 0
+        for name, array in self._arrays.items():
+            spec = self._specs[name]
+            count = 1 if per_image else array.shape[0]
+            total += representation_bytes(spec) * count
+        return int(total)
+
+    def load_time(self, spec: TransformSpec) -> float:
+        """Simulated seconds to load one image's representation from the tier."""
+        return self.tier.read_time(representation_bytes(spec))
+
+    def __len__(self) -> int:
+        return len(self._arrays)

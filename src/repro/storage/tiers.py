@@ -1,0 +1,68 @@
+"""Storage tiers with bandwidth and per-access latency."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StorageTier", "MEMORY", "SSD", "HDD", "CAMERA_LINK", "NETWORK",
+           "get_tier"]
+
+
+@dataclass(frozen=True)
+class StorageTier:
+    """A place image bytes can live before a query touches them.
+
+    Parameters
+    ----------
+    name:
+        Tier name.
+    bandwidth_bytes_per_s:
+        Sustained sequential read bandwidth.
+    latency_s:
+        Fixed per-object access latency (seek / request overhead).
+    """
+
+    name: str
+    bandwidth_bytes_per_s: float
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    def read_time(self, num_bytes: int) -> float:
+        """Seconds to read ``num_bytes`` from this tier."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency_s + num_bytes / self.bandwidth_bytes_per_s
+
+
+#: Bytes already in host memory: effectively free to "load".
+MEMORY = StorageTier("memory", bandwidth_bytes_per_s=50e9, latency_s=0.0)
+
+#: A local SSD, the paper's ARCHIVE and ONGOING storage device.
+SSD = StorageTier("ssd", bandwidth_bytes_per_s=500e6, latency_s=60e-6)
+
+#: A spinning disk, for custom scenarios.
+HDD = StorageTier("hdd", bandwidth_bytes_per_s=120e6, latency_s=6e-3)
+
+#: A camera-to-host link; the paper treats this transfer as negligible.
+CAMERA_LINK = StorageTier("camera", bandwidth_bytes_per_s=10e9, latency_s=0.0)
+
+#: A datacenter network hop, for custom scenarios.
+NETWORK = StorageTier("network", bandwidth_bytes_per_s=100e6, latency_s=200e-6)
+
+_TIERS = {tier.name: tier for tier in (MEMORY, SSD, HDD, CAMERA_LINK, NETWORK)}
+
+
+def get_tier(name: str) -> StorageTier:
+    """Look up a built-in tier by name."""
+    try:
+        return _TIERS[name]
+    except KeyError:
+        raise KeyError(f"unknown storage tier {name!r}; "
+                       f"available: {sorted(_TIERS)}") from None

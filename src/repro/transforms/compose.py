@@ -1,0 +1,34 @@
+"""Function composition for image transformations."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Compose"]
+
+
+class Compose:
+    """Apply a sequence of image transformations in order.
+
+    Each step is a callable taking and returning an image array.  ``Compose``
+    itself is a callable, so composed pipelines can be nested.
+    """
+
+    def __init__(self, steps: list[Callable[[np.ndarray], np.ndarray]]) -> None:
+        if not steps:
+            raise ValueError("Compose requires at least one step")
+        self.steps = list(steps)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        out = image
+        for step in self.steps:
+            out = step(out)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Compose({len(self.steps)} steps)"

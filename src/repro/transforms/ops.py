@@ -1,0 +1,29 @@
+"""Miscellaneous image operations: normalization and augmentation flips."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normalize", "horizontal_flip"]
+
+
+def normalize(image: np.ndarray, mean: float | np.ndarray = 0.5,
+              std: float | np.ndarray = 0.5) -> np.ndarray:
+    """Standardize pixel values: ``(image - mean) / std``."""
+    std_arr = np.asarray(std, dtype=np.float64)
+    if np.any(std_arr == 0):
+        raise ValueError("std must be non-zero")
+    return (image - mean) / std_arr
+
+
+def horizontal_flip(image: np.ndarray) -> np.ndarray:
+    """Mirror an HWC image (or NHWC batch) left-to-right.
+
+    This is the data-augmentation operation the paper uses to double its
+    training sets.
+    """
+    if image.ndim == 3:
+        return image[:, ::-1, :].copy()
+    if image.ndim == 4:
+        return image[:, :, ::-1, :].copy()
+    raise ValueError(f"expected HWC or NHWC array, got shape {image.shape}")

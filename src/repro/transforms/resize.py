@@ -1,0 +1,100 @@
+"""Resolution-scaling transformations.
+
+All functions accept a single HWC image (float array in [0, 1]) or a batch of
+NHWC images and return the same rank.  Three interpolation modes are provided;
+``area`` (block averaging) is the default because it is the natural choice
+when downscaling camera frames for small classifiers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["resize", "resize_nearest", "resize_bilinear", "resize_area"]
+
+
+def _as_batch(image: np.ndarray) -> tuple[np.ndarray, bool]:
+    if image.ndim == 3:
+        return image[None, ...], True
+    if image.ndim == 4:
+        return image, False
+    raise ValueError(f"expected HWC or NHWC array, got shape {image.shape}")
+
+
+def _validate_size(size: int) -> None:
+    if size <= 0:
+        raise ValueError("target size must be positive")
+
+
+def resize_nearest(image: np.ndarray, size: int) -> np.ndarray:
+    """Nearest-neighbour resize to ``size`` x ``size``."""
+    _validate_size(size)
+    batch, squeeze = _as_batch(image)
+    _, height, width, _ = batch.shape
+    rows = np.clip((np.arange(size) + 0.5) * height / size, 0, height - 1).astype(int)
+    cols = np.clip((np.arange(size) + 0.5) * width / size, 0, width - 1).astype(int)
+    out = batch[:, rows][:, :, cols]
+    return out[0] if squeeze else out
+
+
+def resize_bilinear(image: np.ndarray, size: int) -> np.ndarray:
+    """Bilinear resize to ``size`` x ``size``."""
+    _validate_size(size)
+    batch, squeeze = _as_batch(image)
+    _, height, width, _ = batch.shape
+
+    def grid(n_out: int, n_in: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        coords = (np.arange(n_out) + 0.5) * n_in / n_out - 0.5
+        coords = np.clip(coords, 0, n_in - 1)
+        low = np.floor(coords).astype(int)
+        high = np.minimum(low + 1, n_in - 1)
+        frac = coords - low
+        return low, high, frac
+
+    row_lo, row_hi, row_frac = grid(size, height)
+    col_lo, col_hi, col_frac = grid(size, width)
+
+    top = (batch[:, row_lo][:, :, col_lo] * (1 - col_frac)[None, None, :, None]
+           + batch[:, row_lo][:, :, col_hi] * col_frac[None, None, :, None])
+    bottom = (batch[:, row_hi][:, :, col_lo] * (1 - col_frac)[None, None, :, None]
+              + batch[:, row_hi][:, :, col_hi] * col_frac[None, None, :, None])
+    out = top * (1 - row_frac)[None, :, None, None] + bottom * row_frac[None, :, None, None]
+    return out[0] if squeeze else out
+
+
+def resize_area(image: np.ndarray, size: int) -> np.ndarray:
+    """Area (block-average) resize to ``size`` x ``size``.
+
+    Exact block averaging when the input size is an integer multiple of the
+    output size; otherwise falls back to bilinear interpolation, which is a
+    good approximation for arbitrary ratios.
+    """
+    _validate_size(size)
+    batch, squeeze = _as_batch(image)
+    n, height, width, channels = batch.shape
+    if height % size == 0 and width % size == 0:
+        fh, fw = height // size, width // size
+        out = batch.reshape(n, size, fh, size, fw, channels).mean(axis=(2, 4))
+        return out[0] if squeeze else out
+    return resize_bilinear(image, size)
+
+
+_MODES = {
+    "nearest": resize_nearest,
+    "bilinear": resize_bilinear,
+    "area": resize_area,
+}
+
+
+def resize(image: np.ndarray, size: int, mode: str = "area") -> np.ndarray:
+    """Resize ``image`` to ``size`` x ``size`` using the given interpolation mode."""
+    try:
+        fn = _MODES[mode]
+    except KeyError:
+        raise ValueError(f"unknown resize mode {mode!r}; "
+                         f"choose from {sorted(_MODES)}") from None
+    # No-op shortcut when the image is already the requested size.
+    spatial = image.shape[:2] if image.ndim == 3 else image.shape[1:3]
+    if spatial == (size, size):
+        return image.copy()
+    return fn(image, size)

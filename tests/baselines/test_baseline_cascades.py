@@ -1,0 +1,60 @@
+"""Tests for the paper's Baseline cascade set."""
+
+import pytest
+
+from repro.baselines.baseline_cascades import (
+    baseline_model_specs,
+    build_baseline_cascades,
+    is_full_representation,
+)
+from repro.core.spec import ArchitectureSpec
+from repro.transforms.spec import TransformSpec
+from tests.conftest import TINY_SIZE
+
+
+def test_is_full_representation():
+    assert is_full_representation(TransformSpec(32, "rgb"), 32)
+    assert not is_full_representation(TransformSpec(16, "rgb"), 32)
+    assert not is_full_representation(TransformSpec(32, "gray"), 32)
+
+
+def test_baseline_model_specs_use_full_input_only():
+    architectures = [ArchitectureSpec(1, 8, 16), ArchitectureSpec(2, 8, 16)]
+    specs = baseline_model_specs(architectures, source_resolution=32)
+    assert len(specs) == 2
+    assert all(spec.transform.resolution == 32 for spec in specs)
+    assert all(spec.transform.color_mode == "rgb" for spec in specs)
+
+
+def test_baseline_model_specs_skip_too_deep_architectures():
+    specs = baseline_model_specs([ArchitectureSpec(4, 8, 16)], source_resolution=8)
+    assert specs == []
+
+
+def test_baseline_model_specs_require_architectures():
+    with pytest.raises(ValueError):
+        baseline_model_specs([], 32)
+
+
+def test_build_baseline_cascades_shape(tiny_optimizer, tiny_reference):
+    cascades = build_baseline_cascades(tiny_optimizer.models,
+                                       tiny_optimizer.thresholds,
+                                       tiny_reference, TINY_SIZE)
+    assert cascades, "expected at least the reference-only cascade"
+    # Every baseline cascade terminates in the reference classifier.
+    assert all(cascade.ends_in_reference() for cascade in cascades)
+    # Non-final levels consume only the full-size full-color representation.
+    for cascade in cascades:
+        for level in cascade.levels[:-1]:
+            assert is_full_representation(level.model.transform, TINY_SIZE)
+    # The set is a strict subset of TAHOMA's design space.
+    assert len(cascades) < tiny_optimizer.n_cascades
+
+
+def test_build_baseline_cascades_requires_full_input_models(tiny_optimizer,
+                                                            tiny_reference):
+    small_only = [model for model in tiny_optimizer.models
+                  if model.transform.resolution < TINY_SIZE]
+    with pytest.raises(ValueError):
+        build_baseline_cascades(small_only, tiny_optimizer.thresholds,
+                                tiny_reference, TINY_SIZE)

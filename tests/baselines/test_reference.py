@@ -1,0 +1,60 @@
+"""Tests for the reference deep classifier (ResNet50 stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import (
+    build_reference_network,
+    reference_transform,
+    train_reference_model,
+)
+from repro.nn.flops import count_network_flops
+
+
+def test_reference_transform_is_full_color():
+    spec = reference_transform(32)
+    assert spec.resolution == 32
+    assert spec.color_mode == "rgb"
+
+
+def test_build_network_output_shape():
+    net = build_reference_network((16, 16, 3), base_width=8, n_stages=2,
+                                  blocks_per_stage=1)
+    out = net.forward(np.random.default_rng(0).random((2, 16, 16, 3)))
+    assert out.shape == (2, 1)
+    assert np.all((out >= 0) & (out <= 1))
+
+
+def test_build_network_rejects_too_small_input():
+    with pytest.raises(ValueError):
+        build_reference_network((4, 4, 3), n_stages=3)
+
+
+def test_build_network_invalid_stage_counts():
+    with pytest.raises(ValueError):
+        build_reference_network((16, 16, 3), n_stages=0)
+
+
+def test_reference_is_much_more_expensive_than_small_models():
+    """The property the speedup experiments rely on: a large FLOP gap."""
+    from repro.core.spec import ArchitectureSpec
+
+    reference = build_reference_network((16, 16, 3), base_width=8, n_stages=2,
+                                        blocks_per_stage=1)
+    small = ArchitectureSpec(1, 4, 8).build((8, 8, 1))
+    reference_flops = count_network_flops(reference, (16, 16, 3))
+    small_flops = count_network_flops(small, (8, 8, 1))
+    assert reference_flops > 20 * small_flops
+
+
+def test_trained_reference_properties(tiny_reference, tiny_splits):
+    assert tiny_reference.is_reference
+    assert tiny_reference.transform.color_mode == "rgb"
+    assert tiny_reference.flops > 0
+    predictions = tiny_reference.predict(tiny_splits.eval.images)
+    accuracy = float((predictions == tiny_splits.eval.labels).mean())
+    assert accuracy > 0.5
+
+
+def test_trained_reference_is_most_accurate_on_training_data(tiny_reference):
+    assert tiny_reference.train_accuracy > 0.6

@@ -1,0 +1,103 @@
+"""Tests for the area-left-of-curve comparison metric."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alc import (
+    area_left_of_curve,
+    average_throughput,
+    shared_accuracy_range,
+    speedup,
+)
+
+
+FRONTIER = [(0.95, 100.0), (0.9, 500.0), (0.8, 2000.0)]
+
+
+class TestAreaLeftOfCurve:
+    def test_constant_throughput(self):
+        points = [(0.8, 100.0), (0.9, 100.0)]
+        area = area_left_of_curve(points, (0.8, 0.9))
+        assert area == pytest.approx(0.1 * 100.0, rel=1e-3)
+
+    def test_step_function_uses_best_available(self):
+        area = area_left_of_curve(FRONTIER, (0.8, 0.9))
+        # Between 0.8 and 0.9 the best throughput at accuracy >= a transitions
+        # from 2000 (at 0.8) to 500 (above 0.8).
+        assert 0.1 * 500 <= area <= 0.1 * 2000
+
+    def test_zero_above_max_accuracy(self):
+        area = area_left_of_curve(FRONTIER, (0.99, 1.0))
+        assert area == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_points_raise(self):
+        with pytest.raises(ValueError):
+            area_left_of_curve([], (0.0, 1.0))
+
+    def test_bad_range_raises(self):
+        with pytest.raises(ValueError):
+            area_left_of_curve(FRONTIER, (0.9, 0.8))
+
+
+class TestAverageThroughput:
+    def test_degenerate_range(self):
+        value = average_throughput(FRONTIER, (0.9, 0.9))
+        assert value == pytest.approx(500.0)
+
+    def test_average_between_bounds(self):
+        value = average_throughput(FRONTIER, (0.8, 0.95))
+        assert 100.0 <= value <= 2000.0
+
+    def test_better_frontier_has_higher_average(self):
+        better = [(a, t * 3) for a, t in FRONTIER]
+        assert (average_throughput(better, (0.8, 0.95))
+                > average_throughput(FRONTIER, (0.8, 0.95)))
+
+
+class TestSpeedup:
+    def test_speedup_of_scaled_frontier(self):
+        better = [(a, t * 4) for a, t in FRONTIER]
+        assert speedup(better, FRONTIER, (0.8, 0.95)) == pytest.approx(4.0, rel=1e-6)
+
+    def test_speedup_of_identical_sets_is_one(self):
+        assert speedup(FRONTIER, FRONTIER, (0.8, 0.95)) == pytest.approx(1.0)
+
+    def test_zero_baseline_raises(self):
+        # The baseline never reaches accuracies in (0.995, 1.0), so its area
+        # over that range is zero and the ratio is undefined.
+        with pytest.raises(ZeroDivisionError):
+            speedup(FRONTIER, [(0.99, 10.0)], (0.995, 1.0))
+
+
+class TestSharedAccuracyRange:
+    def test_takes_tightest_range(self):
+        a = [(0.7, 1.0), (0.95, 1.0)]
+        b = [(0.8, 1.0), (0.9, 1.0)]
+        assert shared_accuracy_range(a, b) == (0.8, 0.9)
+
+    def test_disjoint_ranges_collapse(self):
+        a = [(0.1, 1.0), (0.2, 1.0)]
+        b = [(0.8, 1.0), (0.9, 1.0)]
+        low, high = shared_accuracy_range(a, b)
+        assert low == high
+
+    def test_requires_point_sets(self):
+        with pytest.raises(ValueError):
+            shared_accuracy_range()
+        with pytest.raises(ValueError):
+            shared_accuracy_range([])
+
+
+@settings(max_examples=40, deadline=None)
+@given(scale=st.floats(1.1, 10.0),
+       points=st.lists(st.tuples(st.floats(0.5, 1.0), st.floats(1.0, 1e4)),
+                       min_size=2, max_size=30))
+def test_scaling_throughput_scales_alc(scale, points):
+    accuracies = [p[0] for p in points]
+    accuracy_range = (min(accuracies), max(accuracies))
+    if accuracy_range[0] == accuracy_range[1]:
+        return
+    base = area_left_of_curve(points, accuracy_range)
+    scaled = area_left_of_curve([(a, t * scale) for a, t in points], accuracy_range)
+    assert scaled == pytest.approx(base * scale, rel=1e-6)

@@ -1,0 +1,105 @@
+"""Cross-module property tests on the optimizer's core invariants.
+
+These use randomly generated (accuracy, cost) populations rather than trained
+models, so hypothesis can explore the space broadly and cheaply.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alc import average_throughput, shared_accuracy_range
+from repro.core.cascade import Cascade, CascadeLevel
+from repro.core.evaluator import CascadeEvaluation, EvaluatedCascadeSet
+from repro.core.model import TrainedModel
+from repro.core.selector import UserConstraints, select_cascade, select_most_accurate
+from repro.core.spec import ArchitectureSpec, ModelSpec
+from repro.costs.profiler import CostBreakdown
+from repro.transforms.spec import TransformSpec
+
+# One shared dummy cascade keeps evaluation objects cheap to create.
+_SPEC = ModelSpec(ArchitectureSpec(1, 4, 8), TransformSpec(8, "gray"))
+_MODEL = TrainedModel(name="dummy", network=_SPEC.build(),
+                      transform=_SPEC.transform, architecture=_SPEC.architecture)
+_CASCADE = Cascade((CascadeLevel(_MODEL, None),))
+
+
+def make_evaluation(accuracy: float, total_seconds: float) -> CascadeEvaluation:
+    return CascadeEvaluation(cascade=_CASCADE, accuracy=accuracy,
+                             cost=CostBreakdown(infer_s=total_seconds),
+                             level_fractions=(1.0,))
+
+
+populations = st.lists(
+    st.tuples(st.floats(0.5, 1.0), st.floats(1e-5, 1e-1)),
+    min_size=1, max_size=40)
+
+
+@settings(max_examples=60, deadline=None)
+@given(population=populations,
+       loss=st.one_of(st.none(), st.floats(0.0, 0.5)))
+def test_selected_cascade_is_on_the_frontier(population, loss):
+    """Whatever the constraint, the selection is Pareto-optimal."""
+    evaluations = [make_evaluation(a, s) for a, s in population]
+    evaluated = EvaluatedCascadeSet(evaluations)
+    frontier = evaluated.frontier()
+    chosen = select_cascade(frontier, UserConstraints(max_accuracy_loss=loss))
+    assert chosen in frontier
+
+
+@settings(max_examples=60, deadline=None)
+@given(population=populations, loss=st.floats(0.0, 0.5))
+def test_selection_respects_relative_accuracy_budget(population, loss):
+    evaluations = [make_evaluation(a, s) for a, s in population]
+    best = select_most_accurate(evaluations)
+    chosen = select_cascade(evaluations, UserConstraints(max_accuracy_loss=loss))
+    assert chosen.accuracy >= best.accuracy * (1.0 - loss) - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(population=populations,
+       small_loss=st.floats(0.0, 0.2), extra=st.floats(0.0, 0.3))
+def test_larger_budget_never_reduces_throughput(population, small_loss, extra):
+    """Loosening the accuracy constraint can only speed the query up."""
+    evaluations = [make_evaluation(a, s) for a, s in population]
+    tight = select_cascade(evaluations, UserConstraints(max_accuracy_loss=small_loss))
+    loose = select_cascade(evaluations,
+                           UserConstraints(max_accuracy_loss=small_loss + extra))
+    assert loose.throughput >= tight.throughput - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(population=populations)
+def test_frontier_average_throughput_bounded_by_extremes(population):
+    evaluations = [make_evaluation(a, s) for a, s in population]
+    evaluated = EvaluatedCascadeSet(evaluations)
+    points = evaluated.frontier_points()
+    accuracy_range = shared_accuracy_range(points)
+    value = average_throughput(points, accuracy_range)
+    throughputs = [t for _, t in points]
+    assert value <= max(throughputs) + 1e-9
+    assert value >= 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(population=populations)
+def test_frontier_is_sorted_and_tradeoff_consistent(population):
+    """Along the frontier, higher throughput never comes with higher accuracy."""
+    evaluations = [make_evaluation(a, s) for a, s in population]
+    frontier = EvaluatedCascadeSet(evaluations).frontier()
+    throughputs = [e.throughput for e in frontier]
+    accuracies = [e.accuracy for e in frontier]
+    assert throughputs == sorted(throughputs, reverse=True)
+    assert accuracies == sorted(accuracies)
+
+
+def test_evaluated_set_requires_evaluations():
+    with pytest.raises(ValueError):
+        EvaluatedCascadeSet([])
+
+
+def test_cost_breakdown_throughput_is_reciprocal():
+    evaluation = make_evaluation(0.9, 0.01)
+    assert evaluation.throughput == pytest.approx(100.0)
+    assert evaluation.point() == (0.9, pytest.approx(100.0))

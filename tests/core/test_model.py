@@ -1,0 +1,63 @@
+"""Tests for TrainedModel."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import TrainedModel
+from repro.core.spec import ArchitectureSpec, ModelSpec
+from repro.transforms.spec import TransformSpec
+
+
+@pytest.fixture
+def model():
+    spec = ModelSpec(ArchitectureSpec(1, 4, 8), TransformSpec(8, "gray"))
+    network = spec.build(rng=np.random.default_rng(0))
+    return TrainedModel(name=spec.name, network=network, transform=spec.transform,
+                        architecture=spec.architecture)
+
+
+def test_flops_computed_automatically(model):
+    assert model.flops > 0
+
+
+def test_kind_validation():
+    spec = ModelSpec(ArchitectureSpec(1, 4, 8), TransformSpec(8, "gray"))
+    network = spec.build()
+    with pytest.raises(ValueError):
+        TrainedModel(name="x", network=network, transform=spec.transform,
+                     kind="huge")
+
+
+def test_predict_proba_applies_transform(model):
+    raw = np.random.default_rng(1).random((5, 16, 16, 3))
+    probs = model.predict_proba(raw)
+    assert probs.shape == (5,)
+    assert np.all((probs >= 0) & (probs <= 1))
+
+
+def test_predict_proba_transformed_checks_shape(model):
+    good = np.random.default_rng(2).random((4, 8, 8, 1))
+    assert model.predict_proba_transformed(good).shape == (4,)
+    with pytest.raises(ValueError):
+        model.predict_proba_transformed(np.zeros((4, 8, 8, 3)))
+
+
+def test_predict_hard_labels(model):
+    raw = np.random.default_rng(3).random((6, 16, 16, 3))
+    labels = model.predict(raw)
+    assert set(np.unique(labels)) <= {0, 1}
+
+
+def test_transform_and_raw_paths_agree(model):
+    raw = np.random.default_rng(4).random((3, 16, 16, 3))
+    direct = model.predict_proba(raw)
+    via_representation = model.predict_proba_transformed(
+        model.transform.apply_batch(raw))
+    np.testing.assert_allclose(direct, via_representation)
+
+
+def test_is_reference_flag(model):
+    assert not model.is_reference
+    reference = TrainedModel(name="ref", network=model.network,
+                             transform=model.transform, kind="reference")
+    assert reference.is_reference

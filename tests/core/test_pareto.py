@@ -1,0 +1,94 @@
+"""Tests for Pareto-frontier computation (including property-based tests)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import is_dominated, pareto_frontier, pareto_frontier_indices
+
+
+class TestParetoFrontier:
+    def test_simple_case(self):
+        points = [(0.9, 100.0), (0.8, 200.0), (0.95, 50.0), (0.7, 150.0)]
+        frontier = pareto_frontier(points)
+        assert (0.7, 150.0) not in frontier  # dominated by (0.8, 200)
+        assert set(frontier) == {(0.8, 200.0), (0.9, 100.0), (0.95, 50.0)}
+
+    def test_single_point(self):
+        assert pareto_frontier([(0.5, 10.0)]) == [(0.5, 10.0)]
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+        assert pareto_frontier_indices(np.array([]), np.array([])).size == 0
+
+    def test_duplicate_points_keep_one(self):
+        frontier = pareto_frontier([(0.9, 100.0), (0.9, 100.0)])
+        assert frontier == [(0.9, 100.0)]
+
+    def test_all_dominated_by_one(self):
+        points = [(1.0, 1000.0), (0.5, 500.0), (0.2, 100.0)]
+        assert pareto_frontier(points) == [(1.0, 1000.0)]
+
+    def test_indices_sorted_by_descending_throughput(self):
+        accuracy = np.array([0.9, 0.8, 0.95])
+        throughput = np.array([100.0, 200.0, 50.0])
+        indices = pareto_frontier_indices(accuracy, throughput)
+        assert list(throughput[indices]) == sorted(throughput[indices], reverse=True)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pareto_frontier_indices(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestIsDominated:
+    def test_strict_domination(self):
+        assert is_dominated((0.5, 50.0), [(0.6, 60.0)])
+
+    def test_equal_point_does_not_dominate(self):
+        assert not is_dominated((0.5, 50.0), [(0.5, 50.0)])
+
+    def test_partial_improvement_dominates(self):
+        assert is_dominated((0.5, 50.0), [(0.5, 51.0)])
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not is_dominated((0.5, 50.0), [(0.6, 40.0)])
+
+
+points_strategy = st.lists(
+    st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1e4)),
+    min_size=1, max_size=60)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=points_strategy)
+def test_frontier_points_are_not_dominated(points):
+    frontier = pareto_frontier(points)
+    for point in frontier:
+        others = [p for p in points if p != point]
+        assert not is_dominated(point, others) or point in others
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=points_strategy)
+def test_every_non_frontier_point_is_dominated(points):
+    frontier = pareto_frontier(points)
+    frontier_set = set(frontier)
+    for point in points:
+        if point not in frontier_set:
+            assert is_dominated(point, frontier)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=points_strategy)
+def test_frontier_is_subset_and_nonempty(points):
+    frontier = pareto_frontier(points)
+    assert frontier
+    assert set(frontier) <= set(points)
+
+
+@settings(max_examples=30, deadline=None)
+@given(points=points_strategy, data=st.data())
+def test_frontier_invariant_under_permutation(points, data):
+    permutation = data.draw(st.permutations(points))
+    assert set(pareto_frontier(points)) == set(pareto_frontier(list(permutation)))

@@ -1,0 +1,83 @@
+"""Tests for the model-repository persistence layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import load_optimizer, save_optimizer
+from repro.costs.profiler import CostProfiler
+from repro.costs.scenario import CAMERA
+
+
+REFERENCE_PARAMS = {"base_width": 8, "n_stages": 2, "blocks_per_stage": 1}
+
+
+@pytest.fixture(scope="module")
+def saved_root(tmp_path_factory, tiny_optimizer):
+    root = tmp_path_factory.mktemp("repository")
+    save_optimizer(tiny_optimizer, root, reference_params=REFERENCE_PARAMS)
+    return root
+
+
+def test_save_creates_manifest_and_weights(saved_root, tiny_optimizer):
+    assert (saved_root / "repository.json").exists()
+    weight_files = list((saved_root / "weights").glob("*.npz"))
+    # One archive per specialized model plus one for the reference classifier.
+    assert len(weight_files) == tiny_optimizer.n_models + 1
+
+
+def test_save_requires_initialized_optimizer(tmp_path):
+    from repro.core.optimizer import TahomaConfig, TahomaOptimizer
+    from repro.core.spec import ArchitectureSpec
+    from repro.transforms.spec import TransformSpec
+
+    optimizer = TahomaOptimizer(TahomaConfig(
+        architectures=(ArchitectureSpec(1, 4, 8),),
+        transforms=(TransformSpec(8, "gray"),)))
+    with pytest.raises(ValueError):
+        save_optimizer(optimizer, tmp_path)
+
+
+def test_load_missing_directory_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_optimizer(tmp_path / "does-not-exist")
+
+
+def test_round_trip_preserves_structure(saved_root, tiny_optimizer):
+    restored = load_optimizer(saved_root)
+    assert restored.n_models == tiny_optimizer.n_models
+    assert restored.n_cascades == tiny_optimizer.n_cascades
+    assert set(restored.thresholds) == set(tiny_optimizer.thresholds)
+    assert restored.reference_model is not None
+    assert restored.reference_model.is_reference
+
+
+def test_round_trip_preserves_predictions(saved_root, tiny_optimizer, tiny_splits):
+    restored = load_optimizer(saved_root)
+    original_model = tiny_optimizer.models[0]
+    restored_model = next(m for m in restored.models
+                          if m.name == original_model.name)
+    images = tiny_splits.eval.images[:8]
+    np.testing.assert_allclose(restored_model.predict_proba(images),
+                               original_model.predict_proba(images),
+                               atol=1e-10)
+
+
+def test_round_trip_preserves_cached_probabilities(saved_root, tiny_optimizer):
+    restored = load_optimizer(saved_root)
+    for name, probs in tiny_optimizer.cache.probabilities.items():
+        np.testing.assert_allclose(restored.cache.probabilities[name], probs,
+                                   atol=1e-12)
+    np.testing.assert_array_equal(restored.cache.labels,
+                                  tiny_optimizer.cache.labels)
+
+
+def test_restored_optimizer_selects_equivalent_cascade(saved_root, tiny_optimizer,
+                                                       tiny_device):
+    restored = load_optimizer(saved_root)
+    profiler = CostProfiler(tiny_device, CAMERA, source_resolution=16,
+                            cost_resolution=224)
+    original_choice = tiny_optimizer.select(profiler)
+    restored_choice = restored.select(profiler)
+    assert restored_choice.accuracy == pytest.approx(original_choice.accuracy)
+    assert restored_choice.throughput == pytest.approx(original_choice.throughput,
+                                                       rel=1e-6)

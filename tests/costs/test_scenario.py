@@ -1,0 +1,51 @@
+"""Tests for the deployment scenarios."""
+
+import pytest
+
+from repro.costs.scenario import (
+    ARCHIVE,
+    CAMERA,
+    INFER_ONLY,
+    ONGOING,
+    PAPER_SCENARIOS,
+    Scenario,
+    get_scenario,
+)
+
+
+def test_four_paper_scenarios():
+    assert len(PAPER_SCENARIOS) == 4
+    assert {s.name for s in PAPER_SCENARIOS} == {"infer_only", "archive",
+                                                 "ongoing", "camera"}
+
+
+def test_infer_only_pays_nothing_extra():
+    assert not INFER_ONLY.include_load
+    assert not INFER_ONLY.include_transform
+
+
+def test_archive_pays_everything():
+    assert ARCHIVE.include_load and ARCHIVE.include_transform
+    assert ARCHIVE.load_full_image
+
+
+def test_ongoing_loads_representation_only():
+    assert ONGOING.include_load
+    assert not ONGOING.include_transform
+    assert not ONGOING.load_full_image
+
+
+def test_camera_transform_only():
+    assert CAMERA.include_transform
+    assert not CAMERA.include_load
+
+
+def test_get_scenario_lookup():
+    assert get_scenario("archive") is ARCHIVE
+    with pytest.raises(KeyError):
+        get_scenario("satellite")
+
+
+def test_custom_scenario_needs_name():
+    with pytest.raises(ValueError):
+        Scenario(name="", include_load=False, include_transform=False)

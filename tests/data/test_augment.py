@@ -1,0 +1,44 @@
+"""Tests for flip augmentation."""
+
+import numpy as np
+
+from repro.data.augment import augment_with_flips
+from repro.data.corpus import LabeledDataset
+
+
+def make_dataset(n=6):
+    rng = np.random.default_rng(0)
+    return LabeledDataset(rng.random((n, 8, 8, 3)), rng.integers(0, 2, n))
+
+
+def test_doubles_dataset():
+    dataset = make_dataset(6)
+    augmented = augment_with_flips(dataset)
+    assert len(augmented) == 12
+
+
+def test_labels_preserved():
+    dataset = make_dataset(5)
+    augmented = augment_with_flips(dataset)
+    np.testing.assert_array_equal(augmented.labels[:5], dataset.labels)
+    np.testing.assert_array_equal(augmented.labels[5:], dataset.labels)
+
+
+def test_second_half_is_mirrored():
+    dataset = make_dataset(4)
+    augmented = augment_with_flips(dataset)
+    np.testing.assert_allclose(augmented.images[4], dataset.images[0][:, ::-1, :])
+
+
+def test_empty_dataset_passthrough():
+    empty = LabeledDataset(np.zeros((0, 8, 8, 3)), np.zeros(0))
+    assert len(augment_with_flips(empty)) == 0
+
+
+def test_shuffle_with_rng():
+    dataset = make_dataset(8)
+    augmented = augment_with_flips(dataset, rng=np.random.default_rng(1))
+    assert len(augmented) == 16
+    # Shuffled order should (almost surely) differ from plain concatenation.
+    plain = augment_with_flips(dataset)
+    assert not np.allclose(augmented.images, plain.images)

@@ -1,0 +1,59 @@
+"""Tests for the category definitions (paper Table II)."""
+
+import pytest
+
+from repro.data.categories import (
+    TABLE2_CATEGORIES,
+    CategoryDef,
+    get_category,
+    list_category_names,
+)
+
+
+def test_table2_has_ten_categories():
+    assert len(TABLE2_CATEGORIES) == 10
+
+
+def test_table2_names_match_paper():
+    expected = {"acorn", "amphibian", "cloak", "coho", "fence",
+                "ferret", "komondor", "pinwheel", "scorpion", "wallet"}
+    assert set(list_category_names()) == expected
+
+
+def test_imagenet_ids_present_and_unique():
+    ids = [category.imagenet_id for category in TABLE2_CATEGORIES]
+    assert all(identifier.startswith("n") for identifier in ids)
+    assert len(set(ids)) == len(ids)
+
+
+def test_get_category_lookup():
+    category = get_category("komondor")
+    assert category.name == "komondor"
+    assert category.imagenet_id == "n02105505"
+
+
+def test_get_category_unknown_raises_with_suggestions():
+    with pytest.raises(KeyError) as excinfo:
+        get_category("zebra")
+    assert "available" in str(excinfo.value)
+
+
+def test_category_validation_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        CategoryDef("x", "n0", "hexagon", (0.5, 0.5, 0.5), 3.0)
+
+
+def test_category_validation_rejects_bad_color():
+    with pytest.raises(ValueError):
+        CategoryDef("x", "n0", "disk", (1.5, 0.5, 0.5), 3.0)
+
+
+def test_category_validation_rejects_bad_size_range():
+    with pytest.raises(ValueError):
+        CategoryDef("x", "n0", "disk", (0.5, 0.5, 0.5), 3.0, size_range=(0.4, 0.2))
+
+
+def test_categories_have_distinct_render_signatures():
+    """Distinct shapes or colors keep the ten predicates distinguishable."""
+    signatures = {(c.shape, c.color) for c in TABLE2_CATEGORIES}
+    assert len(signatures) == len(TABLE2_CATEGORIES)

@@ -1,0 +1,91 @@
+"""Tests for the synthetic video stream generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.video import (
+    CORAL_PRESET,
+    JACKSON_PRESET,
+    VideoStreamConfig,
+    generate_video_stream,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(name="test", category_name="coho", n_frames=80,
+                    frame_size=24, positive_rate=0.3, mean_dwell=8.0,
+                    sensor_noise=0.01, difficulty=0)
+    defaults.update(overrides)
+    return VideoStreamConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_frames(self):
+        with pytest.raises(ValueError):
+            small_config(n_frames=0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            small_config(positive_rate=1.5)
+
+    def test_rejects_bad_dwell(self):
+        with pytest.raises(ValueError):
+            small_config(mean_dwell=0.5)
+
+
+class TestGeneration:
+    def test_shapes_and_range(self):
+        stream = generate_video_stream(small_config(), np.random.default_rng(0))
+        assert stream.frames.shape == (80, 24, 24, 3)
+        assert stream.labels.shape == (80,)
+        assert stream.frames.min() >= 0.0 and stream.frames.max() <= 1.0
+
+    def test_labels_are_binary(self):
+        stream = generate_video_stream(small_config(), np.random.default_rng(1))
+        assert set(np.unique(stream.labels)) <= {0, 1}
+
+    def test_contains_both_classes(self):
+        stream = generate_video_stream(small_config(n_frames=200),
+                                       np.random.default_rng(2))
+        assert 0 < stream.labels.mean() < 1
+
+    def test_temporal_redundancy_high_for_long_dwell(self):
+        config = small_config(n_frames=200, mean_dwell=25.0)
+        stream = generate_video_stream(config, np.random.default_rng(3))
+        assert stream.temporal_redundancy() > 0.85
+
+    def test_as_dataset(self):
+        stream = generate_video_stream(small_config(), np.random.default_rng(4))
+        dataset = stream.as_dataset()
+        assert len(dataset) == len(stream)
+
+    def test_positive_frames_differ_from_background(self):
+        stream = generate_video_stream(small_config(n_frames=150),
+                                       np.random.default_rng(5))
+        positives = stream.frames[stream.labels == 1]
+        negatives = stream.frames[stream.labels == 0]
+        assert positives.shape[0] > 0 and negatives.shape[0] > 0
+        assert abs(positives.mean() - negatives.mean()) > 1e-3
+
+    def test_deterministic_given_seed(self):
+        a = generate_video_stream(small_config(), np.random.default_rng(42))
+        b = generate_video_stream(small_config(), np.random.default_rng(42))
+        np.testing.assert_allclose(a.frames, b.frames)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestPresets:
+    def test_coral_more_redundant_than_jackson(self):
+        """The easy stream has markedly longer dwell times than the hard one."""
+        assert CORAL_PRESET.mean_dwell > JACKSON_PRESET.mean_dwell
+        assert CORAL_PRESET.sensor_noise < JACKSON_PRESET.sensor_noise
+
+    def test_preset_streams_generate(self):
+        from dataclasses import replace
+        coral = generate_video_stream(replace(CORAL_PRESET, n_frames=60,
+                                              frame_size=24),
+                                      np.random.default_rng(0))
+        jackson = generate_video_stream(replace(JACKSON_PRESET, n_frames=60,
+                                                frame_size=24),
+                                        np.random.default_rng(0))
+        assert coral.temporal_redundancy() >= jackson.temporal_redundancy() - 0.05

@@ -1,0 +1,148 @@
+"""Tests that every figure/table regeneration function produces sound output.
+
+These run at smoke scale against the session-cached workspace; the committed
+benchmarks run the same functions at the default scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation import TRANSFORM_SUBSETS, depth_analysis, transform_ablation
+from repro.experiments.scenarios import (
+    frontier_example,
+    reference_only_evaluation,
+    scenario_awareness_table,
+    scenario_frontiers,
+)
+from repro.experiments.speedups import (
+    average_speedups,
+    baseline_evaluation,
+    design_space_comparison,
+    fastest_throughput,
+)
+
+
+CATEGORY = "komondor"
+
+
+class TestFigure4And9:
+    def test_frontier_example_structure(self, smoke_workspace):
+        comparison = frontier_example(smoke_workspace, CATEGORY)
+        assert comparison.all_points
+        assert comparison.aware_frontier
+        assert comparison.oblivious_frontier
+        # The aware frontier is at least as good as the re-priced oblivious one.
+        assert comparison.awareness_gain() >= 1.0 - 1e-9
+
+    def test_scenario_frontiers_cover_requested_categories(self, smoke_workspace):
+        comparisons = scenario_frontiers(smoke_workspace,
+                                         categories=[CATEGORY, "scorpion"])
+        assert [c.category for c in comparisons] == [CATEGORY, "scorpion"]
+
+    def test_unknown_category_raises(self, smoke_workspace):
+        with pytest.raises(KeyError):
+            frontier_example(smoke_workspace, "zebra")
+
+
+class TestFigure5:
+    def test_design_space_comparison(self, smoke_workspace):
+        comparison = design_space_comparison(smoke_workspace, CATEGORY)
+        # TAHOMA's space strictly contains more cascade options.
+        assert len(comparison.tahoma_points) > len(comparison.baseline_points)
+        # And its frontier is no slower anywhere (ALC speedup >= 1).
+        assert comparison.tahoma_speedup() >= 1.0 - 1e-9
+
+
+class TestFigure6:
+    def test_speedups_positive_and_largest_for_infer_only(self, smoke_workspace):
+        rows = average_speedups(smoke_workspace)
+        by_name = {row.scenario_name: row for row in rows}
+        assert set(by_name) == {"infer_only", "ongoing", "camera", "archive"}
+        for row in rows:
+            assert row.vs_reference > 0
+            assert row.vs_baseline_average > 0
+        # Data handling shrinks the advantage: INFER ONLY shows the largest
+        # speedup over the reference classifier, ARCHIVE the smallest.
+        assert by_name["infer_only"].vs_reference >= by_name["archive"].vs_reference
+
+    def test_tahoma_beats_reference_under_infer_only(self, smoke_workspace):
+        rows = average_speedups(smoke_workspace, ("infer_only",))
+        assert rows[0].vs_reference > 1.0
+
+
+class TestFigure7:
+    def test_fastest_cascade_beats_reference_everywhere(self, smoke_workspace):
+        rows = fastest_throughput(smoke_workspace)
+        for row in rows:
+            assert row.tahoma_fastest_fps > row.reference_fps
+            assert row.speedup > 1.0
+
+    def test_reference_near_calibrated_anchor_under_infer_only(self, smoke_workspace):
+        rows = fastest_throughput(smoke_workspace, ("infer_only",))
+        assert rows[0].reference_fps == pytest.approx(75.0, rel=0.05)
+
+
+class TestTable3:
+    def test_awareness_rows_structure(self, smoke_workspace):
+        rows = scenario_awareness_table(smoke_workspace, loss_levels=(0.0, 0.05),
+                                        scenario_names=("archive", "camera"))
+        assert len(rows) == 4
+        for row in rows:
+            assert row.oblivious_fps > 0
+            assert row.aware_fps > 0
+            # Scenario awareness can only help (both pick from the same space).
+            assert row.aware_fps >= row.oblivious_fps - 1e-9
+
+    def test_zero_loss_budget_gains_nothing_or_little(self, smoke_workspace):
+        rows = scenario_awareness_table(smoke_workspace, loss_levels=(0.0,),
+                                        scenario_names=("camera",))
+        assert rows[0].gain_percent >= 0.0
+
+
+class TestFigure10:
+    def test_transform_ablation_structure(self, smoke_workspace):
+        rows = transform_ablation(smoke_workspace)
+        assert {row.category for row in rows} == set(smoke_workspace.category_names())
+        for row in rows:
+            assert set(row.subset_throughputs) == set(TRANSFORM_SUBSETS)
+            # The full transformation set is never worse than using none.
+            assert (row.subset_throughputs["full"]
+                    >= row.subset_throughputs["none"] - 1e-9)
+            assert row.ordered()[-1] == row.subset_throughputs["full"]
+
+
+class TestFigure11:
+    def test_depth_analysis_rows(self, smoke_workspace):
+        rows = depth_analysis(smoke_workspace, CATEGORY, max_depth=2, pool_size=4)
+        assert len(rows) == 4  # depths 1 and 2, each with and without reference
+        n_cascades = [row.n_cascades for row in rows]
+        assert n_cascades == sorted(n_cascades)
+        for row in rows:
+            assert row.average_throughput > 0
+            assert row.frontier
+
+    def test_deeper_cascades_never_lose_throughput(self, smoke_workspace):
+        rows = depth_analysis(smoke_workspace, CATEGORY, max_depth=2, pool_size=4)
+        without_reference = [row for row in rows if not row.with_reference_tail]
+        assert (without_reference[-1].average_throughput
+                >= without_reference[0].average_throughput - 1e-9)
+
+    def test_invalid_depth(self, smoke_workspace):
+        with pytest.raises(ValueError):
+            depth_analysis(smoke_workspace, CATEGORY, max_depth=0)
+
+
+class TestBaselineHelpers:
+    def test_reference_only_evaluation(self, smoke_workspace):
+        predicate = smoke_workspace.predicates[CATEGORY]
+        profiler = smoke_workspace.profiler("infer_only")
+        evaluation = reference_only_evaluation(predicate, profiler)
+        assert evaluation.cascade.depth == 1
+        assert evaluation.cascade.ends_in_reference()
+
+    def test_baseline_evaluation_is_subset_of_design_space(self, smoke_workspace):
+        predicate = smoke_workspace.predicates[CATEGORY]
+        profiler = smoke_workspace.profiler("camera")
+        baseline = baseline_evaluation(predicate, profiler,
+                                       smoke_workspace.scale.image_size)
+        assert len(baseline) < predicate.optimizer.n_cascades

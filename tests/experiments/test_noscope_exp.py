@@ -1,0 +1,54 @@
+"""Tests for the NoScope comparison experiment (Figure 8) at smoke scale."""
+
+import numpy as np
+import pytest
+
+from repro.data.video import CORAL_PRESET, generate_video_stream
+from repro.experiments.noscope_exp import noscope_comparison, split_stream
+from repro.experiments.presets import SMOKE_SCALE
+
+
+class TestSplitStream:
+    def test_split_sizes_and_order(self):
+        stream = generate_video_stream(CORAL_PRESET, np.random.default_rng(0))
+        splits, held_out = split_stream(stream, train_fraction=0.4,
+                                        config_fraction=0.2)
+        assert len(splits.train) == int(len(stream) * 0.4)
+        assert len(splits.config) == int(len(stream) * 0.2)
+        assert len(held_out) == len(stream) - len(splits.train) - len(splits.config)
+        # Held-out frames stay in temporal order (same as the stream's tail).
+        np.testing.assert_allclose(held_out.images[0],
+                                   stream.frames[len(splits.train) + len(splits.config)])
+
+    def test_invalid_fractions(self):
+        stream = generate_video_stream(CORAL_PRESET, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            split_stream(stream, train_fraction=0.8, config_fraction=0.3)
+        with pytest.raises(ValueError):
+            split_stream(stream, train_fraction=0.0, config_fraction=0.2)
+
+
+class TestNoScopeComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return noscope_comparison(SMOKE_SCALE, stream_names=("coral",), seed=0)
+
+    def test_one_result_per_stream(self, results):
+        assert len(results) == 1
+        assert results[0].stream_name == "coral"
+
+    def test_both_pipelines_produce_valid_results(self, results):
+        comparison = results[0]
+        for result in (comparison.noscope, comparison.tahoma_dd):
+            assert result.n_frames > 0
+            assert 0.0 <= result.accuracy <= 1.0
+            assert result.throughput > 0
+            assert result.n_reused + result.n_specialized == result.n_frames
+
+    def test_tahoma_dd_at_least_as_fast_as_noscope(self, results):
+        """The Figure 8 headline: TAHOMA+DD outperforms NoScope."""
+        assert results[0].speedup >= 1.0
+
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(KeyError):
+            noscope_comparison(SMOKE_SCALE, stream_names=("shibuya",))

@@ -1,0 +1,48 @@
+"""Tests for the text reporting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import format_float, format_table, to_csv_lines
+
+
+class TestFormatFloat:
+    def test_large_numbers_get_thousands_separator(self):
+        assert format_float(12345.6) == "12,346"
+
+    def test_small_numbers_keep_digits(self):
+        assert format_float(3.14159, digits=2) == "3.14"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_strings_pass_through(self):
+        assert format_float("archive") == "archive"
+
+    def test_bools_pass_through(self):
+        assert format_float(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        table = format_table(["scenario", "fps"],
+                             [["archive", 57.5], ["camera", 107.1]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "scenario" in lines[0]
+        assert "archive" in lines[2]
+        # All lines padded to the same width structure.
+        assert lines[1].startswith("-")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+
+class TestCsv:
+    def test_round_trip_structure(self):
+        lines = to_csv_lines(["a", "b"], [[1, 2], [3, 4]])
+        assert lines == ["a,b", "1,2", "3,4"]

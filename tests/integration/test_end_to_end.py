@@ -1,0 +1,73 @@
+"""End-to-end integration tests: the full TAHOMA pipeline on one predicate."""
+
+import numpy as np
+import pytest
+
+from repro.core.selector import UserConstraints
+from repro.experiments.scenarios import reference_only_evaluation
+
+
+class TestFullPipeline:
+    """Exercises initialize -> evaluate -> select -> query on the tiny fixtures."""
+
+    def test_selected_cascade_dominates_reference(self, tiny_optimizer, tiny_splits,
+                                                  infer_only_profiler,
+                                                  smoke_workspace):
+        """The paper's headline claim at miniature scale: there is a cascade at
+        least as accurate as the reference classifier and much faster."""
+        frontier = tiny_optimizer.frontier(infer_only_profiler)
+        from repro.core.cascade import Cascade, CascadeLevel
+        from repro.core.evaluator import evaluate_cascade
+
+        reference = Cascade((CascadeLevel(tiny_optimizer.reference_model, None),))
+        reference_eval = evaluate_cascade(reference, tiny_optimizer.cache,
+                                          infer_only_profiler)
+        at_least_as_accurate = [e for e in frontier
+                                if e.accuracy >= reference_eval.accuracy]
+        assert at_least_as_accurate, "no cascade matches the reference accuracy"
+        best = max(at_least_as_accurate, key=lambda e: e.throughput)
+        assert best.throughput > reference_eval.throughput
+
+    def test_scenario_changes_selected_cascade_cost(self, tiny_optimizer,
+                                                    infer_only_profiler,
+                                                    camera_profiler):
+        constraints = UserConstraints(max_accuracy_loss=0.1)
+        infer_choice = tiny_optimizer.select(infer_only_profiler, constraints)
+        camera_choice = tiny_optimizer.select(camera_profiler, constraints)
+        # Under CAMERA the same cascade must be no faster than under INFER ONLY
+        # (it pays extra transform costs); the selected cascades may differ.
+        assert camera_choice.throughput <= infer_choice.throughput + 1e-9
+
+    def test_query_results_match_simulated_accuracy(self, tiny_optimizer,
+                                                    tiny_splits,
+                                                    camera_profiler):
+        chosen = tiny_optimizer.select(camera_profiler,
+                                       UserConstraints(max_accuracy_loss=0.05))
+        labels = tiny_optimizer.query(tiny_splits.eval.images, chosen)
+        accuracy = float((labels == tiny_splits.eval.labels).mean())
+        assert accuracy == pytest.approx(chosen.accuracy)
+
+    def test_cascades_beat_chance_on_held_out_data(self, tiny_optimizer,
+                                                   tiny_splits,
+                                                   infer_only_profiler):
+        chosen = tiny_optimizer.select(infer_only_profiler)
+        assert chosen.accuracy > 0.6
+
+
+class TestWorkspaceConsistency:
+    def test_every_predicate_has_fast_accurate_cascades(self, smoke_workspace):
+        profiler = smoke_workspace.profiler("infer_only")
+        for name, predicate in smoke_workspace.predicates.items():
+            frontier = predicate.optimizer.frontier(profiler)
+            reference_eval = reference_only_evaluation(predicate, profiler)
+            best_accuracy = max(e.accuracy for e in frontier)
+            assert best_accuracy >= reference_eval.accuracy - 0.1, name
+
+    def test_frontier_cascades_executable_end_to_end(self, smoke_workspace):
+        """Every Pareto-optimal cascade actually runs over raw images."""
+        profiler = smoke_workspace.profiler("camera")
+        predicate = smoke_workspace.predicates["komondor"]
+        images = predicate.splits.eval.images[:8]
+        for evaluation in predicate.optimizer.frontier(profiler)[:5]:
+            labels = evaluation.cascade.classify(images)
+            assert labels.shape == (8,)

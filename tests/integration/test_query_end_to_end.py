@@ -1,0 +1,61 @@
+"""Integration test: the motivating query from the paper's introduction.
+
+"Find images from Detroit containing a komondor" decomposes into a metadata
+predicate (location == 'detroit') and a binary content predicate
+(contains_object(komondor)); the query processor must evaluate the cheap
+metadata predicate first and run the selected cascade only on the survivors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.selector import UserConstraints
+from repro.data.categories import get_category
+from repro.data.corpus import generate_corpus
+from repro.query.predicates import ContainsObject, MetadataPredicate
+from repro.query.processor import Query, QueryProcessor
+from tests.conftest import TINY_SIZE
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus((get_category("komondor"),), n_images=30,
+                           image_size=TINY_SIZE, rng=np.random.default_rng(21),
+                           positive_rate=0.9)
+
+
+def test_detroit_komondor_query(corpus, tiny_optimizer, camera_profiler):
+    processor = QueryProcessor(corpus, {"komondor": tiny_optimizer},
+                               camera_profiler)
+    query = Query(
+        metadata_predicates=(MetadataPredicate("location", "==", "detroit"),),
+        content_predicates=(ContainsObject("komondor"),),
+        constraints=UserConstraints(max_accuracy_loss=0.05))
+    result = processor.execute(query)
+
+    detroit_mask = corpus.metadata["location"] == "detroit"
+    # Only Detroit images were classified.
+    assert result.images_classified["komondor"] == int(detroit_mask.sum())
+    # Every selected row is from Detroit.
+    assert all(result.relation["location"] == "detroit")
+    # The virtual column exists and is binary.
+    assert set(np.unique(result.relation["contains_komondor"])) <= {0, 1}
+    # The chosen cascade honours the 5% relative accuracy budget on the
+    # optimizer's own evaluation data.
+    frontier = tiny_optimizer.frontier(camera_profiler)
+    best = max(e.accuracy for e in frontier)
+    assert result.cascades_used["komondor"].accuracy >= best * 0.95 - 1e-9
+
+
+def test_follow_up_query_reuses_materialized_column(corpus, tiny_optimizer,
+                                                    camera_profiler):
+    processor = QueryProcessor(corpus, {"komondor": tiny_optimizer},
+                               camera_profiler)
+    broad = Query(content_predicates=(ContainsObject("komondor"),))
+    processor.execute(broad)
+    narrow = Query(
+        metadata_predicates=(MetadataPredicate("location", "==", "detroit"),),
+        content_predicates=(ContainsObject("komondor"),))
+    result = processor.execute(narrow)
+    # Everything needed was already materialized by the broad query.
+    assert result.images_classified["komondor"] == 0

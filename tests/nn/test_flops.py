@@ -1,0 +1,58 @@
+"""Tests for FLOP accounting."""
+
+import numpy as np
+import pytest
+
+from repro.nn.flops import count_layer_flops, count_network_flops
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sigmoid
+from repro.nn.network import Sequential
+
+
+def test_dense_layer_flops():
+    assert count_layer_flops(Dense(100, 10), (100,)) == 1000
+
+
+def test_conv_layer_flops_formula():
+    layer = Conv2D(3, 8, kernel_size=3, padding="same")
+    # out 10x10x8, each output needs 3*3*3 MACs.
+    assert count_layer_flops(layer, (10, 10, 3)) == 10 * 10 * 8 * 27
+
+
+def test_network_flops_is_sum_of_layers():
+    rng = np.random.default_rng(0)
+    net = Sequential([
+        Conv2D(3, 4, 3, rng=rng), ReLU(), MaxPool2D(2),
+        Flatten(), Dense(4 * 4 * 4, 1, rng=rng), Sigmoid(),
+    ], input_shape=(8, 8, 3))
+    total = count_network_flops(net)
+    manual = 0
+    shape = (8, 8, 3)
+    for layer in net.layers:
+        manual += layer.flops(shape)
+        shape = layer.output_shape(shape)
+    assert total == manual
+    assert total > 0
+
+
+def test_network_flops_requires_shape():
+    net = Sequential([Dense(4, 1), Sigmoid()])
+    with pytest.raises(ValueError):
+        count_network_flops(net)
+    assert count_network_flops(net, (4,)) > 0
+
+
+def test_flops_grow_with_resolution_and_channels():
+    """The property the whole cost model relies on: bigger inputs cost more."""
+    rng = np.random.default_rng(1)
+
+    def flops_for(resolution, channels):
+        net = Sequential([
+            Conv2D(channels, 8, 3, rng=rng), ReLU(), MaxPool2D(2),
+            Flatten(),
+            Dense((resolution // 2) ** 2 * 8, 16, rng=rng), ReLU(),
+            Dense(16, 1, rng=rng), Sigmoid(),
+        ], input_shape=(resolution, resolution, channels))
+        return count_network_flops(net)
+
+    assert flops_for(16, 3) > flops_for(8, 3)
+    assert flops_for(16, 3) > flops_for(16, 1)

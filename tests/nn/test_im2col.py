@@ -1,0 +1,70 @@
+"""Tests for the im2col/col2im utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.im2col import col2im, conv_output_size, im2col
+
+
+def test_conv_output_size_basic():
+    assert conv_output_size(8, 3, 1, 1) == 8
+    assert conv_output_size(8, 3, 1, 0) == 6
+    assert conv_output_size(8, 2, 2, 0) == 4
+    assert conv_output_size(7, 2, 2, 0) == 3
+
+
+def test_im2col_shape():
+    images = np.arange(2 * 5 * 5 * 3, dtype=float).reshape(2, 5, 5, 3)
+    cols = im2col(images, 3, 3, stride=1, pad=0)
+    assert cols.shape == (2 * 3 * 3, 3 * 3 * 3)
+
+
+def test_im2col_values_single_window():
+    """A kernel covering the whole image reproduces the image itself."""
+    image = np.arange(1 * 3 * 3 * 1, dtype=float).reshape(1, 3, 3, 1)
+    cols = im2col(image, 3, 3)
+    np.testing.assert_allclose(cols.ravel(), image.ravel())
+
+
+def test_im2col_with_padding_adds_zeros():
+    image = np.ones((1, 2, 2, 1))
+    cols = im2col(image, 3, 3, stride=1, pad=1)
+    # Top-left window has zeros where padding was added.
+    first_window = cols[0].reshape(3, 3)
+    assert first_window[0, 0] == 0.0
+    assert first_window[1, 1] == 1.0
+
+
+def test_col2im_adjoint_of_im2col():
+    """<im2col(x), y> == <x, col2im(y)> — the two operators are adjoint."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((2, 6, 6, 3))
+    cols = im2col(x, 3, 3, stride=1, pad=1)
+    y = rng.standard_normal(cols.shape)
+    lhs = float((cols * y).sum())
+    rhs = float((x * col2im(y, x.shape, 3, 3, stride=1, pad=1)).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=st.integers(1, 3), size=st.integers(4, 9),
+       channels=st.integers(1, 3), kernel=st.integers(1, 3),
+       stride=st.integers(1, 2))
+def test_im2col_shape_property(batch, size, channels, kernel, stride):
+    rng = np.random.default_rng(0)
+    images = rng.random((batch, size, size, channels))
+    out = conv_output_size(size, kernel, stride, 0)
+    cols = im2col(images, kernel, kernel, stride=stride, pad=0)
+    assert cols.shape == (batch * out * out, kernel * kernel * channels)
+
+
+def test_col2im_counts_overlaps():
+    """col2im of all-ones counts how many windows cover each pixel."""
+    shape = (1, 4, 4, 1)
+    cols = np.ones((1 * 2 * 2, 3 * 3 * 1))
+    counts = col2im(cols, shape, 3, 3, stride=1, pad=0)
+    # The centre pixels are covered by all four 3x3 windows.
+    assert counts[0, 1, 1, 0] == 4
+    assert counts[0, 0, 0, 0] == 1

@@ -1,0 +1,85 @@
+"""Tests for the Sequential container."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sigmoid
+from repro.nn.network import Sequential
+
+
+def make_net(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return Sequential([
+        Conv2D(3, 4, 3, rng=rng), ReLU(), MaxPool2D(2),
+        Flatten(), Dense(4 * 4 * 4, 8, rng=rng), ReLU(),
+        Dense(8, 1, rng=rng), Sigmoid(),
+    ], input_shape=(8, 8, 3))
+
+
+class TestSequential:
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_forward_shape(self):
+        net = make_net()
+        out = net.forward(np.random.default_rng(0).random((5, 8, 8, 3)))
+        assert out.shape == (5, 1)
+
+    def test_output_shape_inference(self):
+        assert make_net().output_shape() == (1,)
+
+    def test_shape_trace_lengths(self):
+        net = make_net()
+        trace = net.shape_trace()
+        assert len(trace) == len(net.layers)
+        assert trace[-1] == (1,)
+
+    def test_predict_matches_forward(self):
+        net = make_net()
+        x = np.random.default_rng(1).random((7, 8, 8, 3))
+        np.testing.assert_allclose(net.predict(x, batch_size=3), net.forward(x))
+
+    def test_predict_proba_squeezes_single_output(self):
+        net = make_net()
+        x = np.random.default_rng(2).random((4, 8, 8, 3))
+        probs = net.predict_proba(x)
+        assert probs.shape == (4,)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_num_parameters_positive(self):
+        assert make_net().num_parameters() > 0
+
+    def test_parameters_round_trip(self):
+        net_a = make_net(np.random.default_rng(3))
+        net_b = make_net(np.random.default_rng(4))
+        x = np.random.default_rng(5).random((3, 8, 8, 3))
+        assert not np.allclose(net_a.forward(x), net_b.forward(x))
+        net_b.set_parameters(net_a.parameters())
+        np.testing.assert_allclose(net_a.forward(x), net_b.forward(x))
+
+    def test_set_parameters_rejects_missing_key(self):
+        net = make_net()
+        params = net.parameters()
+        params.pop(next(iter(params)))
+        with pytest.raises(KeyError):
+            net.set_parameters(params)
+
+    def test_set_parameters_rejects_bad_shape(self):
+        net = make_net()
+        params = net.parameters()
+        key = next(iter(params))
+        params[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.set_parameters(params)
+
+    def test_summary_mentions_every_layer(self):
+        summary = make_net().summary()
+        assert "Conv2D" in summary and "Dense" in summary
+
+    def test_backward_returns_input_shaped_gradient(self):
+        net = make_net()
+        x = np.random.default_rng(6).random((2, 8, 8, 3))
+        out = net.forward(x, training=True)
+        grad = net.backward(np.ones_like(out))
+        assert grad.shape == x.shape

@@ -1,0 +1,41 @@
+"""Tests for weight serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, ReLU, Sigmoid
+from repro.nn.network import Sequential
+from repro.nn.serialize import load_weights, save_weights
+
+
+def make_net(seed):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(6, 4, rng=rng), ReLU(), Dense(4, 1, rng=rng),
+                       Sigmoid()], input_shape=(6,))
+
+
+def test_round_trip_preserves_outputs(tmp_path):
+    net_a = make_net(0)
+    net_b = make_net(1)
+    x = np.random.default_rng(2).random((5, 6))
+    path = save_weights(net_a, tmp_path / "weights")
+    assert path.suffix == ".npz"
+    load_weights(net_b, path)
+    np.testing.assert_allclose(net_a.forward(x), net_b.forward(x))
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_weights(make_net(0), tmp_path / "nope.npz")
+
+
+def test_save_creates_parent_directories(tmp_path):
+    path = save_weights(make_net(0), tmp_path / "deep" / "dir" / "w.npz")
+    assert path.exists()
+
+
+def test_load_incompatible_architecture_raises(tmp_path):
+    path = save_weights(make_net(0), tmp_path / "w.npz")
+    other = Sequential([Dense(3, 1), Sigmoid()], input_shape=(3,))
+    with pytest.raises((KeyError, ValueError)):
+        load_weights(other, path)

@@ -1,0 +1,57 @@
+"""Tests for query predicates."""
+
+import numpy as np
+import pytest
+
+from repro.query.predicates import ContainsObject, MetadataPredicate
+from repro.query.relation import Relation
+
+
+@pytest.fixture
+def relation():
+    return Relation({
+        "location": np.array(["detroit", "seattle", "austin"]),
+        "timestamp": np.array([10.0, 20.0, 30.0]),
+    })
+
+
+class TestMetadataPredicate:
+    def test_equality(self, relation):
+        mask = MetadataPredicate("location", "==", "detroit").evaluate(relation)
+        np.testing.assert_array_equal(mask, [True, False, False])
+
+    def test_comparison(self, relation):
+        mask = MetadataPredicate("timestamp", ">=", 20.0).evaluate(relation)
+        np.testing.assert_array_equal(mask, [False, True, True])
+
+    def test_in_operator(self, relation):
+        predicate = MetadataPredicate("location", "in", ("detroit", "austin"))
+        np.testing.assert_array_equal(predicate.evaluate(relation),
+                                      [True, False, True])
+
+    def test_not_equal(self, relation):
+        mask = MetadataPredicate("location", "!=", "seattle").evaluate(relation)
+        assert mask.sum() == 2
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            MetadataPredicate("location", "~=", "x")
+
+    def test_unknown_column(self, relation):
+        with pytest.raises(KeyError):
+            MetadataPredicate("speed", "==", 1).evaluate(relation)
+
+    def test_str(self):
+        assert "location" in str(MetadataPredicate("location", "==", "detroit"))
+
+
+class TestContainsObject:
+    def test_column_name(self):
+        assert ContainsObject("komondor").column_name == "contains_komondor"
+
+    def test_empty_category_rejected(self):
+        with pytest.raises(ValueError):
+            ContainsObject("")
+
+    def test_str(self):
+        assert str(ContainsObject("fence")) == "contains_object(fence)"

@@ -1,0 +1,111 @@
+"""Tests for the query processor (uses the session-scoped tiny optimizer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.selector import UserConstraints
+from repro.data.categories import get_category
+from repro.data.corpus import generate_corpus
+from repro.query.predicates import ContainsObject, MetadataPredicate
+from repro.query.processor import Query, QueryProcessor
+from tests.conftest import TINY_SIZE
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus((get_category("komondor"), get_category("scorpion")),
+                           n_images=24, image_size=TINY_SIZE,
+                           rng=np.random.default_rng(3), positive_rate=0.8)
+
+
+@pytest.fixture(scope="module")
+def processor(corpus, tiny_optimizer, camera_profiler):
+    return QueryProcessor(corpus, {"komondor": tiny_optimizer}, camera_profiler)
+
+
+class TestQueryValidation:
+    def test_query_needs_predicates(self):
+        with pytest.raises(ValueError):
+            Query()
+
+
+class TestMetadataOnlyQueries:
+    def test_metadata_filter(self, processor, corpus):
+        query = Query(metadata_predicates=(
+            MetadataPredicate("location", "==", "detroit"),))
+        result = processor.execute(query)
+        expected = int((corpus.metadata["location"] == "detroit").sum())
+        assert len(result) == expected
+        assert result.cascades_used == {}
+
+    def test_empty_result(self, processor):
+        query = Query(metadata_predicates=(
+            MetadataPredicate("location", "==", "nowhere"),))
+        assert len(processor.execute(query)) == 0
+
+
+class TestContentQueries:
+    def test_contains_object_populates_virtual_column(self, processor):
+        query = Query(content_predicates=(ContainsObject("komondor"),),
+                      constraints=UserConstraints(max_accuracy_loss=0.1))
+        result = processor.execute(query)
+        assert "contains_komondor" in result.relation
+        assert "komondor" in result.cascades_used
+        assert result.images_classified["komondor"] > 0
+
+    def test_unknown_category_raises(self, processor):
+        query = Query(content_predicates=(ContainsObject("zebra"),))
+        with pytest.raises(KeyError):
+            processor.execute(query)
+
+    def test_metadata_predicate_reduces_classified_images(self, corpus,
+                                                          tiny_optimizer,
+                                                          camera_profiler):
+        processor = QueryProcessor(corpus, {"komondor": tiny_optimizer},
+                                   camera_profiler)
+        narrow = Query(
+            metadata_predicates=(MetadataPredicate("location", "==", "detroit"),),
+            content_predicates=(ContainsObject("komondor"),))
+        result = processor.execute(narrow)
+        n_detroit = int((corpus.metadata["location"] == "detroit").sum())
+        assert result.images_classified["komondor"] == n_detroit
+
+    def test_materialized_column_reused_across_queries(self, corpus,
+                                                       tiny_optimizer,
+                                                       camera_profiler):
+        processor = QueryProcessor(corpus, {"komondor": tiny_optimizer},
+                                   camera_profiler)
+        query = Query(content_predicates=(ContainsObject("komondor"),))
+        first = processor.execute(query)
+        second = processor.execute(query)
+        assert first.images_classified["komondor"] == len(corpus)
+        assert second.images_classified["komondor"] == 0
+        np.testing.assert_array_equal(first.selected_indices,
+                                      second.selected_indices)
+
+    def test_query_finds_mostly_true_positives(self, corpus, tiny_optimizer,
+                                               camera_profiler):
+        """The selected rows should be enriched in images that truly contain
+        the object, compared to the corpus base rate."""
+        processor = QueryProcessor(corpus, {"komondor": tiny_optimizer},
+                                   camera_profiler)
+        result = processor.execute(
+            Query(content_predicates=(ContainsObject("komondor"),)))
+        truth = corpus.content["komondor"]
+        base_rate = truth.mean()
+        if len(result) > 0:
+            selected_rate = truth[result.selected_indices].mean()
+            assert selected_rate >= base_rate
+
+
+class TestProcessorConstruction:
+    def test_empty_corpus_rejected(self, tiny_optimizer, camera_profiler):
+        from repro.data.corpus import ImageCorpus
+
+        with pytest.raises(ValueError):
+            QueryProcessor(ImageCorpus(images=np.zeros((0, 8, 8, 3)), metadata={}),
+                           {}, camera_profiler)
+
+    def test_relation_exposes_metadata(self, processor):
+        assert "location" in processor.relation
+        assert "image_id" in processor.relation

@@ -1,0 +1,72 @@
+"""Tests for the in-memory relation."""
+
+import numpy as np
+import pytest
+
+from repro.query.relation import Relation
+
+
+@pytest.fixture
+def relation():
+    return Relation({
+        "location": np.array(["detroit", "seattle", "detroit", "austin"]),
+        "camera_id": np.array([1, 2, 1, 3]),
+    })
+
+
+def test_length_and_columns(relation):
+    assert len(relation) == 4
+    assert relation.column_names() == ["camera_id", "location"]
+    assert "location" in relation
+
+
+def test_requires_columns():
+    with pytest.raises(ValueError):
+        Relation({})
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        Relation({"a": np.zeros(3), "b": np.zeros(4)})
+
+
+def test_column_access(relation):
+    np.testing.assert_array_equal(relation["camera_id"], [1, 2, 1, 3])
+    with pytest.raises(KeyError):
+        relation.column("missing")
+
+
+def test_with_column(relation):
+    extended = relation.with_column("flag", np.array([1, 0, 1, 0]))
+    assert "flag" in extended
+    assert "flag" not in relation  # original unchanged
+
+
+def test_with_column_length_check(relation):
+    with pytest.raises(ValueError):
+        relation.with_column("bad", np.zeros(2))
+
+
+def test_filter(relation):
+    mask = relation["location"] == "detroit"
+    filtered = relation.filter(mask)
+    assert len(filtered) == 2
+    assert set(filtered["camera_id"]) == {1}
+
+
+def test_filter_length_check(relation):
+    with pytest.raises(ValueError):
+        relation.filter(np.array([True, False]))
+
+
+def test_project(relation):
+    projected = relation.project(["location"])
+    assert projected.column_names() == ["location"]
+    with pytest.raises(ValueError):
+        relation.project([])
+
+
+def test_to_dict_is_copy(relation):
+    columns = relation.to_dict()
+    columns["new"] = np.zeros(4)
+    assert "new" not in relation

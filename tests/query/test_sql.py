@@ -1,0 +1,104 @@
+"""Tests for the SQL-ish query parser."""
+
+import pytest
+
+from repro.core.selector import UserConstraints
+from repro.query.predicates import ContainsObject, MetadataPredicate
+from repro.query.sql import SqlParseError, parse_query
+
+
+class TestBasicParsing:
+    def test_paper_example(self):
+        query = parse_query(
+            "SELECT * FROM images WHERE location = 'detroit' "
+            "AND contains_object(bicycle)")
+        assert query.metadata_predicates == (
+            MetadataPredicate("location", "==", "detroit"),)
+        assert query.content_predicates == (ContainsObject("bicycle"),)
+
+    def test_contains_object_only(self):
+        query = parse_query("SELECT * FROM images WHERE contains_object(komondor)")
+        assert query.metadata_predicates == ()
+        assert query.content_predicates == (ContainsObject("komondor"),)
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select * from images where Contains_Object(acorn)")
+        assert query.content_predicates == (ContainsObject("acorn"),)
+
+    def test_trailing_semicolon(self):
+        query = parse_query("SELECT * FROM images WHERE camera_id = 3;")
+        assert query.metadata_predicates[0].value == 3
+
+    def test_quoted_category(self):
+        query = parse_query("SELECT * FROM images WHERE contains_object('fence')")
+        assert query.content_predicates == (ContainsObject("fence"),)
+
+
+class TestLiteralsAndOperators:
+    @pytest.mark.parametrize("sql_op,expected", [
+        ("=", "=="), ("!=", "!="), ("<", "<"), ("<=", "<="), (">", ">"), (">=", ">="),
+    ])
+    def test_operators(self, sql_op, expected):
+        query = parse_query(f"SELECT * FROM images WHERE timestamp {sql_op} 100")
+        assert query.metadata_predicates[0].operator == expected
+
+    def test_numeric_literals(self):
+        query = parse_query("SELECT * FROM images WHERE timestamp >= 12.5")
+        assert query.metadata_predicates[0].value == pytest.approx(12.5)
+
+    def test_string_literals_double_quotes(self):
+        query = parse_query('SELECT * FROM images WHERE location = "austin"')
+        assert query.metadata_predicates[0].value == "austin"
+
+    def test_unquoted_string_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_query("SELECT * FROM images WHERE location = detroit")
+
+
+class TestConjunctions:
+    def test_multiple_predicates(self):
+        query = parse_query(
+            "SELECT * FROM images WHERE location = 'detroit' AND timestamp < 500 "
+            "AND contains_object(wallet) AND contains_object(fence)")
+        assert len(query.metadata_predicates) == 2
+        assert len(query.content_predicates) == 2
+
+    def test_and_is_case_insensitive(self):
+        query = parse_query(
+            "SELECT * FROM images WHERE camera_id = 1 and contains_object(coho)")
+        assert len(query.metadata_predicates) == 1
+        assert len(query.content_predicates) == 1
+
+
+class TestErrors:
+    def test_empty_query(self):
+        with pytest.raises(SqlParseError):
+            parse_query("   ")
+
+    def test_missing_where_predicates(self):
+        with pytest.raises(SqlParseError):
+            parse_query("SELECT * FROM images")
+
+    def test_unsupported_projection(self):
+        with pytest.raises(SqlParseError):
+            parse_query("SELECT id FROM images WHERE camera_id = 1")
+
+    def test_unsupported_predicate_shape(self):
+        with pytest.raises(SqlParseError):
+            parse_query("SELECT * FROM images WHERE location LIKE 'det%'")
+
+    def test_or_not_supported(self):
+        with pytest.raises(SqlParseError):
+            parse_query("SELECT * FROM images WHERE camera_id = 1 OR camera_id = 2")
+
+
+class TestConstraints:
+    def test_constraints_attached(self):
+        constraints = UserConstraints(max_accuracy_loss=0.05)
+        query = parse_query("SELECT * FROM images WHERE contains_object(ferret)",
+                            constraints=constraints)
+        assert query.constraints is constraints
+
+    def test_default_constraints(self):
+        query = parse_query("SELECT * FROM images WHERE contains_object(ferret)")
+        assert query.constraints == UserConstraints()

@@ -1,0 +1,71 @@
+"""Tests for the representation store."""
+
+import numpy as np
+import pytest
+
+from repro.storage.store import RepresentationStore
+from repro.storage.tiers import MEMORY
+from repro.transforms.spec import TransformSpec
+
+
+@pytest.fixture
+def images():
+    return np.random.default_rng(0).random((6, 16, 16, 3))
+
+
+def test_materialize_and_get(images):
+    store = RepresentationStore()
+    specs = [TransformSpec(8, "rgb"), TransformSpec(8, "gray")]
+    store.materialize(images, specs)
+    assert len(store) == 2
+    assert store.get(specs[1]).shape == (6, 8, 8, 1)
+    assert specs[0] in store
+
+
+def test_get_missing_raises(images):
+    store = RepresentationStore()
+    with pytest.raises(KeyError):
+        store.get(TransformSpec(8, "rgb"))
+
+
+def test_get_or_transform_caches(images):
+    store = RepresentationStore()
+    spec = TransformSpec(8, "red")
+    first = store.get_or_transform(spec, images)
+    second = store.get_or_transform(spec, np.zeros_like(images))
+    # Second call returns the cached representation, not a re-transform.
+    np.testing.assert_allclose(first, second)
+
+
+def test_add_validates_shape(images):
+    store = RepresentationStore()
+    with pytest.raises(ValueError):
+        store.add(TransformSpec(8, "gray"), np.zeros((3, 8, 8, 3)))
+
+
+def test_materialize_rejects_single_image():
+    store = RepresentationStore()
+    with pytest.raises(ValueError):
+        store.materialize(np.zeros((16, 16, 3)), [TransformSpec(8)])
+
+
+def test_bytes_stored_counts_all_images(images):
+    store = RepresentationStore()
+    spec = TransformSpec(8, "gray")
+    store.materialize(images, [spec])
+    assert store.bytes_stored() == 6 * 8 * 8
+    assert store.bytes_stored(per_image=True) == 8 * 8
+
+
+def test_load_time_uses_tier(images):
+    fast = RepresentationStore(tier=MEMORY)
+    spec = TransformSpec(8, "rgb")
+    assert fast.load_time(spec) >= 0.0
+
+
+def test_specs_listing(images):
+    store = RepresentationStore()
+    store.materialize(images, [TransformSpec(8, "rgb"), TransformSpec(16, "gray")])
+    names = [spec.name for spec in store.specs()]
+    assert names == sorted(names)
+    assert len(names) == 2

@@ -1,0 +1,100 @@
+"""Tests for color transformations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transforms.color import (
+    COLOR_MODES,
+    channels_for_mode,
+    extract_channel,
+    quantize_color_depth,
+    to_color_mode,
+    to_grayscale,
+)
+
+
+class TestGrayscale:
+    def test_shape(self):
+        out = to_grayscale(np.random.default_rng(0).random((6, 6, 3)))
+        assert out.shape == (6, 6, 1)
+
+    def test_luma_weights(self):
+        image = np.zeros((1, 1, 3))
+        image[0, 0] = [1.0, 0.0, 0.0]
+        assert to_grayscale(image)[0, 0, 0] == pytest.approx(0.299)
+
+    def test_white_stays_white(self):
+        assert to_grayscale(np.ones((2, 2, 3)))[0, 0, 0] == pytest.approx(1.0)
+
+    def test_rejects_single_channel(self):
+        with pytest.raises(ValueError):
+            to_grayscale(np.zeros((4, 4, 1)))
+
+
+class TestChannelExtraction:
+    @pytest.mark.parametrize("channel,index", [("red", 0), ("green", 1), ("blue", 2)])
+    def test_extracts_correct_channel(self, channel, index):
+        rng = np.random.default_rng(1)
+        image = rng.random((5, 5, 3))
+        out = extract_channel(image, channel)
+        np.testing.assert_allclose(out[:, :, 0], image[:, :, index])
+
+    def test_returns_copy(self):
+        image = np.zeros((3, 3, 3))
+        out = extract_channel(image, "red")
+        out[0, 0, 0] = 5.0
+        assert image[0, 0, 0] == 0.0
+
+    def test_unknown_channel(self):
+        with pytest.raises(ValueError):
+            extract_channel(np.zeros((3, 3, 3)), "alpha")
+
+
+class TestColorModeDispatch:
+    @pytest.mark.parametrize("mode", COLOR_MODES)
+    def test_channel_count_matches_helper(self, mode):
+        image = np.random.default_rng(2).random((4, 4, 3))
+        out = to_color_mode(image, mode)
+        assert out.shape[-1] == channels_for_mode(mode)
+
+    def test_rgb_is_copy(self):
+        image = np.random.default_rng(3).random((4, 4, 3))
+        out = to_color_mode(image, "rgb")
+        np.testing.assert_allclose(out, image)
+        out[0, 0, 0] = 9.0
+        assert image[0, 0, 0] != 9.0
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            to_color_mode(np.zeros((2, 2, 3)), "cmyk")
+        with pytest.raises(ValueError):
+            channels_for_mode("cmyk")
+
+    def test_batch_input(self):
+        batch = np.random.default_rng(4).random((3, 4, 4, 3))
+        assert to_color_mode(batch, "gray").shape == (3, 4, 4, 1)
+
+
+class TestQuantize:
+    def test_one_bit_is_binary(self):
+        image = np.array([[[0.1, 0.6, 0.9]]])
+        out = quantize_color_depth(image, 1)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_eight_bits_close_to_identity(self):
+        image = np.random.default_rng(5).random((4, 4, 3))
+        np.testing.assert_allclose(quantize_color_depth(image, 8), image, atol=1 / 255)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_color_depth(np.zeros((2, 2, 3)), 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(mode=st.sampled_from(list(COLOR_MODES)), seed=st.integers(0, 1000))
+def test_color_modes_preserve_value_range(mode, seed):
+    image = np.random.default_rng(seed).random((6, 6, 3))
+    out = to_color_mode(image, mode)
+    assert out.min() >= 0.0 and out.max() <= 1.0

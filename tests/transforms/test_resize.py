@@ -1,0 +1,84 @@
+"""Tests for resolution-scaling transformations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transforms.resize import resize, resize_area, resize_bilinear, resize_nearest
+
+
+def gradient_image(size=16, channels=3):
+    ramp = np.linspace(0, 1, size)
+    image = np.broadcast_to(ramp[None, :, None], (size, size, channels))
+    return np.array(image)
+
+
+class TestResizeModes:
+    @pytest.mark.parametrize("fn", [resize_nearest, resize_bilinear, resize_area])
+    def test_output_shape(self, fn):
+        out = fn(gradient_image(16), 8)
+        assert out.shape == (8, 8, 3)
+
+    @pytest.mark.parametrize("fn", [resize_nearest, resize_bilinear, resize_area])
+    def test_batch_input(self, fn):
+        batch = np.stack([gradient_image(16) for _ in range(4)])
+        out = fn(batch, 8)
+        assert out.shape == (4, 8, 8, 3)
+
+    def test_constant_image_stays_constant(self):
+        image = np.full((12, 12, 3), 0.7)
+        for fn in (resize_nearest, resize_bilinear, resize_area):
+            np.testing.assert_allclose(fn(image, 6), 0.7)
+
+    def test_area_is_exact_block_average(self):
+        image = np.zeros((4, 4, 1))
+        image[:2, :2, 0] = 1.0
+        out = resize_area(image, 2)
+        np.testing.assert_allclose(out[:, :, 0], [[1.0, 0.0], [0.0, 0.0]])
+
+    def test_area_falls_back_for_non_integer_ratio(self):
+        out = resize_area(gradient_image(10), 4)
+        assert out.shape == (4, 4, 3)
+
+    def test_upscaling_supported(self):
+        out = resize_bilinear(gradient_image(8), 16)
+        assert out.shape == (16, 16, 3)
+
+    def test_bilinear_preserves_horizontal_gradient_order(self):
+        out = resize_bilinear(gradient_image(16), 8)
+        row = out[0, :, 0]
+        assert np.all(np.diff(row) >= -1e-9)
+
+
+class TestResizeDispatch:
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            resize(gradient_image(), 8, mode="bicubic")
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            resize(gradient_image(), 0)
+
+    def test_noop_returns_copy(self):
+        image = gradient_image(8)
+        out = resize(image, 8)
+        np.testing.assert_allclose(out, image)
+        out[0, 0, 0] = 99.0
+        assert image[0, 0, 0] != 99.0
+
+    def test_bad_rank_raises(self):
+        with pytest.raises(ValueError):
+            resize(np.zeros((4, 4)), 2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(size=st.sampled_from([8, 12, 16]), target=st.sampled_from([2, 4, 8]),
+       mode=st.sampled_from(["nearest", "bilinear", "area"]))
+def test_resize_preserves_value_range(size, target, mode):
+    """Resizing never produces values outside the input's [min, max] range."""
+    rng = np.random.default_rng(size * target)
+    image = rng.random((size, size, 3))
+    out = resize(image, target, mode=mode)
+    assert out.min() >= image.min() - 1e-9
+    assert out.max() <= image.max() + 1e-9
