@@ -1,0 +1,103 @@
+"""Facade overhead: repro.db.VisualDatabase vs the raw QueryProcessor.
+
+The ``repro.db`` facade adds SQL parsing, planning (cascade selection +
+selectivity-ordered content predicates) and ResultSet construction on top of
+the executor the raw :class:`~repro.query.processor.QueryProcessor` shim also
+uses.  This benchmark times a multi-predicate query through both entry points
+with a cold and a warm representation store, so the facade's bookkeeping can
+be read off against the dominant classification cost.
+"""
+
+import time
+
+import numpy as np
+
+from _util import write_result
+from repro.core.selector import UserConstraints
+from repro.data.categories import get_category
+from repro.data.corpus import generate_corpus
+from repro.experiments.reporting import format_table
+from repro.query.processor import QueryProcessor
+from repro.query.sql import parse_query
+
+N_IMAGES = 48
+CATEGORIES = ("komondor", "scorpion")
+# Content-only so both predicates sweep the whole corpus: that is the case
+# where the persistent representation store materializes corpus-wide and a
+# warm re-run can skip the transforms.
+SQL = ("SELECT * FROM images "
+       "WHERE contains_object(komondor) AND contains_object(scorpion)")
+CONSTRAINTS = UserConstraints(max_accuracy_loss=0.05)
+
+
+def _corpus(workspace):
+    return generate_corpus(tuple(get_category(name) for name in CATEGORIES),
+                           n_images=N_IMAGES,
+                           image_size=workspace.scale.image_size,
+                           rng=np.random.default_rng(17), positive_rate=0.8)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_query_api_overhead(benchmark, default_workspace, results_dir):
+    corpus = _corpus(default_workspace)
+    optimizers = {name: default_workspace.predicates[name].optimizer
+                  for name in CATEGORIES}
+    profiler = default_workspace.profiler("archive")
+    query = parse_query(SQL, constraints=CONSTRAINTS)
+
+    # -- raw processor: cold store, then labels invalidated but store warm.
+    processor = QueryProcessor(corpus, optimizers, profiler)
+    raw_result, raw_cold_s = _timed(lambda: processor.execute(query))
+    processor._executor.invalidate()
+    _, raw_warm_s = _timed(lambda: processor.execute(query))
+
+    # -- facade: same executor machinery behind parse/plan/ResultSet.
+    db = default_workspace.database("archive", corpus=corpus,
+                                   constraints=CONSTRAINTS)
+
+    def facade_cold():
+        db.executor.clear_cache()
+        return db.execute(SQL)
+
+    facade_result = benchmark.pedantic(facade_cold, rounds=3, iterations=1)
+    _, facade_cold_s = _timed(facade_cold)
+    db.executor.invalidate()
+    _, facade_warm_s = _timed(lambda: db.execute(SQL))
+
+    # Planning alone (no classification): repeat on materialized columns.
+    _, facade_hot_s = _timed(lambda: db.execute(SQL))
+
+    assert np.array_equal(facade_result.image_ids, raw_result.selected_indices)
+
+    def fmt(seconds):
+        return f"{seconds * 1e3:.1f}"
+
+    rows = [
+        ["raw QueryProcessor", "cold", fmt(raw_cold_s), "1.00x"],
+        ["raw QueryProcessor", "warm store", fmt(raw_warm_s),
+         f"{raw_warm_s / raw_cold_s:.2f}x"],
+        ["repro.db facade", "cold", fmt(facade_cold_s),
+         f"{facade_cold_s / raw_cold_s:.2f}x"],
+        ["repro.db facade", "warm store", fmt(facade_warm_s),
+         f"{facade_warm_s / raw_cold_s:.2f}x"],
+        ["repro.db facade", "materialized (plan only)", fmt(facade_hot_s),
+         f"{facade_hot_s / raw_cold_s:.2f}x"],
+    ]
+    body = format_table(["entry point", "representation store", "ms",
+                         "vs raw cold"], rows)
+    body += (f"\n\nquery: {SQL}\n"
+             f"corpus: {N_IMAGES} images at "
+             f"{default_workspace.scale.image_size}px; "
+             f"scenario: archive; constraints: max_accuracy_loss=0.05")
+    write_result(results_dir, "query_api_overhead",
+                 "repro.db facade overhead vs raw QueryProcessor", body)
+
+    # The facade must not add classification work: with a warm store both
+    # entry points re-classify the same rows, and the plan-only run must be
+    # far cheaper than any classifying run.
+    assert facade_hot_s < facade_cold_s

@@ -8,12 +8,12 @@ later asks
     SELECT * FROM images
     WHERE location = 'detroit' AND contains_object(komondor)
 
-which decomposes into a cheap metadata predicate and an expensive binary
-content predicate.  The query processor evaluates the metadata predicate
-first, selects a Pareto-optimal cascade for the ARCHIVE deployment scenario
-(loading + transforming + inference all count) and classifies only the
-surviving rows, materializing the ``contains_komondor`` virtual column for
-future queries.
+The ``repro.db`` facade decomposes this into a cheap metadata predicate and
+an expensive binary content predicate: the planner evaluates the metadata
+predicate first, selects a Pareto-optimal cascade for the ARCHIVE deployment
+scenario (loading + transforming + inference all count) and the executor
+classifies only the surviving rows, materializing the ``contains_komondor``
+virtual column for future queries.
 
 Run with:  python examples/traffic_archive_query.py
 """
@@ -27,84 +27,64 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.baselines import train_reference_model
-from repro.core import (
-    ArchitectureSpec,
-    TahomaConfig,
-    TahomaOptimizer,
-    TrainingConfig,
-    UserConstraints,
-)
-from repro.costs import ARCHIVE, CostProfiler, SERVER_GPU, calibrate_device
+import repro
+from repro.core import ArchitectureSpec, TahomaConfig, TrainingConfig, UserConstraints
 from repro.data import build_predicate_splits, generate_corpus, get_category
-from repro.query import ContainsObject, MetadataPredicate, Query, QueryProcessor
 from repro.transforms import standard_transform_grid
 
 IMAGE_SIZE = 32
 CATEGORY = "komondor"
 
 
-def build_optimizer(rng: np.random.Generator) -> tuple[TahomaOptimizer, int]:
-    """System initialization for one predicate (run once per new predicate)."""
-    category = get_category(CATEGORY)
-    splits = build_predicate_splits(category, n_train=96, n_config=64, n_eval=64,
-                                    image_size=IMAGE_SIZE, rng=rng)
-    reference = train_reference_model(splits, resolution=IMAGE_SIZE, epochs=6,
-                                      base_width=16, n_stages=3,
-                                      blocks_per_stage=1, rng=rng)
-    config = TahomaConfig(
-        architectures=(ArchitectureSpec(1, 8, 16), ArchitectureSpec(2, 8, 32)),
-        transforms=tuple(standard_transform_grid(
-            resolutions=(8, 16, 32), color_modes=("rgb", "gray", "red"))),
-        precision_targets=(0.95,),
-        training=TrainingConfig(epochs=4))
-    optimizer = TahomaOptimizer(config)
-    optimizer.initialize(splits, reference_model=reference, rng=rng)
-    return optimizer, reference.flops
-
-
 def main() -> None:
     rng = np.random.default_rng(1)
 
-    print("[1/3] initializing TAHOMA for contains_object(komondor) ...")
-    optimizer, reference_flops = build_optimizer(rng)
-    print(f"      {optimizer.n_models} models, {optimizer.n_cascades:,} cascades")
-
-    print("[2/3] generating the archived camera corpus ...")
+    print("[1/3] generating the archived camera corpus ...")
     corpus = generate_corpus((get_category(CATEGORY), get_category("scorpion")),
                              n_images=60, image_size=IMAGE_SIZE, rng=rng,
                              positive_rate=0.6)
     print(f"      {len(corpus)} frames, locations: "
           f"{sorted(set(corpus.metadata['location']))}")
 
+    print("[2/3] initializing TAHOMA for contains_object(komondor) ...")
+    db = repro.connect(corpus, scenario="archive",
+                       default_constraints=UserConstraints(max_accuracy_loss=0.05))
+    splits = build_predicate_splits(get_category(CATEGORY), n_train=96,
+                                    n_config=64, n_eval=64,
+                                    image_size=IMAGE_SIZE, rng=rng)
+    config = TahomaConfig(
+        architectures=(ArchitectureSpec(1, 8, 16), ArchitectureSpec(2, 8, 32)),
+        transforms=tuple(standard_transform_grid(
+            resolutions=(8, 16, 32), color_modes=("rgb", "gray", "red"))),
+        precision_targets=(0.95,),
+        training=TrainingConfig(epochs=4))
+    db.register_predicate(CATEGORY, splits, config=config,
+                          reference_params={"epochs": 6, "base_width": 16,
+                                            "n_stages": 3, "blocks_per_stage": 1})
+    optimizer = db.optimizer(CATEGORY)
+    print(f"      {optimizer.n_models} models, {optimizer.n_cascades:,} cascades")
+
     print("[3/3] running the SELECT query under the ARCHIVE scenario ...")
-    device = calibrate_device(SERVER_GPU, reference_flops, target_fps=75.0)
-    profiler = CostProfiler(device, ARCHIVE, source_resolution=IMAGE_SIZE,
-                            cost_resolution=224)
-    processor = QueryProcessor(corpus, {CATEGORY: optimizer}, profiler)
+    sql = (f"SELECT * FROM images WHERE location = 'detroit' "
+           f"AND contains_object({CATEGORY})")
+    print("\n" + str(db.explain(sql)) + "\n")
 
-    query = Query(
-        metadata_predicates=(MetadataPredicate("location", "==", "detroit"),),
-        content_predicates=(ContainsObject(CATEGORY),),
-        constraints=UserConstraints(max_accuracy_loss=0.05))
-    result = processor.execute(query)
-
+    result = db.execute(sql)
     chosen = result.cascades_used[CATEGORY]
     truth = corpus.content[CATEGORY]
-    print(f"\n  cascade selected   : {chosen.name}")
+    print(f"  cascade selected   : {chosen.name}")
     print(f"  expected accuracy  : {chosen.accuracy:.3f}")
     print(f"  expected throughput: {chosen.throughput:,.0f} fps under ARCHIVE")
     print(f"  frames classified  : {result.images_classified[CATEGORY]} "
           f"(of {len(corpus)} in the corpus)")
     print(f"  rows returned      : {len(result)}")
     if len(result) > 0:
-        hits = truth[result.selected_indices]
+        hits = truth[result.image_ids]
         print(f"  true positives     : {int(hits.sum())}/{len(result)}")
 
     # A follow-up query over the whole corpus reuses the materialized column
     # for the Detroit rows and classifies only the remaining frames.
-    follow_up = Query(content_predicates=(ContainsObject(CATEGORY),))
-    second = processor.execute(follow_up)
+    second = db.execute(f"SELECT * FROM images WHERE contains_object({CATEGORY})")
     print(f"\n  follow-up query classified only "
           f"{second.images_classified[CATEGORY]} additional frames")
 

@@ -7,6 +7,15 @@ architecture and their *physical input representation* (resolution, color
 channels), and by selecting cascades with awareness of deployment-specific
 data-handling costs.
 
+The public entry point is :func:`repro.db.connect`, which opens a
+:class:`~repro.db.VisualDatabase` over an image corpus::
+
+    db = repro.connect(corpus)
+    db.register_predicate("bicycle", splits=splits, config=config)
+    db.use_scenario("archive")
+    rows = db.execute("SELECT * FROM images "
+                      "WHERE location = 'detroit' AND contains_object(bicycle)")
+
 Package map
 -----------
 ``repro.nn``          NumPy CNN substrate (layers, training, FLOP accounting)
@@ -17,9 +26,12 @@ Package map
 ``repro.core``        the TAHOMA optimizer itself
 ``repro.baselines``   reference classifier, baseline cascades, NoScope, +DD
 ``repro.query``       relational layer with the contains_object operator
+``repro.db``          the database facade: connect(), planner/executor split,
+                      result sets and whole-database persistence
 ``repro.experiments`` harness regenerating every table and figure
 """
 
+from repro.db import QueryPlan, ResultSet, VisualDatabase, connect
 from repro.version import __version__
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "connect", "VisualDatabase", "ResultSet", "QueryPlan"]

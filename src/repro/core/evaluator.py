@@ -74,12 +74,18 @@ class ModelPredictionCache:
 
 @dataclass(frozen=True, eq=False)
 class CascadeEvaluation:
-    """Accuracy and expected per-image cost of one cascade."""
+    """Accuracy and expected per-image cost of one cascade.
+
+    ``positive_rate`` is the fraction of evaluation-set images the cascade
+    labels positive — the query planner's selectivity estimate for the
+    predicate.  NaN for evaluations built without a decision replay.
+    """
 
     cascade: Cascade
     accuracy: float
     cost: CostBreakdown
     level_fractions: tuple[float, ...]
+    positive_rate: float = float("nan")
 
     @property
     def throughput(self) -> float:
@@ -149,7 +155,8 @@ def evaluate_cascade(cascade: Cascade, cache: ModelPredictionCache,
     # Images never decided (possible only for malformed cascades) count as 0.
     accuracy = float((predictions == labels).mean())
     return CascadeEvaluation(cascade=cascade, accuracy=accuracy, cost=cost,
-                             level_fractions=tuple(level_fractions))
+                             level_fractions=tuple(level_fractions),
+                             positive_rate=float(predictions.mean()))
 
 
 def evaluate_cascades(cascades: list[Cascade], cache: ModelPredictionCache,

@@ -1,0 +1,48 @@
+"""The database facade: TAHOMA as a visual analytics *database*.
+
+This package is the repository's single public entry point.  It wraps system
+initialization (:func:`~repro.db.database.VisualDatabase.register_predicate`),
+deployment-cost-aware cascade selection (:mod:`repro.db.planner`), execution
+with materialized virtual columns and a shared representation store
+(:mod:`repro.db.executor`), DB-API-flavoured result consumption
+(:mod:`repro.db.results`) and whole-database persistence
+(:mod:`repro.db.persistence`) behind a connection-style API::
+
+    import repro.db
+
+    db = repro.db.connect(corpus)
+    db.register_predicate("bicycle", splits=splits, config=config)
+    db.use_scenario("archive")
+    results = db.execute("SELECT * FROM images "
+                         "WHERE location = 'detroit' AND contains_object(bicycle)")
+"""
+
+from repro.db.database import (
+    PredicateDefinition,
+    VisualDatabase,
+    connect,
+    initialize_predicate,
+)
+from repro.db.executor import QueryExecutor
+from repro.db.planner import (
+    ContentStep,
+    MetadataStep,
+    QueryPlan,
+    QueryPlanner,
+    estimate_selectivity,
+)
+from repro.db.results import ResultSet
+
+__all__ = [
+    "VisualDatabase",
+    "connect",
+    "PredicateDefinition",
+    "initialize_predicate",
+    "QueryPlanner",
+    "QueryPlan",
+    "MetadataStep",
+    "ContentStep",
+    "estimate_selectivity",
+    "QueryExecutor",
+    "ResultSet",
+]

@@ -1,0 +1,379 @@
+"""The connection-style facade: ``repro.db.connect(...)`` and VisualDatabase.
+
+The paper presents TAHOMA as a *visual analytics database*: users write ::
+
+    SELECT * FROM images WHERE location = 'detroit' AND contains_object(bicycle)
+
+and the system hides cascade training, representation choice and
+deployment-cost-aware selection.  :class:`VisualDatabase` is that surface.
+A typical session::
+
+    db = repro.db.connect(corpus)
+    db.register_predicate("bicycle", splits=splits, config=small_config)
+    db.use_scenario("archive")
+    for row in db.execute("SELECT * FROM images WHERE location = 'detroit' "
+                          "AND contains_object(bicycle)"):
+        ...
+    print(db.explain("SELECT * FROM images WHERE contains_object(bicycle)"))
+    db.save("my.vdb")
+
+Under the facade, queries flow through the :mod:`repro.query.sql` parser, the
+:class:`~repro.db.planner.QueryPlanner` (cascade selection + predicate
+ordering) and the :class:`~repro.db.executor.QueryExecutor` (materialized
+virtual columns + the shared representation store).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.reference import train_reference_model
+from repro.core.model import TrainedModel
+from repro.core.optimizer import TahomaConfig, TahomaOptimizer
+from repro.core.selector import UserConstraints
+from repro.costs.device import DEFAULT_DEVICE, DeviceProfile, calibrate_device
+from repro.costs.profiler import CostProfiler
+from repro.costs.scenario import INFER_ONLY, Scenario, get_scenario
+from repro.data.corpus import ImageCorpus, PredicateDataSplits
+from repro.db.executor import QueryExecutor
+from repro.db.planner import QueryPlan, QueryPlanner
+from repro.db.results import ResultSet
+from repro.query.sql import parse_query
+
+__all__ = ["VisualDatabase", "connect", "PredicateDefinition",
+           "initialize_predicate"]
+
+#: ``reference_params`` keys consumed by the network *builder* (and therefore
+#: needed again at load time); the rest parameterize training only.
+_REFERENCE_BUILD_KEYS = ("base_width", "n_stages", "blocks_per_stage",
+                         "dense_units")
+
+
+def initialize_predicate(splits: PredicateDataSplits,
+                         config: TahomaConfig | None = None, *,
+                         reference_params: dict | None = None,
+                         reference_name: str = "reference",
+                         train_reference: bool = True,
+                         reference_model: TrainedModel | None = None,
+                         rng: np.random.Generator | None = None,
+                         ) -> tuple[TahomaOptimizer, TrainedModel | None]:
+    """System initialization for one predicate: reference + grid + cascades.
+
+    This is the one place the repository trains a predicate end to end; both
+    :meth:`VisualDatabase.register_predicate` and the experiment workspaces
+    build on it.
+
+    Parameters
+    ----------
+    splits:
+        Train / configuration / evaluation datasets for the predicate.
+    config:
+        The optimizer configuration (defaults to the paper's full grids —
+        pass a reduced :class:`TahomaConfig` for CPU-scale runs).
+    reference_params:
+        Keyword arguments for
+        :func:`~repro.baselines.reference.train_reference_model`
+        (``epochs``, ``base_width``, ``n_stages``, ``blocks_per_stage``, ...).
+    reference_model:
+        An already-trained reference classifier; skips reference training.
+    train_reference:
+        Set False to build cascades without a reference tail.
+    """
+    config = config or TahomaConfig()
+    rng = rng if rng is not None else np.random.default_rng(config.training.seed)
+
+    reference = reference_model
+    if reference is None and train_reference:
+        reference = train_reference_model(
+            splits, resolution=splits.train.image_size, name=reference_name,
+            rng=rng, **dict(reference_params or {}))
+
+    optimizer = TahomaOptimizer(config)
+    optimizer.initialize(splits, reference_model=reference, rng=rng)
+    return optimizer, reference
+
+
+@dataclass
+class PredicateDefinition:
+    """A registered-but-untrained predicate (``register_predicate(lazy=True)``)."""
+
+    name: str
+    splits: PredicateDataSplits
+    config: TahomaConfig | None
+    reference_params: dict | None
+    train_reference: bool
+    reference_model: TrainedModel | None
+    seed: int
+
+
+class VisualDatabase:
+    """A queryable visual analytics database over one image corpus.
+
+    Parameters
+    ----------
+    corpus:
+        The corpus to query (may also be attached later via
+        :meth:`register_corpus`).
+    device:
+        Base compute-device profile for the analytic cost model.
+    scenario:
+        Initial deployment scenario (a :class:`Scenario`, one of the paper's
+        scenario names, or a fully built :class:`CostProfiler`).
+    cost_resolution:
+        Resolution at which data-handling costs are priced (the paper's
+        224 px camera frames), independent of the corpus rendering size.
+    calibrate_target_fps:
+        When set, the device is re-calibrated so the first registered
+        reference classifier lands at this throughput (the paper's ~75 fps
+        ResNet50 anchor).  ``None`` keeps ``device`` as given.
+    default_constraints:
+        Constraints applied to queries that do not carry their own.
+    """
+
+    def __init__(self, corpus: ImageCorpus | None = None, *,
+                 device: DeviceProfile = DEFAULT_DEVICE,
+                 scenario: Scenario | str | CostProfiler = INFER_ONLY,
+                 cost_resolution: int = 224,
+                 source_resolution: int | None = None,
+                 calibrate_target_fps: float | None = 75.0,
+                 default_constraints: UserConstraints | None = None) -> None:
+        self._device = device
+        self._device_calibrated = False
+        self._scenario: Scenario = INFER_ONLY
+        self._profiler_override: CostProfiler | None = None
+        self.cost_resolution = cost_resolution
+        self._source_resolution = source_resolution
+        self.calibrate_target_fps = calibrate_target_fps
+        self.default_constraints = default_constraints or UserConstraints()
+
+        self._executor: QueryExecutor | None = None
+        self._optimizers: dict[str, TahomaOptimizer] = {}
+        self._pending: dict[str, PredicateDefinition] = {}
+        self._reference_params: dict[str, dict] = {}
+
+        if corpus is not None:
+            self.register_corpus(corpus)
+        self.use_scenario(scenario)
+
+    # -- corpus ---------------------------------------------------------------
+    def register_corpus(self, corpus: ImageCorpus) -> None:
+        """Attach (or replace) the corpus; query-time caches start fresh."""
+        self._executor = QueryExecutor(corpus)
+
+    @property
+    def corpus(self) -> ImageCorpus:
+        if self._executor is None:
+            raise RuntimeError("no corpus registered; call register_corpus() "
+                               "or pass one to connect()")
+        return self._executor.corpus
+
+    @property
+    def executor(self) -> QueryExecutor:
+        """The query executor (owns materialized columns and the store)."""
+        if self._executor is None:
+            raise RuntimeError("no corpus registered; call register_corpus() "
+                               "or pass one to connect()")
+        return self._executor
+
+    # -- predicates ------------------------------------------------------------
+    def register_predicate(self, name: str, splits: PredicateDataSplits, *,
+                           config: TahomaConfig | None = None,
+                           reference_params: dict | None = None,
+                           train_reference: bool = True,
+                           reference_model: TrainedModel | None = None,
+                           lazy: bool = False, seed: int = 0) -> None:
+        """Register ``contains_object(name)``: train its cascade machinery.
+
+        With ``lazy=True`` training is deferred until the predicate is first
+        used by :meth:`execute` / :meth:`explain` (or :meth:`save`), so a
+        database over many predicates only pays for the ones queries touch.
+        """
+        if name in self._optimizers or name in self._pending:
+            raise ValueError(f"predicate {name!r} already registered")
+        definition = PredicateDefinition(
+            name=name, splits=splits, config=config,
+            reference_params=reference_params,
+            train_reference=train_reference,
+            reference_model=reference_model, seed=seed)
+        if lazy:
+            self._pending[name] = definition
+        else:
+            self._train(definition)
+
+    def register_optimizer(self, name: str, optimizer: TahomaOptimizer,
+                           reference_params: dict | None = None) -> None:
+        """Install an already-initialized optimizer for ``name``.
+
+        ``reference_params`` must carry the reference network's build
+        arguments when it was built with non-default parameters, so the
+        database can be saved and reloaded.
+        """
+        if name in self._optimizers or name in self._pending:
+            raise ValueError(f"predicate {name!r} already registered")
+        self._optimizers[name] = optimizer
+        self._reference_params[name] = self._build_params(reference_params)
+        self._maybe_calibrate(optimizer.reference_model)
+
+    def predicates(self) -> list[str]:
+        """All registered predicate names (trained and pending)."""
+        return sorted(set(self._optimizers) | set(self._pending))
+
+    def is_trained(self, name: str) -> bool:
+        """Whether ``name``'s optimizer is initialized (False while pending)."""
+        if name in self._optimizers:
+            return True
+        if name in self._pending:
+            return False
+        raise KeyError(f"unknown predicate {name!r}; "
+                       f"registered: {self.predicates()}")
+
+    def optimizer(self, name: str) -> TahomaOptimizer:
+        """The (initialized) optimizer for one predicate, training if pending."""
+        self._ensure_trained([name])
+        try:
+            return self._optimizers[name]
+        except KeyError:
+            raise KeyError(f"unknown predicate {name!r}; "
+                           f"registered: {self.predicates()}") from None
+
+    def _train(self, definition: PredicateDefinition) -> None:
+        optimizer, _ = initialize_predicate(
+            definition.splits, definition.config,
+            reference_params=definition.reference_params,
+            reference_name=f"reference-{definition.name}",
+            train_reference=definition.train_reference,
+            reference_model=definition.reference_model,
+            rng=np.random.default_rng(definition.seed))
+        self._optimizers[definition.name] = optimizer
+        self._reference_params[definition.name] = self._build_params(
+            definition.reference_params)
+        self._maybe_calibrate(optimizer.reference_model)
+
+    def _ensure_trained(self, names) -> None:
+        for name in names:
+            definition = self._pending.pop(name, None)
+            if definition is not None:
+                self._train(definition)
+
+    @staticmethod
+    def _build_params(reference_params: dict | None) -> dict:
+        """The subset of reference params the network *builder* needs."""
+        params = reference_params or {}
+        return {key: params[key] for key in _REFERENCE_BUILD_KEYS
+                if key in params}
+
+    def _maybe_calibrate(self, reference: TrainedModel | None) -> None:
+        """Anchor the device rate to the first reference classifier."""
+        if (reference is None or self._device_calibrated
+                or self.calibrate_target_fps is None):
+            return
+        self._device = calibrate_device(self._device, reference.flops,
+                                        target_fps=self.calibrate_target_fps)
+        self._device_calibrated = True
+
+    # -- deployment scenario ---------------------------------------------------
+    def use_scenario(self, scenario: Scenario | str | CostProfiler) -> None:
+        """Switch the deployment scenario all following queries are priced for.
+
+        Accepts one of the paper's scenario names (``"archive"``, ...), a
+        :class:`Scenario`, or a fully built :class:`CostProfiler` for complete
+        control over device and resolutions.
+
+        Switching is safe at any time: the executor keys materialized labels
+        by the cascade that produced them, so a newly selected cascade never
+        serves another cascade's labels, while switching back to a previous
+        scenario reuses its materialized columns.
+        """
+        if isinstance(scenario, CostProfiler):
+            self._profiler_override = scenario
+            self._scenario = scenario.scenario
+            return
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        self._profiler_override = None
+        self._scenario = scenario
+
+    @property
+    def scenario(self) -> Scenario:
+        return self._scenario
+
+    @property
+    def device(self) -> DeviceProfile:
+        return self._device
+
+    @property
+    def profiler(self) -> CostProfiler:
+        """The cost profiler for the active scenario (rebuilt on demand)."""
+        if self._profiler_override is not None:
+            return self._profiler_override
+        source = self._source_resolution
+        if source is None and self._executor is not None:
+            source = self.corpus.image_size
+        if source is None:
+            raise RuntimeError("cannot price costs without a corpus; register "
+                               "one or pass source_resolution=")
+        return CostProfiler(self._device, self._scenario,
+                            source_resolution=source,
+                            cost_resolution=self.cost_resolution)
+
+    # -- queries ---------------------------------------------------------------
+    def _plan(self, sql: str,
+              constraints: UserConstraints | None) -> QueryPlan:
+        query = parse_query(sql, constraints=constraints
+                            or self.default_constraints)
+        self._ensure_trained(predicate.category
+                             for predicate in query.content_predicates)
+        planner = QueryPlanner(self._optimizers, self.profiler)
+        return planner.plan(query)
+
+    def execute(self, sql: str,
+                constraints: UserConstraints | None = None) -> ResultSet:
+        """Parse, plan and run one SELECT query, returning a :class:`ResultSet`."""
+        plan = self._plan(sql, constraints)
+        return ResultSet(self.executor.execute(plan), plan)
+
+    def explain(self, sql: str,
+                constraints: UserConstraints | None = None) -> QueryPlan:
+        """The physical plan :meth:`execute` would run, without running it."""
+        return self._plan(sql, constraints)
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path: str | Path, include_corpus: bool = True) -> Path:
+        """Persist the whole database (optimizers, scenario, corpus) to disk.
+
+        Pending lazy predicates are trained first — a saved database is fully
+        initialized.  See :mod:`repro.db.persistence` for the layout.
+        """
+        from repro.db.persistence import save_database
+
+        return save_database(self, path, include_corpus=include_corpus)
+
+    @classmethod
+    def load(cls, path: str | Path,
+             corpus: ImageCorpus | None = None) -> "VisualDatabase":
+        """Restore a database saved with :meth:`save` (no retraining).
+
+        ``corpus`` overrides the stored corpus (e.g. when the database was
+        saved with ``include_corpus=False``).
+        """
+        from repro.db.persistence import load_database
+
+        return load_database(path, corpus=corpus)
+
+    # -- introspection ---------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n_rows = len(self._executor.corpus) if self._executor else 0
+        return (f"VisualDatabase(rows={n_rows}, "
+                f"predicates={self.predicates()}, "
+                f"scenario={self._scenario.name!r})")
+
+
+def connect(corpus: ImageCorpus | None = None, **kwargs) -> VisualDatabase:
+    """Open a :class:`VisualDatabase` over ``corpus`` (DB-API-style entry point).
+
+    Keyword arguments are forwarded to :class:`VisualDatabase`.
+    """
+    return VisualDatabase(corpus, **kwargs)

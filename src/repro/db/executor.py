@@ -1,0 +1,231 @@
+"""Query execution: runs a physical plan over the corpus.
+
+The executor owns the mutable query-time state the paper's system keeps
+between queries:
+
+* the base metadata relation over the corpus,
+* the **materialized virtual columns** — once ``contains_object(c)`` has been
+  evaluated for a row, the label is kept and later queries never re-classify
+  that row — and
+* a **shared, persistent** :class:`~repro.storage.store.RepresentationStore`
+  holding full-corpus input representations, so a representation computed for
+  one predicate (or one query) is reused by every later cascade level,
+  predicate and query that consumes the same representation.
+
+Plans come from :class:`~repro.db.planner.QueryPlanner`; the executor never
+chooses cascades or orders predicates itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.data.corpus import ImageCorpus
+from repro.query.relation import Relation
+from repro.storage.store import RepresentationStore
+
+from repro.db.planner import ContentStep, QueryPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.query.processor import QueryResult
+
+__all__ = ["QueryExecutor"]
+
+
+class QueryExecutor:
+    """Evaluates :class:`~repro.db.planner.QueryPlan` objects over a corpus.
+
+    Parameters
+    ----------
+    corpus:
+        The image corpus with metadata columns.
+    store:
+        Optional pre-populated representation store (e.g. the paper's ONGOING
+        scenario, where representations are materialized at ingest).  A fresh
+        store is created when omitted; either way it persists across queries.
+    full_materialize_fraction:
+        A representation is transformed (and kept) for the *whole* corpus
+        only when a query is about to classify at least this fraction of it;
+        narrower queries transform just their candidate rows without caching,
+        so a needle-in-haystack query never pays O(corpus) transform work.
+    min_limit_chunk:
+        Chunk size floor for ``LIMIT`` queries: candidate rows are classified
+        in chunks of ``max(min_limit_chunk, 4 * limit)`` and execution stops
+        as soon as the limit is satisfied, so a selective LIMIT query never
+        classifies the whole candidate set.
+    """
+
+    def __init__(self, corpus: ImageCorpus,
+                 store: RepresentationStore | None = None,
+                 full_materialize_fraction: float = 0.5,
+                 min_limit_chunk: int = 64) -> None:
+        if len(corpus) == 0:
+            raise ValueError("corpus is empty")
+        if not 0.0 <= full_materialize_fraction <= 1.0:
+            raise ValueError("full_materialize_fraction must be in [0, 1]")
+        if min_limit_chunk < 1:
+            raise ValueError("min_limit_chunk must be positive")
+        self.corpus = corpus
+        self.store = store if store is not None else RepresentationStore()
+        self.full_materialize_fraction = full_materialize_fraction
+        self.min_limit_chunk = min_limit_chunk
+        self._base_relation = Relation(
+            {**corpus.metadata, "image_id": np.arange(len(corpus))})
+        # Materialized virtual columns, keyed by (category, cascade name) so
+        # labels are only ever served as output of the cascade that produced
+        # them (the selected cascade changes with scenario and constraints):
+        # (category, cascade) -> (mask of rows evaluated, labels).
+        self._materialized: dict[tuple[str, str],
+                                 tuple[np.ndarray, np.ndarray]] = {}
+
+    # -- public API ----------------------------------------------------------
+    @property
+    def relation(self) -> Relation:
+        """The metadata relation (without content columns)."""
+        return self._base_relation
+
+    def materialized_categories(self) -> list[str]:
+        """Categories with at least one row's virtual column materialized."""
+        return sorted({category for category, _ in self._materialized})
+
+    def invalidate(self, category: str | None = None) -> None:
+        """Drop materialized virtual columns, keeping stored representations.
+
+        Use when a predicate's optimizer changes and labels must be
+        recomputed; the representation store stays warm because
+        representations depend only on the corpus.  (Scenario or constraint
+        switches need no invalidation — materialized labels are keyed by the
+        cascade that produced them.)
+        """
+        if category is None:
+            self._materialized.clear()
+        else:
+            for key in [key for key in self._materialized if key[0] == category]:
+                del self._materialized[key]
+
+    def clear_cache(self) -> None:
+        """Drop materialized virtual columns and stored representations."""
+        self._materialized.clear()
+        self.store = RepresentationStore(tier=self.store.tier)
+
+    def execute(self, plan: QueryPlan) -> "QueryResult":
+        """Run the plan: metadata filters, then cost-ordered content steps.
+
+        With a ``LIMIT``, candidate rows are classified in chunks (in corpus
+        order) and execution stops once enough rows survive, so selective
+        limited queries pay for a fraction of the candidate set.
+        """
+        from repro.query.processor import QueryResult
+
+        n = len(self.corpus)
+        mask = np.ones(n, dtype=bool)
+        for step in plan.metadata_steps:
+            mask &= step.predicate.evaluate(self._base_relation)
+        candidates = np.where(mask)[0]
+
+        if plan.limit == 0:
+            chunks = []
+        elif plan.limit is None or not plan.content_steps:
+            chunks = [candidates]
+        else:
+            size = max(self.min_limit_chunk, 4 * plan.limit)
+            chunks = [candidates[start:start + size]
+                      for start in range(0, candidates.size, size)]
+
+        cascades_used = {step.category: step.evaluation
+                         for step in plan.content_steps}
+        images_classified = {step.category: 0 for step in plan.content_steps}
+        # Rows in never-classified chunks keep label 0; only selected rows
+        # (all classified) survive into the returned relation.
+        labels_by_step = {step.category: np.zeros(n, dtype=np.int64)
+                          for step in plan.content_steps}
+        survivors: list[np.ndarray] = []
+        n_selected = 0
+        for chunk in chunks:
+            chunk_mask = np.zeros(n, dtype=bool)
+            chunk_mask[chunk] = True
+            for step in plan.content_steps:
+                labels, n_classified = self._evaluate_content(step, chunk_mask)
+                images_classified[step.category] += n_classified
+                labels_by_step[step.category] = labels
+                chunk_mask &= labels.astype(bool)
+            surviving = np.where(chunk_mask)[0]
+            survivors.append(surviving)
+            n_selected += surviving.size
+            if plan.limit is not None and n_selected >= plan.limit:
+                break
+
+        selected = (np.concatenate(survivors) if survivors
+                    else np.array([], dtype=np.int64))
+        if plan.limit is not None:
+            selected = selected[:plan.limit]
+        final_mask = np.zeros(n, dtype=bool)
+        final_mask[selected] = True
+
+        relation = self._base_relation
+        for step in plan.content_steps:
+            relation = relation.with_column(step.predicate.column_name,
+                                            labels_by_step[step.category])
+        return QueryResult(relation=relation.filter(final_mask),
+                           selected_indices=selected,
+                           cascades_used=cascades_used,
+                           images_classified=images_classified)
+
+    # -- internals -----------------------------------------------------------
+    def _evaluate_content(self, step: ContentStep,
+                          candidate_mask: np.ndarray) -> tuple[np.ndarray, int]:
+        """Populate the virtual column for one contains_object predicate.
+
+        Only rows surviving the earlier predicates (and not already
+        materialized by an earlier query *with the same cascade*) are
+        classified.  Keying by cascade guarantees the returned labels are
+        always the output of the cascade the plan reports in
+        ``cascades_used``, even across scenario or constraint changes.
+        """
+        n = len(self.corpus)
+        key = (step.category, step.evaluation.cascade.name)
+        evaluated_mask, labels = self._materialized.get(
+            key, (np.zeros(n, dtype=bool), np.zeros(n, dtype=np.int64)))
+
+        to_classify = candidate_mask & ~evaluated_mask
+        n_classified = int(to_classify.sum())
+        if n_classified > 0:
+            new_labels = step.evaluation.cascade.classify(
+                self.corpus.images[to_classify],
+                store=self._subset_store(step, to_classify))
+            labels = labels.copy()
+            labels[to_classify] = new_labels
+            evaluated_mask = evaluated_mask | to_classify
+            self._materialized[key] = (evaluated_mask, labels)
+
+        return labels, n_classified
+
+    def _subset_store(self, step: ContentStep,
+                      to_classify: np.ndarray) -> RepresentationStore:
+        """A store seeded with the candidate rows of each needed representation.
+
+        The persistent store holds *full-corpus* representations (so they can
+        be sliced for any future candidate set); the cascade receives a
+        per-call view store holding only the rows it will classify, since
+        ``Cascade.classify`` indexes representations by batch position.
+
+        Already-stored representations are always sliced.  Missing ones are
+        materialized corpus-wide only when the candidate set is large enough
+        (``full_materialize_fraction``); otherwise they are left out and the
+        cascade transforms just the candidate rows, lazily, for the levels it
+        actually reaches.
+        """
+        n_candidates = int(to_classify.sum())
+        materialize = (n_candidates
+                       >= self.full_materialize_fraction * len(self.corpus))
+        scratch = RepresentationStore(tier=self.store.tier)
+        for model in step.evaluation.cascade.models:
+            spec = model.transform
+            if spec in self.store:
+                scratch.add(spec, self.store.get(spec)[to_classify])
+            elif materialize:
+                full = self.store.get_or_transform(spec, self.corpus.images)
+                scratch.add(spec, full[to_classify])
+        return scratch

@@ -1,0 +1,166 @@
+"""Whole-database persistence: save and restore a :class:`VisualDatabase`.
+
+Built on :mod:`repro.core.persistence` (the per-predicate model repository),
+plus a database-level manifest carrying the deployment scenario, device
+profile and corpus.  Layout::
+
+    <root>/
+      database.json            # manifest: scenario, device, predicate names
+      corpus.npz               # images + metadata + content (optional)
+      predicates/<name>/       # one model repository per predicate
+        repository.json
+        weights/*.npz
+
+A trained database therefore round-trips without retraining: all optimizers,
+the active scenario and the corpus metadata come back, and a reloaded
+database answers the same queries with identical results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.persistence import load_optimizer, save_optimizer
+from repro.core.selector import UserConstraints
+from repro.costs.device import DeviceProfile
+from repro.costs.scenario import Scenario
+from repro.data.corpus import ImageCorpus
+from repro.db.database import VisualDatabase
+from repro.storage.tiers import StorageTier
+
+__all__ = ["save_database", "load_database"]
+
+_FORMAT_VERSION = 1
+
+_CORPUS_FILE = "corpus.npz"
+_MANIFEST_FILE = "database.json"
+_PREDICATES_DIR = "predicates"
+
+
+# -- component (de)serialization ------------------------------------------------
+def _tier_to_dict(tier: StorageTier) -> dict:
+    return {"name": tier.name,
+            "bandwidth_bytes_per_s": tier.bandwidth_bytes_per_s,
+            "latency_s": tier.latency_s}
+
+
+def _scenario_to_dict(scenario: Scenario) -> dict:
+    return {"name": scenario.name,
+            "include_load": scenario.include_load,
+            "include_transform": scenario.include_transform,
+            "load_full_image": scenario.load_full_image,
+            "load_tier": _tier_to_dict(scenario.load_tier),
+            "compressed": scenario.compressed,
+            "description": scenario.description}
+
+
+def _scenario_from_dict(data: dict) -> Scenario:
+    data = dict(data)
+    data["load_tier"] = StorageTier(**data["load_tier"])
+    return Scenario(**data)
+
+
+def _device_to_dict(device: DeviceProfile) -> dict:
+    return {"name": device.name,
+            "flops_per_second": device.flops_per_second,
+            "transform_seconds_per_value": device.transform_seconds_per_value,
+            "inference_overhead_s": device.inference_overhead_s}
+
+
+def _constraints_to_dict(constraints: UserConstraints) -> dict:
+    return {"max_accuracy_loss": constraints.max_accuracy_loss,
+            "min_throughput": constraints.min_throughput}
+
+
+def _save_corpus(corpus: ImageCorpus, path: Path) -> None:
+    arrays = {"images": corpus.images}
+    for name, values in corpus.metadata.items():
+        arrays[f"metadata/{name}"] = np.asarray(values)
+    for name, values in corpus.content.items():
+        arrays[f"content/{name}"] = np.asarray(values)
+    np.savez_compressed(path, **arrays)
+
+
+def _load_corpus(path: Path) -> ImageCorpus:
+    with np.load(path, allow_pickle=False) as archive:
+        metadata, content = {}, {}
+        for key in archive.files:
+            if key.startswith("metadata/"):
+                metadata[key.split("/", 1)[1]] = archive[key]
+            elif key.startswith("content/"):
+                content[key.split("/", 1)[1]] = archive[key]
+        return ImageCorpus(images=archive["images"], metadata=metadata,
+                           content=content)
+
+
+# -- database save / load --------------------------------------------------------
+def save_database(db: VisualDatabase, root: str | Path,
+                  include_corpus: bool = True) -> Path:
+    """Persist ``db`` under ``root`` (created if needed)."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+
+    names = db.predicates()
+    db._ensure_trained(names)  # lazy predicates are trained before saving
+    for name in names:
+        save_optimizer(db._optimizers[name], root / _PREDICATES_DIR / name,
+                       reference_params=db._reference_params.get(name) or {})
+
+    has_corpus = include_corpus and db._executor is not None
+    if has_corpus:
+        _save_corpus(db.corpus, root / _CORPUS_FILE)
+
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "scenario": _scenario_to_dict(db.scenario),
+        "device": _device_to_dict(db.device),
+        "device_calibrated": db._device_calibrated,
+        "cost_resolution": db.cost_resolution,
+        "source_resolution": db._source_resolution,
+        "calibrate_target_fps": db.calibrate_target_fps,
+        "default_constraints": _constraints_to_dict(db.default_constraints),
+        "predicates": [{"name": name,
+                        "reference_params": db._reference_params.get(name) or {}}
+                       for name in names],
+        "corpus_file": _CORPUS_FILE if has_corpus else None,
+    }
+    (root / _MANIFEST_FILE).write_text(json.dumps(manifest))
+    return root
+
+
+def load_database(root: str | Path,
+                  corpus: ImageCorpus | None = None) -> VisualDatabase:
+    """Restore a database saved with :func:`save_database` (no retraining)."""
+    root = Path(root)
+    manifest_path = root / _MANIFEST_FILE
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no {_MANIFEST_FILE} under {root}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported database format "
+                         f"{manifest.get('format_version')!r}")
+
+    if corpus is None and manifest["corpus_file"] is not None:
+        corpus = _load_corpus(root / manifest["corpus_file"])
+
+    db = VisualDatabase(
+        corpus,
+        device=DeviceProfile(**manifest["device"]),
+        scenario=_scenario_from_dict(manifest["scenario"]),
+        cost_resolution=manifest["cost_resolution"],
+        source_resolution=manifest["source_resolution"],
+        calibrate_target_fps=manifest["calibrate_target_fps"],
+        default_constraints=UserConstraints(**manifest["default_constraints"]))
+    # The stored device already carries any calibration that happened before
+    # the save; don't re-anchor it against reloaded reference models.
+    db._device_calibrated = bool(manifest["device_calibrated"])
+
+    for entry in manifest["predicates"]:
+        name = entry["name"]
+        optimizer = load_optimizer(root / _PREDICATES_DIR / name)
+        db._optimizers[name] = optimizer
+        db._reference_params[name] = dict(entry["reference_params"])
+    return db

@@ -1,0 +1,196 @@
+"""Query planning: a logical query becomes a cost-ordered physical plan.
+
+The planner performs the query-time half of the paper's predicate
+optimization.  For each ``contains_object`` predicate it asks the predicate's
+:class:`~repro.core.optimizer.TahomaOptimizer` to select a cascade under the
+current deployment scenario and the user's constraints, estimates the
+predicate's selectivity from the optimizer's cached evaluation-set
+predictions, and orders the content predicates by estimated selectivity x
+selected-cascade cost so that cheap, selective predicates shrink the
+candidate set before expensive ones run.  Metadata predicates always run
+first — they cost microseconds and touch no pixels.
+
+The resulting :class:`QueryPlan` is a pure description: executing it is the
+job of :class:`~repro.db.executor.QueryExecutor`, and ``db.explain(sql)``
+returns it directly for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.evaluator import CascadeEvaluation
+from repro.core.optimizer import TahomaOptimizer
+from repro.costs.profiler import CostProfiler
+from repro.query.predicates import ContainsObject, MetadataPredicate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.query.processor import Query
+
+__all__ = ["MetadataStep", "ContentStep", "QueryPlan", "QueryPlanner",
+           "estimate_selectivity"]
+
+
+def estimate_selectivity(evaluation: CascadeEvaluation) -> float:
+    """Fraction of images the selected cascade is expected to label positive.
+
+    :func:`~repro.core.evaluator.evaluate_cascade` records the cascade's
+    positive rate while replaying its decision logic over the cached
+    evaluation-set probabilities, so the estimate is free at plan time.
+
+    Caveat: the evaluation split is typically class-balanced, so this is the
+    cascade's positive rate *at a ~50% base rate*, not the predicate's
+    frequency in the corpus.  When predicates have very different corpus
+    frequencies the ordering degrades toward cost-only; corpus-calibrated
+    selectivity (e.g. from previously materialized labels) is future work.
+    """
+    rate = evaluation.positive_rate
+    if np.isnan(rate):
+        raise ValueError(
+            "evaluation carries no positive_rate; selectivity estimation "
+            "needs evaluations produced by evaluate_cascade()")
+    return float(rate)
+
+
+@dataclass(frozen=True)
+class MetadataStep:
+    """One cheap metadata filter in the physical plan."""
+
+    predicate: MetadataPredicate
+
+    def describe(self) -> str:
+        return f"filter   {self.predicate}"
+
+
+@dataclass(frozen=True)
+class ContentStep:
+    """One content predicate with its selected cascade and cost estimates."""
+
+    predicate: ContainsObject
+    evaluation: CascadeEvaluation
+    selectivity: float
+    cost_per_image_s: float
+
+    @property
+    def category(self) -> str:
+        return self.predicate.category
+
+    @property
+    def rank(self) -> float:
+        """Ordering key: estimated selectivity x selected-cascade cost."""
+        return self.selectivity * self.cost_per_image_s
+
+    def describe(self) -> str:
+        lines = [f"cascade  {self.predicate}",
+                 f"    cascade     : {self.evaluation.name}",
+                 f"    selectivity : {self.selectivity:.2f} (estimated)",
+                 f"    cost/image  : {self.cost_per_image_s * 1e3:.3f} ms "
+                 f"({self.evaluation.throughput:,.0f} fps)",
+                 f"    exp accuracy: {self.evaluation.accuracy:.3f}"]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The physical plan for one query: ordered steps plus cost estimates.
+
+    ``content_steps`` are already in execution order (ascending
+    selectivity x cost); ``db.explain(sql)`` returns this object and
+    ``str(plan)`` renders the human-readable form.
+    """
+
+    metadata_steps: tuple[MetadataStep, ...]
+    content_steps: tuple[ContentStep, ...]
+    limit: int | None = None
+    scenario_name: str = ""
+
+    @property
+    def categories(self) -> tuple[str, ...]:
+        """The content-predicate categories, in execution order."""
+        return tuple(step.category for step in self.content_steps)
+
+    def expected_cost_per_candidate_s(self) -> float:
+        """Expected content cost per candidate image surviving metadata.
+
+        Each content step's per-image cost is weighted by the product of the
+        selectivities of the steps before it, mirroring how earlier
+        predicates shrink the set later cascades must classify.
+        """
+        total, surviving = 0.0, 1.0
+        for step in self.content_steps:
+            total += surviving * step.cost_per_image_s
+            surviving *= step.selectivity
+        return total
+
+    def describe(self) -> str:
+        header = f"QueryPlan (scenario={self.scenario_name or 'unknown'})"
+        lines = [header]
+        number = 1
+        for step in self.metadata_steps:
+            body = step.describe().replace("\n", "\n   ")
+            lines.append(f"  {number}. {body}")
+            number += 1
+        for step in self.content_steps:
+            body = step.describe().replace("\n", "\n   ")
+            lines.append(f"  {number}. {body}")
+            number += 1
+        if self.limit is not None:
+            lines.append(f"  {number}. limit    {self.limit}")
+        if self.content_steps:
+            lines.append(f"  expected content cost per candidate: "
+                         f"{self.expected_cost_per_candidate_s() * 1e3:.3f} ms")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class QueryPlanner:
+    """Turns logical queries into physical plans.
+
+    Parameters
+    ----------
+    optimizers:
+        Mapping from category name to an initialized
+        :class:`~repro.core.optimizer.TahomaOptimizer`.
+    profiler:
+        The cost profiler of the active deployment scenario.  Both attributes
+        are plain and mutable, so a long-lived planner can follow scenario
+        switches (``db.use_scenario``).
+    """
+
+    def __init__(self, optimizers: dict[str, TahomaOptimizer],
+                 profiler: CostProfiler) -> None:
+        self.optimizers = dict(optimizers)
+        self.profiler = profiler
+
+    def _optimizer_for(self, category: str) -> TahomaOptimizer:
+        try:
+            return self.optimizers[category]
+        except KeyError:
+            raise KeyError(f"no optimizer installed for category {category!r}; "
+                           f"available: {sorted(self.optimizers)}") from None
+
+    def plan(self, query: "Query") -> QueryPlan:
+        """Select cascades, estimate selectivities and order the predicates."""
+        metadata_steps = tuple(MetadataStep(predicate)
+                               for predicate in query.metadata_predicates)
+
+        content_steps = []
+        for predicate in query.content_predicates:
+            optimizer = self._optimizer_for(predicate.category)
+            evaluation = optimizer.select(self.profiler, query.constraints)
+            selectivity = estimate_selectivity(evaluation)
+            content_steps.append(ContentStep(
+                predicate=predicate, evaluation=evaluation,
+                selectivity=selectivity,
+                cost_per_image_s=evaluation.cost.total_s))
+        content_steps.sort(key=lambda step: step.rank)
+
+        return QueryPlan(metadata_steps=metadata_steps,
+                         content_steps=tuple(content_steps),
+                         limit=query.limit,
+                         scenario_name=self.profiler.scenario.name)

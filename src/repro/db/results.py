@@ -1,0 +1,110 @@
+"""Result sets: DB-API-flavoured cursors over query results.
+
+``db.execute(sql)`` returns a :class:`ResultSet` rather than a bare relation
+so callers can consume results the way they would from a database driver:
+``len()``, row iteration, ``fetchone()`` / ``fetchmany(n)`` / ``fetchall()``
+with a cursor that advances, and ``to_relation()`` for columnar access.  Rows
+are built lazily, one dictionary at a time, so batched consumers never
+materialize a million dictionaries at once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.db.planner import QueryPlan
+from repro.query.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.evaluator import CascadeEvaluation
+    from repro.query.processor import QueryResult
+
+__all__ = ["ResultSet"]
+
+
+def _to_python(value):
+    """NumPy scalars become plain Python values in row dictionaries."""
+    return value.item() if isinstance(value, np.generic) else value
+
+
+class ResultSet:
+    """Rows selected by one query, plus the plan that produced them."""
+
+    def __init__(self, result: "QueryResult", plan: QueryPlan) -> None:
+        self._result = result
+        self.plan = plan
+        self._cursor = 0
+
+    # -- shape ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._result)
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names, including materialized ``contains_*`` columns."""
+        return self._result.relation.column_names()
+
+    @property
+    def image_ids(self) -> np.ndarray:
+        """Corpus row indices of the selected images, in corpus order."""
+        return self._result.selected_indices
+
+    # -- provenance ----------------------------------------------------------
+    @property
+    def cascades_used(self) -> dict[str, "CascadeEvaluation"]:
+        """The cascade selected for each content predicate."""
+        return self._result.cascades_used
+
+    @property
+    def images_classified(self) -> dict[str, int]:
+        """How many rows each content predicate actually classified."""
+        return self._result.images_classified
+
+    # -- row access -----------------------------------------------------------
+    def row(self, index: int) -> dict:
+        """The ``index``-th selected row as a plain dictionary."""
+        relation = self._result.relation
+        if not 0 <= index < len(self):
+            raise IndexError(f"row {index} out of range for {len(self)} rows")
+        return {name: _to_python(relation.column(name)[index])
+                for name in relation.column_names()}
+
+    def __iter__(self) -> Iterator[dict]:
+        """Iterate over all rows lazily (independent of the fetch cursor)."""
+        for index in range(len(self)):
+            yield self.row(index)
+
+    def fetchone(self) -> dict | None:
+        """The next row, or ``None`` when the cursor is exhausted."""
+        rows = self.fetchmany(1)
+        return rows[0] if rows else None
+
+    def fetchmany(self, size: int = 1) -> list[dict]:
+        """The next ``size`` rows, advancing the cursor; shorter at the end."""
+        if size < 1:
+            raise ValueError("size must be at least 1")
+        stop = min(self._cursor + size, len(self))
+        rows = [self.row(index) for index in range(self._cursor, stop)]
+        self._cursor = stop
+        return rows
+
+    def fetchall(self) -> list[dict]:
+        """All remaining rows, advancing the cursor to the end."""
+        return self.fetchmany(max(1, len(self) - self._cursor)) \
+            if self._cursor < len(self) else []
+
+    def rewind(self) -> None:
+        """Reset the fetch cursor to the first row."""
+        self._cursor = 0
+
+    # -- columnar access -----------------------------------------------------
+    def to_relation(self) -> Relation:
+        """The selected rows as a columnar :class:`Relation`."""
+        return self._result.relation
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ResultSet(rows={len(self)}, "
+                f"columns={self.columns}, "
+                f"scenario={self.plan.scenario_name!r})")

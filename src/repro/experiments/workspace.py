@@ -14,13 +14,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.reference import train_reference_model
 from repro.core.model import TrainedModel
 from repro.core.optimizer import TahomaConfig, TahomaOptimizer
+from repro.core.selector import UserConstraints
 from repro.costs.device import DeviceProfile, calibrate_device
 from repro.costs.profiler import CostProfiler
 from repro.data.categories import get_category
-from repro.data.corpus import PredicateDataSplits, build_predicate_splits
+from repro.data.corpus import ImageCorpus, PredicateDataSplits, build_predicate_splits
+from repro.db.database import VisualDatabase, initialize_predicate
 from repro.experiments.presets import ExperimentScale, simulation_scenarios
 
 __all__ = ["PredicateWorkspace", "ExperimentWorkspace", "build_workspace",
@@ -68,6 +69,32 @@ class ExperimentWorkspace:
     def category_names(self) -> list[str]:
         return list(self.predicates)
 
+    def database(self, scenario_name: str = "infer_only",
+                 corpus: ImageCorpus | None = None,
+                 constraints: UserConstraints | None = None) -> VisualDatabase:
+        """A :class:`~repro.db.VisualDatabase` over this workspace's predicates.
+
+        The facade reuses the workspace's trained optimizers and calibrated
+        device (no retraining, no re-calibration), so experiments and
+        benchmarks can issue SQL queries against the exact model pools the
+        figures were produced from.
+        """
+        db = VisualDatabase(
+            corpus,
+            device=self.device,
+            scenario=simulation_scenarios()[scenario_name],
+            cost_resolution=self.scale.cost_resolution,
+            source_resolution=self.scale.image_size,
+            calibrate_target_fps=None,
+            default_constraints=constraints)
+        reference_params = {"base_width": self.scale.reference_width,
+                            "n_stages": self.scale.reference_stages,
+                            "blocks_per_stage": self.scale.reference_blocks}
+        for name, predicate in self.predicates.items():
+            db.register_optimizer(name, predicate.optimizer,
+                                  reference_params=reference_params)
+        return db
+
 
 def build_predicate_workspace(scale: ExperimentScale, category_name: str,
                               rng: np.random.Generator) -> PredicateWorkspace:
@@ -77,20 +104,19 @@ def build_predicate_workspace(scale: ExperimentScale, category_name: str,
         category, n_train=scale.n_train, n_config=scale.n_config,
         n_eval=scale.n_eval, image_size=scale.image_size, rng=rng)
 
-    reference = train_reference_model(
-        splits, resolution=scale.image_size, epochs=scale.reference_epochs,
-        base_width=scale.reference_width, n_stages=scale.reference_stages,
-        blocks_per_stage=scale.reference_blocks,
-        name=f"reference-{category_name}", rng=rng)
-
     config = TahomaConfig(
         architectures=tuple(scale.architectures()),
         transforms=tuple(scale.transforms()),
         precision_targets=scale.precision_targets,
         max_depth=scale.max_depth,
         training=scale.training)
-    optimizer = TahomaOptimizer(config)
-    optimizer.initialize(splits, reference_model=reference, rng=rng)
+    optimizer, reference = initialize_predicate(
+        splits, config,
+        reference_params={"epochs": scale.reference_epochs,
+                          "base_width": scale.reference_width,
+                          "n_stages": scale.reference_stages,
+                          "blocks_per_stage": scale.reference_blocks},
+        reference_name=f"reference-{category_name}", rng=rng)
 
     return PredicateWorkspace(category_name=category_name, splits=splits,
                               optimizer=optimizer, reference_model=reference)

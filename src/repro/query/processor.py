@@ -1,4 +1,12 @@
-"""The query processor: SELECT ... FROM images WHERE <predicates>."""
+"""The query processor: SELECT ... FROM images WHERE <predicates>.
+
+As of the :mod:`repro.db` redesign this module holds the query *model*
+(:class:`Query`, :class:`QueryResult`) and a thin back-compat
+:class:`QueryProcessor` shim over the planner/executor split
+(:class:`~repro.db.planner.QueryPlanner` +
+:class:`~repro.db.executor.QueryExecutor`).  New code should use
+:func:`repro.db.connect` instead of constructing a processor directly.
+"""
 
 from __future__ import annotations
 
@@ -13,7 +21,6 @@ from repro.costs.profiler import CostProfiler
 from repro.data.corpus import ImageCorpus
 from repro.query.predicates import ContainsObject, MetadataPredicate
 from repro.query.relation import Relation
-from repro.storage.store import RepresentationStore
 
 __all__ = ["Query", "QueryResult", "QueryProcessor"]
 
@@ -24,15 +31,19 @@ class Query:
 
     All predicates are ANDed, mirroring the paper's decomposition of queries
     into metadata predicates plus binary ``contains_object`` predicates.
+    ``limit`` caps the number of returned rows (SQL ``LIMIT n``).
     """
 
     metadata_predicates: tuple[MetadataPredicate, ...] = ()
     content_predicates: tuple[ContainsObject, ...] = ()
     constraints: UserConstraints = field(default_factory=UserConstraints)
+    limit: int | None = None
 
     def __post_init__(self) -> None:
         if not self.metadata_predicates and not self.content_predicates:
             raise ValueError("a query needs at least one predicate")
+        if self.limit is not None and self.limit < 0:
+            raise ValueError("limit must be non-negative")
 
 
 @dataclass
@@ -51,6 +62,11 @@ class QueryResult:
 class QueryProcessor:
     """Answers queries over an :class:`~repro.data.corpus.ImageCorpus`.
 
+    Back-compat shim: planning (cascade selection, predicate ordering) is
+    delegated to :class:`~repro.db.planner.QueryPlanner` and execution
+    (materialized virtual columns, the shared persistent representation
+    store) to :class:`~repro.db.executor.QueryExecutor`.
+
     Parameters
     ----------
     corpus:
@@ -66,80 +82,37 @@ class QueryProcessor:
     def __init__(self, corpus: ImageCorpus,
                  optimizers: dict[str, TahomaOptimizer],
                  profiler: CostProfiler) -> None:
-        if len(corpus) == 0:
-            raise ValueError("corpus is empty")
-        self.corpus = corpus
-        self.optimizers = dict(optimizers)
-        self.profiler = profiler
-        self._base_relation = Relation(
-            {**corpus.metadata, "image_id": np.arange(len(corpus))})
-        # Materialized virtual columns: category -> (mask of rows evaluated,
-        # labels for evaluated rows).  Later queries reuse these.
-        self._materialized: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        # Imported here: repro.db imports repro.query.sql (which needs this
+        # module's Query) at package-init time, so a module-level import of
+        # repro.db from here would be circular.
+        from repro.db.executor import QueryExecutor
+        from repro.db.planner import QueryPlanner
+
+        self._planner = QueryPlanner(optimizers, profiler)
+        self._executor = QueryExecutor(corpus)
 
     # -- public API ----------------------------------------------------------
     @property
+    def corpus(self) -> ImageCorpus:
+        return self._executor.corpus
+
+    @property
+    def optimizers(self) -> dict[str, TahomaOptimizer]:
+        return self._planner.optimizers
+
+    @property
+    def profiler(self) -> CostProfiler:
+        return self._planner.profiler
+
+    @profiler.setter
+    def profiler(self, profiler: CostProfiler) -> None:
+        self._planner.profiler = profiler
+
+    @property
     def relation(self) -> Relation:
         """The metadata relation (without content columns)."""
-        return self._base_relation
+        return self._executor.relation
 
     def execute(self, query: Query) -> QueryResult:
         """Evaluate a query: metadata predicates first, then content predicates."""
-        mask = np.ones(len(self.corpus), dtype=bool)
-        for predicate in query.metadata_predicates:
-            mask &= predicate.evaluate(self._base_relation)
-
-        cascades_used: dict[str, CascadeEvaluation] = {}
-        images_classified: dict[str, int] = {}
-        relation = self._base_relation
-
-        for predicate in query.content_predicates:
-            labels, evaluation, n_classified = self._evaluate_content(
-                predicate, mask, query.constraints)
-            cascades_used[predicate.category] = evaluation
-            images_classified[predicate.category] = n_classified
-            relation = relation.with_column(predicate.column_name, labels)
-            mask &= labels.astype(bool)
-
-        selected = np.where(mask)[0]
-        return QueryResult(relation=relation.filter(mask),
-                           selected_indices=selected,
-                           cascades_used=cascades_used,
-                           images_classified=images_classified)
-
-    # -- internals ---------------------------------------------------------------
-    def _optimizer_for(self, category: str) -> TahomaOptimizer:
-        try:
-            return self.optimizers[category]
-        except KeyError:
-            raise KeyError(f"no optimizer installed for category {category!r}; "
-                           f"available: {sorted(self.optimizers)}") from None
-
-    def _evaluate_content(self, predicate: ContainsObject,
-                          candidate_mask: np.ndarray,
-                          constraints: UserConstraints
-                          ) -> tuple[np.ndarray, CascadeEvaluation, int]:
-        """Populate the virtual column for one contains_object predicate.
-
-        Only rows surviving the metadata predicates (and not already
-        materialized by an earlier query) are classified.
-        """
-        optimizer = self._optimizer_for(predicate.category)
-        evaluation = optimizer.select(self.profiler, constraints)
-
-        n = len(self.corpus)
-        evaluated_mask, labels = self._materialized.get(
-            predicate.category, (np.zeros(n, dtype=bool), np.zeros(n, dtype=np.int64)))
-
-        to_classify = candidate_mask & ~evaluated_mask
-        n_classified = int(to_classify.sum())
-        if n_classified > 0:
-            store = RepresentationStore()
-            new_labels = optimizer.query(self.corpus.images[to_classify],
-                                         evaluation, store=store)
-            labels = labels.copy()
-            labels[to_classify] = new_labels
-            evaluated_mask = evaluated_mask | to_classify
-            self._materialized[predicate.category] = (evaluated_mask, labels)
-
-        return labels, evaluation, n_classified
+        return self._executor.execute(self._planner.plan(query))

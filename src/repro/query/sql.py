@@ -10,12 +10,14 @@ keywords)::
 
     SELECT * FROM <table>
     [WHERE <predicate> [AND <predicate>]*]
+    [LIMIT <n>]
 
-where a predicate is either
+where a predicate is one of
 
-* ``contains_object(<category>)`` — a binary content predicate, or
+* ``contains_object(<category>)`` — a binary content predicate,
 * ``<column> <op> <literal>`` with ``op`` one of ``=``, ``!=``, ``<``, ``<=``,
-  ``>``, ``>=`` and a literal that is a quoted string or a number.
+  ``>``, ``>=`` and a literal that is a quoted string or a number, or
+* ``<column> IN (<literal> [, <literal>]*)`` — a metadata membership test.
 
 Only conjunctions are supported, mirroring the paper's decomposition of
 queries into metadata predicates plus binary content predicates.
@@ -37,9 +39,10 @@ class SqlParseError(ValueError):
 
 
 _SELECT_RE = re.compile(
-    r"^\s*select\s+\*\s+from\s+(?P<table>[a-zA-Z_][\w]*)"
-    r"(?:\s+where\s+(?P<where>.+?))?\s*;?\s*$",
+    r"^\s*select\s+\*\s+from\s+(?P<table>[a-zA-Z_][\w]*)(?P<rest>\s.*)?$",
     re.IGNORECASE | re.DOTALL)
+
+_WHERE_RE = re.compile(r"^where\s+(?P<where>.+)$", re.IGNORECASE | re.DOTALL)
 
 _CONTAINS_RE = re.compile(
     r"^contains_object\(\s*'?(?P<category>[\w-]+)'?\s*\)$", re.IGNORECASE)
@@ -47,13 +50,47 @@ _CONTAINS_RE = re.compile(
 _COMPARISON_RE = re.compile(
     r"^(?P<column>[a-zA-Z_][\w]*)\s*(?P<op>=|!=|<=|>=|<|>)\s*(?P<value>.+)$")
 
+_IN_RE = re.compile(
+    r"^(?P<column>[a-zA-Z_][\w]*)\s+in\s*\((?P<values>.*)\)$",
+    re.IGNORECASE | re.DOTALL)
+
+_AND_RE = re.compile(r"\s+(and)\s+", re.IGNORECASE)
+
+_LIMIT_KEYWORD_RE = re.compile(r"\blimit\b", re.IGNORECASE)
+
 #: SQL comparison spellings mapped to MetadataPredicate operators.
 _OP_MAP = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 
 
+def _quoted_mask(text: str) -> bytearray:
+    """Per-character flags marking positions inside quoted string literals."""
+    mask = bytearray(len(text))
+    quote = None
+    for index, char in enumerate(text):
+        if quote is not None:
+            mask[index] = 1
+            if char == quote:
+                quote = None
+        elif char in "'\"":
+            quote = char
+            mask[index] = 1
+    return mask
+
+
 def _split_conjuncts(where: str) -> list[str]:
-    """Split a WHERE clause on top-level ANDs (no parentheses supported)."""
-    parts = re.split(r"\s+and\s+", where, flags=re.IGNORECASE)
+    """Split a WHERE clause on top-level ANDs (no parentheses supported).
+
+    ANDs inside quoted string literals (``'rock and roll'``) are not split
+    points.
+    """
+    mask = _quoted_mask(where)
+    parts, start = [], 0
+    for match in _AND_RE.finditer(where):
+        if mask[match.start(1)]:
+            continue
+        parts.append(where[start:match.start()])
+        start = match.end()
+    parts.append(where[start:])
     conjuncts = [part.strip() for part in parts if part.strip()]
     if not conjuncts:
         raise SqlParseError("empty WHERE clause")
@@ -76,10 +113,67 @@ def _parse_literal(text: str):
                             "use quotes for strings") from None
 
 
+def _split_in_list(text: str) -> list[str]:
+    """Split an IN value list on commas outside quoted string literals."""
+    mask = _quoted_mask(text)
+    parts, start = [], 0
+    for index, char in enumerate(text):
+        if char == "," and not mask[index]:
+            parts.append(text[start:index])
+            start = index + 1
+    parts.append(text[start:])
+    return parts
+
+
+def _parse_in_values(text: str) -> tuple:
+    if not text.strip():
+        raise SqlParseError("IN requires at least one value")
+    values = []
+    for part in _split_in_list(text):
+        if not part.strip():
+            raise SqlParseError(f"malformed IN value list: ({text})")
+        values.append(_parse_literal(part))
+    return tuple(values)
+
+
+def _parse_limit(text: str) -> int:
+    try:
+        limit = int(text)
+    except ValueError:
+        raise SqlParseError(
+            f"LIMIT must be a non-negative integer, got {text!r}") from None
+    if limit < 0:
+        raise SqlParseError(f"LIMIT must be non-negative, got {limit}")
+    return limit
+
+
+def _split_limit(rest: str) -> tuple[str, int | None]:
+    """Split the clause text after the table into (where part, LIMIT value).
+
+    The LIMIT keyword is recognised only outside quoted string literals, so
+    ``WHERE note = 'speed limit 55'`` parses as a predicate, not a LIMIT.
+    """
+    mask = _quoted_mask(rest)
+    matches = [match for match in _LIMIT_KEYWORD_RE.finditer(rest)
+               if not mask[match.start()]]
+    if not matches:
+        return rest, None
+    last = matches[-1]
+    tail = rest[last.end():].strip()
+    if not tail or re.search(r"\s", tail):
+        raise SqlParseError(
+            f"malformed LIMIT clause: {rest[last.start():].strip()!r}")
+    return rest[:last.start()], _parse_limit(tail)
+
+
 def _parse_predicate(text: str) -> MetadataPredicate | ContainsObject:
     contains = _CONTAINS_RE.match(text)
     if contains:
         return ContainsObject(contains.group("category"))
+    membership = _IN_RE.match(text)
+    if membership:
+        values = _parse_in_values(membership.group("values"))
+        return MetadataPredicate(membership.group("column"), "in", values)
     comparison = _COMPARISON_RE.match(text)
     if comparison:
         operator = _OP_MAP[comparison.group("op")]
@@ -103,12 +197,22 @@ def parse_query(sql: str,
     """
     if not sql or not sql.strip():
         raise SqlParseError("empty query")
-    match = _SELECT_RE.match(sql)
+    text = sql.strip()
+    if text.endswith(";") and not _quoted_mask(text)[-1]:
+        text = text[:-1]
+    match = _SELECT_RE.match(text)
     if not match:
         raise SqlParseError(
             "only 'SELECT * FROM <table> [WHERE ...]' queries are supported")
 
-    where = match.group("where")
+    where_part, limit = _split_limit(match.group("rest") or "")
+    where = None
+    if where_part.strip():
+        where_match = _WHERE_RE.match(where_part.strip())
+        if not where_match:
+            raise SqlParseError(
+                "only 'SELECT * FROM <table> [WHERE ...]' queries are supported")
+        where = where_match.group("where")
     metadata: list[MetadataPredicate] = []
     content: list[ContainsObject] = []
     if where:
@@ -123,4 +227,5 @@ def parse_query(sql: str,
 
     return Query(metadata_predicates=tuple(metadata),
                  content_predicates=tuple(content),
-                 constraints=constraints or UserConstraints())
+                 constraints=constraints or UserConstraints(),
+                 limit=limit)

@@ -1,0 +1,252 @@
+"""End-to-end tests for the VisualDatabase facade.
+
+Covers the acceptance path: connect -> register_predicate -> execute ->
+save -> load -> execute, plus explain() plan ordering, lazy registration and
+scenario switching.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import TahomaConfig
+from repro.core.selector import UserConstraints
+from repro.core.spec import ArchitectureSpec
+from repro.core.trainer import TrainingConfig
+from repro.costs.scenario import CAMERA
+from repro.data.categories import get_category
+from repro.data.corpus import generate_corpus
+from repro.db import VisualDatabase, connect
+from repro.query.processor import QueryProcessor
+from repro.query.sql import parse_query
+from repro.transforms.spec import TransformSpec
+from tests.conftest import TINY_SIZE
+
+SQL = ("SELECT * FROM images WHERE location = 'detroit' "
+       "AND contains_object(komondor)")
+CONSTRAINED = UserConstraints(max_accuracy_loss=0.1)
+REFERENCE_PARAMS = {"base_width": 8, "n_stages": 2, "blocks_per_stage": 1}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus((get_category("komondor"),), n_images=30,
+                           image_size=TINY_SIZE, rng=np.random.default_rng(9),
+                           positive_rate=0.9)
+
+
+@pytest.fixture()
+def db(corpus, tiny_optimizer, tiny_device):
+    database = connect(corpus, device=tiny_device, scenario=CAMERA,
+                       calibrate_target_fps=None,
+                       default_constraints=CONSTRAINED)
+    database.register_optimizer("komondor", tiny_optimizer,
+                                reference_params=REFERENCE_PARAMS)
+    return database
+
+
+class TestConnect:
+    def test_connect_returns_database(self, corpus):
+        database = connect(corpus)
+        assert isinstance(database, VisualDatabase)
+        assert len(database.corpus) == len(corpus)
+
+    def test_query_without_corpus_rejected(self, tiny_optimizer):
+        database = connect()
+        database.register_optimizer("komondor", tiny_optimizer)
+        with pytest.raises(RuntimeError):
+            database.execute("SELECT * FROM images WHERE contains_object(komondor)")
+
+    def test_duplicate_predicate_rejected(self, db, tiny_optimizer):
+        with pytest.raises(ValueError):
+            db.register_optimizer("komondor", tiny_optimizer)
+
+
+class TestExecute:
+    def test_paper_query_matches_raw_processor(self, db, corpus, tiny_optimizer,
+                                               camera_profiler):
+        results = db.execute(SQL)
+        raw = QueryProcessor(corpus, {"komondor": tiny_optimizer},
+                             camera_profiler).execute(
+            parse_query(SQL, constraints=CONSTRAINED))
+        np.testing.assert_array_equal(results.image_ids, raw.selected_indices)
+        assert all(row["location"] == "detroit" for row in results)
+
+    def test_default_constraints_applied(self, db, camera_profiler,
+                                         tiny_optimizer):
+        results = db.execute(SQL)
+        expected = tiny_optimizer.select(camera_profiler, CONSTRAINED)
+        assert results.cascades_used["komondor"].name == expected.name
+
+    def test_results_stream_with_fetchmany(self, db):
+        results = db.execute(
+            "SELECT * FROM images WHERE contains_object(komondor)")
+        seen = []
+        while True:
+            batch = results.fetchmany(4)
+            if not batch:
+                break
+            assert len(batch) <= 4
+            seen.extend(row["image_id"] for row in batch)
+        assert seen == list(results.image_ids)
+
+    def test_limit_via_sql(self, db):
+        limited = db.execute(
+            "SELECT * FROM images WHERE contains_object(komondor) LIMIT 2")
+        assert len(limited) <= 2
+
+    def test_unknown_predicate_raises(self, db):
+        with pytest.raises(KeyError):
+            db.execute("SELECT * FROM images WHERE contains_object(zebra)")
+
+
+class TestExplain:
+    def test_explain_reports_choice_without_classifying(self, db):
+        plan = db.explain(SQL)
+        assert plan.categories == ("komondor",)
+        step = plan.content_steps[0]
+        assert step.evaluation.name
+        assert 0.0 <= step.selectivity <= 1.0
+        assert step.cost_per_image_s > 0
+        # Nothing ran: no virtual column was materialized.
+        assert db.executor.materialized_categories() == []
+        text = str(plan)
+        assert "contains_object(komondor)" in text
+        assert "location" in text
+
+    def test_explain_orders_content_steps_by_rank(self, db, tiny_optimizer):
+        # Same optimizer under a second name: ranks tie, order is stable;
+        # the invariant is that ranks are sorted ascending.
+        db.register_optimizer("komondor_b", tiny_optimizer,
+                              reference_params=REFERENCE_PARAMS)
+        plan = db.explain("SELECT * FROM images WHERE "
+                          "contains_object(komondor) AND "
+                          "contains_object(komondor_b)")
+        ranks = [step.rank for step in plan.content_steps]
+        assert ranks == sorted(ranks)
+        assert set(plan.categories) == {"komondor", "komondor_b"}
+
+
+class TestScenarios:
+    def test_use_scenario_by_name_changes_pricing(self, db):
+        camera_plan = db.explain(SQL)
+        db.use_scenario("infer_only")
+        infer_plan = db.explain(SQL)
+        assert camera_plan.scenario_name == "camera"
+        assert infer_plan.scenario_name == "infer_only"
+        # CAMERA pays a transform cost INFER_ONLY does not.
+        assert (camera_plan.content_steps[0].cost_per_image_s
+                >= infer_plan.content_steps[0].cost_per_image_s)
+
+    def test_use_scenario_accepts_profiler(self, db, camera_profiler):
+        db.use_scenario(camera_profiler)
+        assert db.profiler is camera_profiler
+        assert db.scenario.name == "camera"
+
+    def test_unknown_scenario_name(self, db):
+        with pytest.raises(KeyError):
+            db.use_scenario("underwater")
+
+    def test_materialized_labels_always_match_reported_cascade(self, db, corpus):
+        """Across scenario/constraint switches, served labels must come from
+        the cascade reported in ``cascades_used`` — never a stale column."""
+        sql = "SELECT * FROM images WHERE contains_object(komondor)"
+        first = db.execute(sql)
+        assert first.images_classified["komondor"] == len(corpus)
+        db.use_scenario("infer_only")
+        second = db.execute(sql)
+        same_cascade = (second.cascades_used["komondor"].name
+                        == first.cascades_used["komondor"].name)
+        # Same cascade -> column reused; different cascade -> re-classified.
+        assert second.images_classified["komondor"] == (
+            0 if same_cascade else len(corpus))
+        # Repeating under the now-current selection always hits the column.
+        third = db.execute(sql)
+        assert third.images_classified["komondor"] == 0
+
+    def test_constraint_change_never_serves_stale_labels(self, db, corpus,
+                                                         camera_profiler,
+                                                         tiny_optimizer):
+        sql = "SELECT * FROM images WHERE contains_object(komondor)"
+        loose = UserConstraints(max_accuracy_loss=0.5)
+        strict = UserConstraints(max_accuracy_loss=0.0)
+        loose_choice = tiny_optimizer.select(camera_profiler, loose)
+        strict_choice = tiny_optimizer.select(camera_profiler, strict)
+        if loose_choice.name == strict_choice.name:
+            pytest.skip("tiny optimizer selects one cascade for both budgets")
+        first = db.execute(sql, constraints=loose)
+        second = db.execute(sql, constraints=strict)
+        assert first.cascades_used["komondor"].name == loose_choice.name
+        assert second.cascades_used["komondor"].name == strict_choice.name
+        # The strict query must not reuse the loose cascade's column.
+        assert second.images_classified["komondor"] == len(corpus)
+
+
+class TestRegisterPredicate:
+    def _tiny_config(self):
+        return TahomaConfig(
+            architectures=(ArchitectureSpec(1, 4, 8),),
+            transforms=(TransformSpec(8, "gray"), TransformSpec(8, "rgb")),
+            precision_targets=(0.9,),
+            max_depth=2,
+            training=TrainingConfig(epochs=1, batch_size=16))
+
+    def test_register_trains_and_answers(self, corpus, tiny_splits, tiny_device):
+        database = connect(corpus, device=tiny_device, scenario=CAMERA,
+                           calibrate_target_fps=None,
+                           default_constraints=CONSTRAINED)
+        database.register_predicate("komondor", tiny_splits,
+                                    config=self._tiny_config(),
+                                    reference_params={"epochs": 1,
+                                                      **REFERENCE_PARAMS})
+        assert database.is_trained("komondor")
+        results = database.execute(SQL)
+        assert "contains_komondor" in results.columns
+        assert results.images_classified["komondor"] > 0
+
+    def test_lazy_registration_defers_training(self, corpus, tiny_splits,
+                                               tiny_device):
+        database = connect(corpus, device=tiny_device, scenario=CAMERA,
+                           calibrate_target_fps=None,
+                           default_constraints=CONSTRAINED)
+        database.register_predicate("komondor", tiny_splits,
+                                    config=self._tiny_config(),
+                                    train_reference=False, lazy=True)
+        assert database.predicates() == ["komondor"]
+        assert not database.is_trained("komondor")
+        results = database.execute(
+            "SELECT * FROM images WHERE contains_object(komondor)")
+        assert database.is_trained("komondor")
+        assert results.images_classified["komondor"] == len(corpus)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip_identical_results(self, db, tmp_path):
+        before = db.execute(SQL)
+        root = db.save(tmp_path / "vdb")
+
+        reloaded = VisualDatabase.load(root)
+        assert reloaded.scenario.name == "camera"
+        assert reloaded.predicates() == db.predicates()
+        assert len(reloaded.corpus) == len(db.corpus)
+        after = reloaded.execute(SQL)
+        np.testing.assert_array_equal(after.image_ids, before.image_ids)
+        assert after.columns == before.columns
+        np.testing.assert_array_equal(
+            after.to_relation()["contains_komondor"],
+            before.to_relation()["contains_komondor"])
+
+    def test_save_without_corpus_requires_one_at_load(self, db, corpus, tmp_path):
+        root = db.save(tmp_path / "vdb", include_corpus=False)
+        reloaded = VisualDatabase.load(root, corpus=corpus)
+        assert len(reloaded.execute(SQL)) == len(db.execute(SQL))
+
+    def test_load_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            VisualDatabase.load(tmp_path)
+
+    def test_roundtrip_preserves_constraints_and_resolutions(self, db, tmp_path):
+        root = db.save(tmp_path / "vdb")
+        reloaded = VisualDatabase.load(root)
+        assert reloaded.default_constraints == CONSTRAINED
+        assert reloaded.cost_resolution == db.cost_resolution
+        assert reloaded.profiler.source_resolution == db.profiler.source_resolution

@@ -1,0 +1,210 @@
+"""Tests for the query executor: shared store, materialization, LIMIT."""
+
+import numpy as np
+import pytest
+
+from repro.core.selector import UserConstraints
+from repro.data.categories import get_category
+from repro.data.corpus import generate_corpus
+from repro.db.executor import QueryExecutor
+from repro.db.planner import QueryPlanner
+from repro.query.predicates import ContainsObject, MetadataPredicate
+from repro.query.processor import Query
+from tests.conftest import TINY_SIZE
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus((get_category("komondor"),), n_images=30,
+                           image_size=TINY_SIZE, rng=np.random.default_rng(77),
+                           positive_rate=0.9)
+
+
+@pytest.fixture()
+def planner(tiny_optimizer, camera_profiler):
+    # The same optimizer registered under two names lets tests issue
+    # two-content-predicate queries without training a second model pool.
+    return QueryPlanner({"komondor": tiny_optimizer, "komondor2": tiny_optimizer},
+                        camera_profiler)
+
+
+CONSTRAINED = UserConstraints(max_accuracy_loss=0.1)
+
+
+class TestSharedRepresentationStore:
+    def test_store_persists_across_queries(self, corpus, planner):
+        executor = QueryExecutor(corpus)
+        assert len(executor.store) == 0
+        plan = planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED))
+        executor.execute(plan)
+        n_after_first = len(executor.store)
+        assert n_after_first > 0
+        # Re-running after invalidating labels must not add representations:
+        # the full-corpus representations are already materialized.
+        executor.invalidate()
+        executor.execute(plan)
+        assert len(executor.store) == n_after_first
+
+    def test_representations_shared_across_predicates(self, corpus, planner):
+        executor = QueryExecutor(corpus)
+        plan = planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),
+                                ContainsObject("komondor2")),
+            constraints=CONSTRAINED))
+        result = executor.execute(plan)
+        # Both predicates use the same cascade, hence the same representations;
+        # the store holds one full-corpus copy per representation, not two.
+        transforms = {model.transform.name
+                      for step in plan.content_steps
+                      for model in step.evaluation.cascade.models}
+        assert len(executor.store) == len(transforms)
+        # Identical optimizers must agree row by row.
+        np.testing.assert_array_equal(
+            result.relation["contains_komondor"],
+            result.relation["contains_komondor2"])
+
+    def test_broad_queries_materialize_full_corpus(self, corpus, planner):
+        executor = QueryExecutor(corpus)
+        plan = planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED))
+        executor.execute(plan)
+        assert len(executor.store) > 0
+        for spec in executor.store.specs():
+            assert executor.store.get(spec).shape[0] == len(corpus)
+
+    def test_narrow_queries_do_not_bloat_the_store(self, corpus, planner):
+        # 'detroit' selects roughly a third of the corpus, below the default
+        # 50% materialization threshold: the candidate rows are transformed
+        # for the cascade but no corpus-wide representation is cached.
+        executor = QueryExecutor(corpus)
+        plan = planner.plan(Query(
+            metadata_predicates=(MetadataPredicate("location", "==", "detroit"),),
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED))
+        result = executor.execute(plan)
+        assert result.images_classified["komondor"] > 0
+        assert len(executor.store) == 0
+
+    def test_narrow_queries_slice_already_stored_representations(self, corpus,
+                                                                 planner):
+        executor = QueryExecutor(corpus)
+        broad = planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED))
+        executor.execute(broad)
+        n_stored = len(executor.store)
+        executor.invalidate()
+        narrow = planner.plan(Query(
+            metadata_predicates=(MetadataPredicate("location", "==", "detroit"),),
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED))
+        executor.execute(narrow)
+        # The warm store was reused, not extended.
+        assert len(executor.store) == n_stored
+
+
+class TestMaterializedColumns:
+    def test_rows_never_reclassified(self, corpus, planner):
+        executor = QueryExecutor(corpus)
+        plan = planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED))
+        first = executor.execute(plan)
+        second = executor.execute(plan)
+        assert first.images_classified["komondor"] == len(corpus)
+        assert second.images_classified["komondor"] == 0
+        np.testing.assert_array_equal(first.selected_indices,
+                                      second.selected_indices)
+
+    def test_invalidate_single_category(self, corpus, planner):
+        executor = QueryExecutor(corpus)
+        plan = planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED))
+        executor.execute(plan)
+        executor.invalidate("komondor")
+        assert executor.materialized_categories() == []
+        assert executor.execute(plan).images_classified["komondor"] == len(corpus)
+
+    def test_second_predicate_sees_shrunken_candidate_set(self, corpus, planner):
+        executor = QueryExecutor(corpus)
+        plan = planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),
+                                ContainsObject("komondor2")),
+            constraints=CONSTRAINED))
+        result = executor.execute(plan)
+        first_cat, second_cat = plan.categories
+        assert result.images_classified[first_cat] == len(corpus)
+        # The second predicate only classifies rows the first let through.
+        assert (result.images_classified[second_cat]
+                <= result.images_classified[first_cat])
+
+
+class TestLimit:
+    def test_limit_truncates_selected_rows(self, corpus, planner):
+        executor = QueryExecutor(corpus)
+        unlimited = executor.execute(planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED)))
+        if len(unlimited) < 2:
+            pytest.skip("corpus produced too few positives to exercise LIMIT")
+        limit = len(unlimited) - 1
+        limited = executor.execute(planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED, limit=limit)))
+        assert len(limited) == limit
+        np.testing.assert_array_equal(limited.selected_indices,
+                                      unlimited.selected_indices[:limit])
+        assert len(limited.relation) == limit
+
+    def test_limit_larger_than_result_is_noop(self, corpus, planner):
+        executor = QueryExecutor(corpus)
+        plan = planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED, limit=10_000))
+        assert len(executor.execute(plan)) <= 10_000
+
+    def test_limit_zero_returns_nothing(self, corpus, planner):
+        executor = QueryExecutor(corpus)
+        plan = planner.plan(Query(
+            metadata_predicates=(MetadataPredicate("location", "==", "detroit"),),
+            limit=0))
+        assert len(executor.execute(plan)) == 0
+
+    def test_limit_zero_classifies_nothing(self, corpus, planner):
+        executor = QueryExecutor(corpus)
+        plan = planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED, limit=0))
+        result = executor.execute(plan)
+        assert len(result) == 0
+        assert result.images_classified["komondor"] == 0
+
+    def test_limit_stops_classifying_early(self, corpus, planner):
+        # Small chunks so the 30-image corpus spans several of them: once a
+        # chunk yields enough survivors, later chunks are never classified.
+        executor = QueryExecutor(corpus, min_limit_chunk=4)
+        plan = planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED, limit=1))
+        result = executor.execute(plan)
+        if len(result) == 1:
+            assert result.images_classified["komondor"] < len(corpus)
+        # And the rows returned are the first survivors in corpus order.
+        executor_full = QueryExecutor(corpus)
+        unlimited = executor_full.execute(planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED)))
+        np.testing.assert_array_equal(result.selected_indices,
+                                      unlimited.selected_indices[:1])
+
+
+class TestConstruction:
+    def test_empty_corpus_rejected(self):
+        from repro.data.corpus import ImageCorpus
+
+        with pytest.raises(ValueError):
+            QueryExecutor(ImageCorpus(images=np.zeros((0, 8, 8, 3)), metadata={}))

@@ -1,0 +1,118 @@
+"""Tests for the query planner: selection, selectivity, predicate ordering."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.evaluator import CascadeEvaluation
+from repro.core.selector import UserConstraints
+from repro.costs.profiler import CostBreakdown
+from repro.db.planner import QueryPlanner, estimate_selectivity
+from repro.query.predicates import ContainsObject, MetadataPredicate
+from repro.query.processor import Query
+
+_STUB_PROFILER = SimpleNamespace(scenario=SimpleNamespace(name="stub"))
+
+
+class _StubOptimizer:
+    """Stands in for a TahomaOptimizer: fixed cost and selectivity."""
+
+    def __init__(self, cost_s: float, selectivity: float) -> None:
+        self._cost_s = cost_s
+        self._selectivity = selectivity
+        self.cache = None
+
+    def select(self, profiler, constraints):
+        return SimpleNamespace(
+            cost=CostBreakdown(infer_s=self._cost_s),
+            name=f"stub-cascade-{self._cost_s}",
+            accuracy=0.9,
+            throughput=1.0 / self._cost_s,
+            cascade=None,
+            stub_selectivity=self._selectivity)
+
+
+@pytest.fixture(autouse=True)
+def _stub_selectivity(monkeypatch):
+    monkeypatch.setattr("repro.db.planner.estimate_selectivity",
+                        lambda evaluation: evaluation.stub_selectivity)
+
+
+class TestOrdering:
+    def test_content_predicates_ordered_by_selectivity_times_cost(self):
+        planner = QueryPlanner(
+            {"cheap_selective": _StubOptimizer(cost_s=0.001, selectivity=0.1),
+             "expensive": _StubOptimizer(cost_s=0.1, selectivity=0.5),
+             "middling": _StubOptimizer(cost_s=0.01, selectivity=0.5)},
+            _STUB_PROFILER)
+        query = Query(content_predicates=(ContainsObject("expensive"),
+                                          ContainsObject("cheap_selective"),
+                                          ContainsObject("middling")))
+        plan = planner.plan(query)
+        assert plan.categories == ("cheap_selective", "middling", "expensive")
+        ranks = [step.rank for step in plan.content_steps]
+        assert ranks == sorted(ranks)
+
+    def test_selective_beats_cheap_when_product_is_lower(self):
+        # 0.01 * 0.9 = 0.009 vs 0.02 * 0.1 = 0.002: the slower-but-much-more
+        # selective predicate must run first.
+        planner = QueryPlanner(
+            {"cheap_broad": _StubOptimizer(cost_s=0.01, selectivity=0.9),
+             "pricier_narrow": _StubOptimizer(cost_s=0.02, selectivity=0.1)},
+            _STUB_PROFILER)
+        plan = planner.plan(Query(content_predicates=(
+            ContainsObject("cheap_broad"), ContainsObject("pricier_narrow"))))
+        assert plan.categories == ("pricier_narrow", "cheap_broad")
+
+    def test_metadata_steps_preserved_and_first_in_describe(self):
+        planner = QueryPlanner({"a": _StubOptimizer(0.01, 0.5)}, _STUB_PROFILER)
+        query = Query(
+            metadata_predicates=(MetadataPredicate("location", "==", "detroit"),),
+            content_predicates=(ContainsObject("a"),),
+            limit=7)
+        plan = planner.plan(query)
+        text = plan.describe()
+        assert text.index("filter") < text.index("cascade")
+        assert "limit    7" in text
+        assert plan.limit == 7
+        assert "scenario=stub" in text
+
+    def test_unknown_category_raises(self):
+        planner = QueryPlanner({}, _STUB_PROFILER)
+        with pytest.raises(KeyError):
+            planner.plan(Query(content_predicates=(ContainsObject("zebra"),)))
+
+
+class TestExpectedCost:
+    def test_cost_weighted_by_upstream_selectivity(self):
+        planner = QueryPlanner(
+            {"first": _StubOptimizer(cost_s=0.001, selectivity=0.25),
+             "second": _StubOptimizer(cost_s=0.1, selectivity=0.5)},
+            _STUB_PROFILER)
+        plan = planner.plan(Query(content_predicates=(
+            ContainsObject("first"), ContainsObject("second"))))
+        # first runs on everything; second only on the 25% that survive.
+        assert plan.expected_cost_per_candidate_s() == pytest.approx(
+            0.001 + 0.25 * 0.1)
+
+
+class TestEstimateSelectivity:
+    def test_reads_positive_rate_of_selected_cascade(self, tiny_optimizer,
+                                                     camera_profiler):
+        evaluation = tiny_optimizer.select(camera_profiler,
+                                           UserConstraints(max_accuracy_loss=0.1))
+        selectivity = estimate_selectivity(evaluation)
+        assert selectivity == evaluation.positive_rate
+        # The eval split is balanced and the cascade honours a tight accuracy
+        # budget, so its positive rate should be in a broad middle band.
+        assert 0.2 <= selectivity <= 0.8
+
+    def test_evaluation_without_positive_rate_rejected(self, tiny_optimizer,
+                                                       camera_profiler):
+        selected = tiny_optimizer.select(camera_profiler)
+        bare = CascadeEvaluation(cascade=selected.cascade,
+                                 accuracy=selected.accuracy,
+                                 cost=selected.cost,
+                                 level_fractions=selected.level_fractions)
+        with pytest.raises(ValueError):
+            estimate_selectivity(bare)

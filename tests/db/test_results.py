@@ -1,0 +1,98 @@
+"""Tests for ResultSet: cursor semantics, streaming, columnar access."""
+
+import numpy as np
+import pytest
+
+from repro.db.planner import QueryPlan
+from repro.db.results import ResultSet
+from repro.query.processor import QueryResult
+from repro.query.relation import Relation
+
+
+def _result_set(n_rows: int = 5) -> ResultSet:
+    relation = Relation({
+        "image_id": np.arange(n_rows),
+        "location": np.array([f"city{i}" for i in range(n_rows)]),
+        "contains_komondor": np.ones(n_rows, dtype=np.int64),
+    })
+    result = QueryResult(relation=relation,
+                         selected_indices=np.arange(n_rows) * 2,
+                         cascades_used={}, images_classified={"komondor": n_rows})
+    plan = QueryPlan(metadata_steps=(), content_steps=(), scenario_name="camera")
+    return ResultSet(result, plan)
+
+
+class TestShape:
+    def test_len_and_columns(self):
+        results = _result_set(4)
+        assert len(results) == 4
+        assert results.columns == ["contains_komondor", "image_id", "location"]
+
+    def test_image_ids(self):
+        np.testing.assert_array_equal(_result_set(3).image_ids, [0, 2, 4])
+
+
+class TestRowAccess:
+    def test_rows_are_plain_python(self):
+        row = _result_set().row(1)
+        assert row == {"image_id": 1, "location": "city1",
+                       "contains_komondor": 1}
+        assert isinstance(row["image_id"], int)
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            _result_set(2).row(2)
+
+    def test_iteration_yields_all_rows_lazily(self):
+        results = _result_set(3)
+        iterator = iter(results)
+        assert next(iterator)["image_id"] == 0
+        # Iteration does not disturb the fetch cursor.
+        assert results.fetchone()["image_id"] == 0
+        assert [row["image_id"] for row in results] == [0, 1, 2]
+
+
+class TestFetchCursor:
+    def test_fetchmany_advances_and_truncates(self):
+        results = _result_set(5)
+        first = results.fetchmany(2)
+        second = results.fetchmany(2)
+        tail = results.fetchmany(2)
+        assert [row["image_id"] for row in first] == [0, 1]
+        assert [row["image_id"] for row in second] == [2, 3]
+        assert [row["image_id"] for row in tail] == [4]
+        assert results.fetchmany(2) == []
+
+    def test_fetchone_exhaustion(self):
+        results = _result_set(1)
+        assert results.fetchone()["image_id"] == 0
+        assert results.fetchone() is None
+
+    def test_fetchall_returns_remaining(self):
+        results = _result_set(4)
+        results.fetchmany(3)
+        assert [row["image_id"] for row in results.fetchall()] == [3]
+        assert results.fetchall() == []
+
+    def test_rewind(self):
+        results = _result_set(2)
+        results.fetchall()
+        results.rewind()
+        assert results.fetchone()["image_id"] == 0
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            _result_set().fetchmany(0)
+
+
+class TestColumnarAccess:
+    def test_to_relation(self):
+        relation = _result_set(3).to_relation()
+        assert len(relation) == 3
+        assert "contains_komondor" in relation
+
+    def test_provenance_passthrough(self):
+        results = _result_set(2)
+        assert results.images_classified == {"komondor": 2}
+        assert results.cascades_used == {}
+        assert results.plan.scenario_name == "camera"

@@ -69,6 +69,107 @@ class TestConjunctions:
         assert len(query.metadata_predicates) == 1
         assert len(query.content_predicates) == 1
 
+    def test_and_inside_string_literal_is_not_a_conjunction(self):
+        query = parse_query(
+            "SELECT * FROM images WHERE genre = 'rock and roll' "
+            "AND contains_object(coho)")
+        assert query.metadata_predicates == (
+            MetadataPredicate("genre", "==", "rock and roll"),)
+        assert query.content_predicates == (ContainsObject("coho"),)
+
+    def test_and_inside_in_list_literal(self):
+        query = parse_query(
+            "SELECT * FROM images WHERE genre IN ('rock and roll', 'jazz')")
+        assert query.metadata_predicates[0].value == ("rock and roll", "jazz")
+
+
+class TestLimit:
+    def test_limit_parsed(self):
+        query = parse_query(
+            "SELECT * FROM images WHERE contains_object(komondor) LIMIT 5")
+        assert query.limit == 5
+
+    def test_limit_with_trailing_semicolon(self):
+        query = parse_query(
+            "SELECT * FROM images WHERE contains_object(komondor) LIMIT 5;")
+        assert query.limit == 5
+
+    def test_no_limit_defaults_to_none(self):
+        query = parse_query("SELECT * FROM images WHERE contains_object(dog)")
+        assert query.limit is None
+
+    def test_limit_zero_allowed(self):
+        query = parse_query("SELECT * FROM images WHERE camera_id = 1 LIMIT 0")
+        assert query.limit == 0
+
+    def test_limit_keyword_is_case_insensitive(self):
+        query = parse_query("select * from images where camera_id = 1 limit 12")
+        assert query.limit == 12
+
+    @pytest.mark.parametrize("bad", ["-1", "abc", "2.5", "1e3"])
+    def test_malformed_limit_rejected(self, bad):
+        with pytest.raises(SqlParseError):
+            parse_query(f"SELECT * FROM images WHERE camera_id = 1 LIMIT {bad}")
+
+    def test_limit_without_value_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_query("SELECT * FROM images WHERE camera_id = 1 LIMIT")
+
+    def test_limit_inside_string_literal_is_not_a_limit(self):
+        query = parse_query(
+            "SELECT * FROM images WHERE note = 'speed limit 55'")
+        assert query.limit is None
+        assert query.metadata_predicates[0].value == "speed limit 55"
+
+    def test_limit_after_string_literal_containing_limit(self):
+        query = parse_query(
+            "SELECT * FROM images WHERE note = 'speed limit 55' LIMIT 3")
+        assert query.limit == 3
+        assert query.metadata_predicates[0].value == "speed limit 55"
+
+
+class TestInPredicate:
+    def test_string_membership(self):
+        query = parse_query(
+            "SELECT * FROM images WHERE location IN ('detroit', 'austin')")
+        assert query.metadata_predicates == (
+            MetadataPredicate("location", "in", ("detroit", "austin")),)
+
+    def test_numeric_membership(self):
+        query = parse_query("SELECT * FROM images WHERE camera_id IN (1, 2, 3)")
+        assert query.metadata_predicates[0].value == (1, 2, 3)
+
+    def test_single_value(self):
+        query = parse_query("SELECT * FROM images WHERE camera_id IN (7)")
+        assert query.metadata_predicates[0].value == (7,)
+
+    def test_in_is_case_insensitive(self):
+        query = parse_query("SELECT * FROM images WHERE location in ('austin')")
+        assert query.metadata_predicates[0].operator == "in"
+
+    def test_quoted_value_may_contain_comma(self):
+        query = parse_query(
+            "SELECT * FROM images WHERE location IN ('Detroit, MI', 'austin')")
+        assert query.metadata_predicates[0].value == ("Detroit, MI", "austin")
+
+    def test_combines_with_other_predicates(self):
+        query = parse_query(
+            "SELECT * FROM images WHERE location IN ('detroit') "
+            "AND contains_object(fence) LIMIT 4")
+        assert len(query.metadata_predicates) == 1
+        assert len(query.content_predicates) == 1
+        assert query.limit == 4
+
+    @pytest.mark.parametrize("bad", [
+        "SELECT * FROM images WHERE location IN ()",
+        "SELECT * FROM images WHERE location IN (,)",
+        "SELECT * FROM images WHERE location IN (1,,2)",
+        "SELECT * FROM images WHERE location IN (detroit)",
+    ])
+    def test_malformed_in_rejected(self, bad):
+        with pytest.raises(SqlParseError):
+            parse_query(bad)
+
 
 class TestErrors:
     def test_empty_query(self):
