@@ -1,0 +1,95 @@
+"""Streaming ingest vs. full rebuild: the cost of growing an archive.
+
+The ONGOING scenario's promise is that a growing database never redoes work:
+``db.ingest(frames)`` extends the corpus, the materialized virtual columns
+and the registered representations in place, so a repeated query classifies
+only the frames that arrived since it last ran.  The alternative — rebuilding
+via ``register_corpus`` on the merged corpus — throws away every materialized
+label and representation and re-classifies the whole archive.
+
+This benchmark grows a corpus in batches under both strategies and reports
+per-batch query latency and the number of images classified, plus the store
+footprint with and without a byte budget.
+"""
+
+import time
+
+import numpy as np
+
+from _util import write_result
+from repro.core.selector import UserConstraints
+from repro.data.categories import get_category
+from repro.data.corpus import generate_corpus
+from repro.experiments.reporting import format_table
+
+N_INITIAL = 48
+BATCH_SIZE = 16
+N_BATCHES = 3
+CATEGORY = "komondor"
+SQL = f"SELECT * FROM images WHERE contains_object({CATEGORY})"
+CONSTRAINTS = UserConstraints(max_accuracy_loss=0.05)
+
+
+def _corpus(workspace, n_images, seed):
+    return generate_corpus((get_category(CATEGORY),), n_images=n_images,
+                           image_size=workspace.scale.image_size,
+                           rng=np.random.default_rng(seed), positive_rate=0.6)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_ingest_vs_rebuild(benchmark, default_workspace, results_dir):
+    initial = _corpus(default_workspace, N_INITIAL, seed=21)
+    batches = [_corpus(default_workspace, BATCH_SIZE, seed=22 + i)
+               for i in range(N_BATCHES)]
+
+    # -- incremental: one long-lived database, frames ingested as they arrive.
+    db = default_workspace.database("ongoing", corpus=initial,
+                                    constraints=CONSTRAINTS)
+    _, warmup_s = _timed(lambda: db.execute(SQL))
+    rows = [["initial", "-", f"{N_INITIAL}", f"{warmup_s * 1e3:.1f}",
+             f"{N_INITIAL}"]]
+    for index, batch in enumerate(batches):
+        db.ingest(batch.images, metadata=batch.metadata, content=batch.content)
+        result, elapsed_s = _timed(lambda: db.execute(SQL))
+        rows.append([f"batch {index + 1}", "ingest", f"{len(db.corpus)}",
+                     f"{elapsed_s * 1e3:.1f}",
+                     f"{result.images_classified[CATEGORY]}"])
+
+    # -- rebuild: register_corpus on the merged corpus, caches start cold.
+    rebuild = default_workspace.database("ongoing", constraints=CONSTRAINTS)
+    for index, batch in enumerate(batches):
+        merged = _corpus(default_workspace, N_INITIAL, seed=21)
+        for earlier in batches[:index + 1]:
+            merged.append(earlier.images, metadata=earlier.metadata,
+                          content=earlier.content)
+        rebuild.register_corpus(merged)
+        result, elapsed_s = _timed(lambda: rebuild.execute(SQL))
+        rows.append([f"batch {index + 1}", "rebuild", f"{len(merged)}",
+                     f"{elapsed_s * 1e3:.1f}",
+                     f"{result.images_classified[CATEGORY]}"])
+
+    # The incremental path must only ever classify the new frames.
+    ingest_classified = [int(row[4]) for row in rows[1:N_BATCHES + 1]]
+    assert all(count == BATCH_SIZE for count in ingest_classified)
+
+    # -- benchmark hook: one ingest + query round on the live database.
+    def ingest_round():
+        batch = _corpus(default_workspace, BATCH_SIZE, seed=99)
+        db.ingest(batch.images, metadata=batch.metadata)
+        return db.execute(SQL)
+
+    benchmark.pedantic(ingest_round, rounds=3, iterations=1)
+
+    unbounded_bytes = db.executor.store.bytes_stored()
+    table = format_table(
+        ["step", "strategy", "rows", "query ms", "classified"], rows)
+    body = (f"{table}\n\n"
+            f"store footprint (unbounded): {unbounded_bytes:,} simulated "
+            f"bytes across {len(db.executor.store)} representations\n")
+    write_result(results_dir, "bench_ingest",
+                 "Streaming ingest vs. full rebuild (ONGOING)", body)

@@ -48,6 +48,19 @@ class Scenario:
         if not self.name:
             raise ValueError("scenario needs a name")
 
+    @property
+    def materializes_on_ingest(self) -> bool:
+        """Whether this deployment transforms frames at ingest time.
+
+        True exactly when query time loads pre-built representation bytes
+        (ONGOING): no transform is paid at query time, yet bytes are loaded
+        at representation (not source) size — so the representations must
+        already exist on the tier, i.e. they were built when the frames
+        arrived.
+        """
+        return (self.include_load and not self.include_transform
+                and not self.load_full_image)
+
 
 #: Only CNN inference time counts (the computer-vision-literature convention).
 INFER_ONLY = Scenario(

@@ -166,12 +166,19 @@ class ImageCorpus:
     def __post_init__(self) -> None:
         self.images = np.asarray(self.images, dtype=np.float64)
         n = self.images.shape[0]
-        for key, values in self.metadata.items():
-            if np.asarray(values).shape[0] != n:
-                raise ValueError(f"metadata column {key!r} has wrong length")
-        for key, values in self.content.items():
-            if np.asarray(values).shape[0] != n:
-                raise ValueError(f"content column {key!r} has wrong length")
+        # Coerce and *store* the arrays: list-valued columns must not survive
+        # into persistence or append paths as Python lists.
+        self.metadata = {key: self._column(key, values, n, "metadata")
+                         for key, values in self.metadata.items()}
+        self.content = {key: self._column(key, values, n, "content")
+                        for key, values in self.content.items()}
+
+    @staticmethod
+    def _column(key: str, values, n: int, kind: str) -> np.ndarray:
+        array = np.asarray(values)
+        if array.shape[0] != n:
+            raise ValueError(f"{kind} column {key!r} has wrong length")
+        return array
 
     def __len__(self) -> int:
         return int(self.images.shape[0])
@@ -179,6 +186,56 @@ class ImageCorpus:
     @property
     def image_size(self) -> int:
         return int(self.images.shape[1])
+
+    def append(self, images: np.ndarray,
+               metadata: dict[str, np.ndarray] | None = None,
+               content: dict[str, np.ndarray] | None = None) -> np.ndarray:
+        """Append new rows in place, returning the new rows' image ids.
+
+        This is the corpus half of streaming ingest: ``images`` is an NHWC
+        batch with the same frame shape as the corpus, ``metadata`` must
+        provide exactly the existing metadata columns, and ``content``
+        (ground truth, optional) may provide any subset of the existing
+        content columns — missing ones are padded with ``False`` for the new
+        rows, mirroring frames whose ground truth is unknown.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 4:
+            raise ValueError(f"images must be NHWC, got shape {images.shape}")
+        if images.shape[1:] != self.images.shape[1:]:
+            raise ValueError(
+                f"appended frame shape {images.shape[1:]} does not match "
+                f"corpus frame shape {self.images.shape[1:]}")
+        n_new = images.shape[0]
+
+        metadata = metadata or {}
+        if set(metadata) != set(self.metadata):
+            raise ValueError(
+                f"metadata columns {sorted(metadata)} do not match corpus "
+                f"columns {sorted(self.metadata)}")
+        new_metadata = {key: self._column(key, values, n_new, "metadata")
+                        for key, values in metadata.items()}
+
+        content = content or {}
+        unknown = set(content) - set(self.content)
+        if unknown:
+            raise ValueError(f"unknown content columns {sorted(unknown)}; "
+                             f"corpus has {sorted(self.content)}")
+        new_content = {}
+        for key, existing in self.content.items():
+            if key in content:
+                new_content[key] = self._column(key, content[key], n_new,
+                                                "content")
+            else:
+                new_content[key] = np.zeros(n_new, dtype=existing.dtype)
+
+        n_old = len(self)
+        self.images = np.concatenate([self.images, images], axis=0)
+        self.metadata = {key: np.concatenate([values, new_metadata[key]])
+                         for key, values in self.metadata.items()}
+        self.content = {key: np.concatenate([values, new_content[key]])
+                        for key, values in self.content.items()}
+        return np.arange(n_old, n_old + n_new)
 
 
 def generate_corpus(categories: tuple[CategoryDef, ...], n_images: int,

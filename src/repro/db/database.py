@@ -15,6 +15,7 @@ A typical session::
                           "AND contains_object(bicycle)"):
         ...
     print(db.explain("SELECT * FROM images WHERE contains_object(bicycle)"))
+    db.ingest(new_frames, metadata=new_metadata)   # ONGOING: grows in place
     db.save("my.vdb")
 
 Under the facade, queries flow through the :mod:`repro.query.sql` parser, the
@@ -131,6 +132,13 @@ class VisualDatabase:
         ResNet50 anchor).  ``None`` keeps ``device`` as given.
     default_constraints:
         Constraints applied to queries that do not carry their own.
+    store_budget:
+        Byte budget for the representation store (see
+        :class:`~repro.storage.store.RepresentationStore`): a long-lived
+        database over a growing corpus holds representation memory constant
+        by evicting least-recently-used representations; evicted ones are
+        recomputed on demand, so results are unaffected.  ``None`` keeps the
+        store unbounded.
     """
 
     def __init__(self, corpus: ImageCorpus | None = None, *,
@@ -139,7 +147,8 @@ class VisualDatabase:
                  cost_resolution: int = 224,
                  source_resolution: int | None = None,
                  calibrate_target_fps: float | None = 75.0,
-                 default_constraints: UserConstraints | None = None) -> None:
+                 default_constraints: UserConstraints | None = None,
+                 store_budget: int | None = None) -> None:
         self._device = device
         self._device_calibrated = False
         self._scenario: Scenario = INFER_ONLY
@@ -148,6 +157,7 @@ class VisualDatabase:
         self._source_resolution = source_resolution
         self.calibrate_target_fps = calibrate_target_fps
         self.default_constraints = default_constraints or UserConstraints()
+        self.store_budget = store_budget
 
         self._executor: QueryExecutor | None = None
         self._optimizers: dict[str, TahomaOptimizer] = {}
@@ -161,7 +171,31 @@ class VisualDatabase:
     # -- corpus ---------------------------------------------------------------
     def register_corpus(self, corpus: ImageCorpus) -> None:
         """Attach (or replace) the corpus; query-time caches start fresh."""
-        self._executor = QueryExecutor(corpus)
+        from repro.storage.store import RepresentationStore
+
+        self._executor = QueryExecutor(
+            corpus, store=RepresentationStore(byte_budget=self.store_budget))
+
+    def ingest(self, images: np.ndarray,
+               metadata: dict[str, np.ndarray] | None = None,
+               content: dict[str, np.ndarray] | None = None, *,
+               materialize: bool | None = None) -> np.ndarray:
+        """Append new frames to the corpus — the paper's ONGOING ingest path.
+
+        Query-time state grows incrementally: already-classified rows are
+        never re-classified, so a repeated query after ingest pays only for
+        the new frames.  Under a scenario that materializes at ingest
+        (ONGOING), every representation the store has registered is extended
+        with the new frames now, so queries keep loading representation
+        bytes instead of transforming; other scenarios (ARCHIVE, CAMERA)
+        stay lazy.  ``materialize`` overrides the scenario's policy.
+
+        Returns the new rows' image ids.
+        """
+        if materialize is None:
+            materialize = self._scenario.materializes_on_ingest
+        return self.executor.ingest(images, metadata=metadata,
+                                    content=content, materialize=materialize)
 
     @property
     def corpus(self) -> ImageCorpus:
@@ -326,7 +360,13 @@ class VisualDatabase:
                             or self.default_constraints)
         self._ensure_trained(predicate.category
                              for predicate in query.content_predicates)
-        planner = QueryPlanner(self._optimizers, self.profiler)
+        # Selectivity is refreshed from materialized virtual columns (when a
+        # cascade has classified rows already — including rows just ingested)
+        # so predicate ordering tracks the corpus, not the balanced eval set.
+        hook = (self._executor.observed_positive_rate
+                if self._executor is not None else None)
+        planner = QueryPlanner(self._optimizers, self.profiler,
+                               selectivity_hook=hook)
         return planner.plan(query)
 
     def execute(self, sql: str,

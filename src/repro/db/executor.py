@@ -86,9 +86,66 @@ class QueryExecutor:
         """The metadata relation (without content columns)."""
         return self._base_relation
 
+    def ingest(self, images: np.ndarray,
+               metadata: dict[str, np.ndarray] | None = None,
+               content: dict[str, np.ndarray] | None = None, *,
+               materialize: bool = False) -> np.ndarray:
+        """Append new frames and grow query-time state incrementally.
+
+        The corpus is extended in place, the base relation gains the new
+        rows, and every materialized virtual column is padded with
+        *unevaluated* new rows — existing rows are never re-classified, so a
+        repeated query after ingest classifies only the new frames.
+
+        With ``materialize=True`` (the ONGOING scenario) every representation
+        the store has registered is brought up to full corpus length by
+        transforming just the new frames — queries then load representation
+        bytes without transforming.  Otherwise (ARCHIVE and friends) stored
+        representations go stale and are topped up lazily the next time a
+        query needs them.
+
+        Returns the new rows' image ids.
+        """
+        new_ids = self.corpus.append(images, metadata=metadata,
+                                     content=content)
+        n = len(self.corpus)
+        self._base_relation = Relation(
+            {**self.corpus.metadata, "image_id": np.arange(n)})
+        n_new = new_ids.size
+        if n_new:
+            for key, (evaluated, labels) in self._materialized.items():
+                self._materialized[key] = (
+                    np.concatenate([evaluated, np.zeros(n_new, dtype=bool)]),
+                    np.concatenate([labels, np.zeros(n_new, dtype=np.int64)]))
+        if materialize:
+            for spec in self.store.registered_specs():
+                self._full_representation(spec, materialize=True)
+        return new_ids
+
     def materialized_categories(self) -> list[str]:
         """Categories with at least one row's virtual column materialized."""
         return sorted({category for category, _ in self._materialized})
+
+    def observed_positive_rate(self, category: str,
+                               cascade_name: str | None = None) -> float | None:
+        """Corpus-calibrated selectivity from materialized virtual columns.
+
+        The fraction of already-classified rows labeled positive — by the
+        named cascade, or pooled over every cascade that has classified rows
+        for ``category``.  ``None`` when no rows have been classified; the
+        planner then falls back to the evaluation-set estimate.
+        """
+        evaluated_total, positive_total = 0, 0
+        for (cat, cascade), (evaluated, labels) in self._materialized.items():
+            if cat != category:
+                continue
+            if cascade_name is not None and cascade != cascade_name:
+                continue
+            evaluated_total += int(evaluated.sum())
+            positive_total += int(labels[evaluated].sum())
+        if evaluated_total == 0:
+            return None
+        return positive_total / evaluated_total
 
     def invalidate(self, category: str | None = None) -> None:
         """Drop materialized virtual columns, keeping stored representations.
@@ -106,9 +163,13 @@ class QueryExecutor:
                 del self._materialized[key]
 
     def clear_cache(self) -> None:
-        """Drop materialized virtual columns and stored representations."""
+        """Drop materialized virtual columns and stored representations.
+
+        The store's tier, byte budget and ingest-time registrations are
+        kept — only the cached arrays are released.
+        """
         self._materialized.clear()
-        self.store = RepresentationStore(tier=self.store.tier)
+        self.store.clear()
 
     def execute(self, plan: QueryPlan) -> "QueryResult":
         """Run the plan: metadata filters, then cost-ordered content steps.
@@ -202,6 +263,34 @@ class QueryExecutor:
 
         return labels, n_classified
 
+    def _full_representation(self, spec, *, materialize: bool):
+        """The full-corpus array for ``spec``, or None when staying lazy.
+
+        Stored arrays shorter than the corpus (rows ingested since they were
+        built) are topped up by transforming just the missing tail, so the
+        cache stays warm across ingests.  Missing arrays are built corpus-wide
+        only when ``materialize`` — and then registered, so ONGOING ingest
+        keeps extending them for future frames.
+
+        The returned array is taken from local state, not re-read from the
+        store: under a byte budget the store may evict it immediately, which
+        bounds memory without affecting the current query.
+        """
+        n = len(self.corpus)
+        if spec in self.store:
+            array = self.store.get(spec)
+            n_stored = array.shape[0]
+            if n_stored < n:
+                tail = spec.apply_batch(self.corpus.images[n_stored:])
+                array = self.store.extend(spec, tail)
+            return array
+        if materialize:
+            array = spec.apply_batch(self.corpus.images)
+            self.store.add(spec, array)
+            self.store.register(spec)
+            return array
+        return None
+
     def _subset_store(self, step: ContentStep,
                       to_classify: np.ndarray) -> RepresentationStore:
         """A store seeded with the candidate rows of each needed representation.
@@ -211,8 +300,9 @@ class QueryExecutor:
         per-call view store holding only the rows it will classify, since
         ``Cascade.classify`` indexes representations by batch position.
 
-        Already-stored representations are always sliced.  Missing ones are
-        materialized corpus-wide only when the candidate set is large enough
+        Already-stored representations are always sliced (topped up first if
+        ingest left them short).  Missing ones are materialized corpus-wide
+        only when the candidate set is large enough
         (``full_materialize_fraction``); otherwise they are left out and the
         cascade transforms just the candidate rows, lazily, for the levels it
         actually reaches.
@@ -223,9 +313,7 @@ class QueryExecutor:
         scratch = RepresentationStore(tier=self.store.tier)
         for model in step.evaluation.cascade.models:
             spec = model.transform
-            if spec in self.store:
-                scratch.add(spec, self.store.get(spec)[to_classify])
-            elif materialize:
-                full = self.store.get_or_transform(spec, self.corpus.images)
+            full = self._full_representation(spec, materialize=materialize)
+            if full is not None:
                 scratch.add(spec, full[to_classify])
         return scratch

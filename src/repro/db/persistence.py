@@ -5,15 +5,19 @@ plus a database-level manifest carrying the deployment scenario, device
 profile and corpus.  Layout::
 
     <root>/
-      database.json            # manifest: scenario, device, predicate names
+      database.json            # manifest: scenario, device, predicates, store
       corpus.npz               # images + metadata + content (optional)
+      materialized.npz         # materialized virtual columns (optional)
       predicates/<name>/       # one model repository per predicate
         repository.json
         weights/*.npz
 
 A trained database therefore round-trips without retraining: all optimizers,
-the active scenario and the corpus metadata come back, and a reloaded
-database answers the same queries with identical results.
+the active scenario, the corpus (including rows added by ``db.ingest``), the
+store's byte budget and ingest-time registrations, and every materialized
+virtual column come back — a reloaded database answers the same queries with
+identical results and without re-classifying rows classified before the
+save.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.costs.scenario import Scenario
 from repro.data.corpus import ImageCorpus
 from repro.db.database import VisualDatabase
 from repro.storage.tiers import StorageTier
+from repro.transforms.spec import TransformSpec
 
 __all__ = ["save_database", "load_database"]
 
@@ -37,6 +42,7 @@ _FORMAT_VERSION = 1
 
 _CORPUS_FILE = "corpus.npz"
 _MANIFEST_FILE = "database.json"
+_MATERIALIZED_FILE = "materialized.npz"
 _PREDICATES_DIR = "predicates"
 
 
@@ -84,6 +90,46 @@ def _save_corpus(corpus: ImageCorpus, path: Path) -> None:
     np.savez_compressed(path, **arrays)
 
 
+def _spec_to_dict(spec: TransformSpec) -> dict:
+    return {"resolution": spec.resolution, "color_mode": spec.color_mode,
+            "resize_mode": spec.resize_mode}
+
+
+def _save_materialized(db: VisualDatabase, root: Path) -> list[dict]:
+    """Persist the executor's materialized virtual columns.
+
+    Returns the manifest entries ([{category, cascade}] in array order) —
+    the labels a query materialized before the save are served unchanged
+    after a reload, so ingested-then-queried rows are never re-classified.
+    """
+    materialized = db.executor._materialized
+    entries, arrays = [], {}
+    for index, ((category, cascade), (mask, labels)) in \
+            enumerate(sorted(materialized.items())):
+        entries.append({"category": category, "cascade": cascade})
+        arrays[f"mask_{index}"] = mask
+        arrays[f"labels_{index}"] = labels
+    if arrays:
+        np.savez_compressed(root / _MATERIALIZED_FILE, **arrays)
+    return entries
+
+
+def _load_materialized(db: VisualDatabase, root: Path,
+                       entries: list[dict]) -> None:
+    path = root / _MATERIALIZED_FILE
+    if not entries or not path.exists() or db._executor is None:
+        return
+    n = len(db.corpus)
+    with np.load(path, allow_pickle=False) as archive:
+        for index, entry in enumerate(entries):
+            mask = archive[f"mask_{index}"].astype(bool)
+            labels = archive[f"labels_{index}"].astype(np.int64)
+            if mask.shape[0] != n or labels.shape[0] != n:
+                continue  # saved against a different corpus; recompute lazily
+            key = (entry["category"], entry["cascade"])
+            db.executor._materialized[key] = (mask, labels)
+
+
 def _load_corpus(path: Path) -> ImageCorpus:
     with np.load(path, allow_pickle=False) as archive:
         metadata, content = {}, {}
@@ -110,8 +156,13 @@ def save_database(db: VisualDatabase, root: str | Path,
                        reference_params=db._reference_params.get(name) or {})
 
     has_corpus = include_corpus and db._executor is not None
+    materialized_entries: list[dict] = []
+    registered_specs: list[dict] = []
     if has_corpus:
         _save_corpus(db.corpus, root / _CORPUS_FILE)
+        materialized_entries = _save_materialized(db, root)
+        registered_specs = [_spec_to_dict(spec)
+                            for spec in db.executor.store.registered_specs()]
 
     manifest = {
         "format_version": _FORMAT_VERSION,
@@ -126,6 +177,9 @@ def save_database(db: VisualDatabase, root: str | Path,
                         "reference_params": db._reference_params.get(name) or {}}
                        for name in names],
         "corpus_file": _CORPUS_FILE if has_corpus else None,
+        "store": {"byte_budget": db.store_budget,
+                  "registered_specs": registered_specs},
+        "materialized": materialized_entries,
     }
     (root / _MANIFEST_FILE).write_text(json.dumps(manifest))
     return root
@@ -143,9 +197,14 @@ def load_database(root: str | Path,
         raise ValueError(f"unsupported database format "
                          f"{manifest.get('format_version')!r}")
 
-    if corpus is None and manifest["corpus_file"] is not None:
+    # Materialized labels are only valid for the corpus they were computed
+    # over: restore them only when the corpus comes from the save itself,
+    # never onto a caller-supplied replacement (which may coincide in length).
+    corpus_is_saved = corpus is None and manifest["corpus_file"] is not None
+    if corpus_is_saved:
         corpus = _load_corpus(root / manifest["corpus_file"])
 
+    store = manifest.get("store") or {}
     db = VisualDatabase(
         corpus,
         device=DeviceProfile(**manifest["device"]),
@@ -153,7 +212,11 @@ def load_database(root: str | Path,
         cost_resolution=manifest["cost_resolution"],
         source_resolution=manifest["source_resolution"],
         calibrate_target_fps=manifest["calibrate_target_fps"],
-        default_constraints=UserConstraints(**manifest["default_constraints"]))
+        default_constraints=UserConstraints(**manifest["default_constraints"]),
+        store_budget=store.get("byte_budget"))
+    if db._executor is not None:
+        for entry in store.get("registered_specs", []):
+            db.executor.store.register(TransformSpec(**entry))
     # The stored device already carries any calibration that happened before
     # the save; don't re-anchor it against reloaded reference models.
     db._device_calibrated = bool(manifest["device_calibrated"])
@@ -163,4 +226,7 @@ def load_database(root: str | Path,
         optimizer = load_optimizer(root / _PREDICATES_DIR / name)
         db._optimizers[name] = optimizer
         db._reference_params[name] = dict(entry["reference_params"])
+
+    if corpus_is_saved:
+        _load_materialized(db, root, manifest.get("materialized", []))
     return db

@@ -17,8 +17,9 @@ returns it directly for inspection.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -31,7 +32,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.query.processor import Query
 
 __all__ = ["MetadataStep", "ContentStep", "QueryPlan", "QueryPlanner",
-           "estimate_selectivity"]
+           "estimate_selectivity", "DEFAULT_SELECTIVITY"]
+
+#: Selectivity assumed when an evaluation carries no positive rate (e.g. an
+#: externally built evaluation installed via ``register_optimizer``).
+DEFAULT_SELECTIVITY = 0.5
 
 
 def estimate_selectivity(evaluation: CascadeEvaluation) -> float:
@@ -40,18 +45,23 @@ def estimate_selectivity(evaluation: CascadeEvaluation) -> float:
     :func:`~repro.core.evaluator.evaluate_cascade` records the cascade's
     positive rate while replaying its decision logic over the cached
     evaluation-set probabilities, so the estimate is free at plan time.
+    Evaluations without a recorded positive rate (NaN — possible for
+    externally built evaluations) fall back to :data:`DEFAULT_SELECTIVITY`
+    with a warning, so planning and ``db.explain()`` keep working.
 
     Caveat: the evaluation split is typically class-balanced, so this is the
     cascade's positive rate *at a ~50% base rate*, not the predicate's
-    frequency in the corpus.  When predicates have very different corpus
-    frequencies the ordering degrades toward cost-only; corpus-calibrated
-    selectivity (e.g. from previously materialized labels) is future work.
+    frequency in the corpus.  The planner therefore prefers corpus-calibrated
+    selectivity observed from materialized labels when a ``selectivity_hook``
+    provides one.
     """
     rate = evaluation.positive_rate
     if np.isnan(rate):
-        raise ValueError(
-            "evaluation carries no positive_rate; selectivity estimation "
-            "needs evaluations produced by evaluate_cascade()")
+        warnings.warn(
+            f"evaluation {evaluation.name!r} carries no positive_rate; "
+            f"assuming selectivity {DEFAULT_SELECTIVITY}",
+            stacklevel=2)
+        return DEFAULT_SELECTIVITY
     return float(rate)
 
 
@@ -160,12 +170,22 @@ class QueryPlanner:
         The cost profiler of the active deployment scenario.  Both attributes
         are plain and mutable, so a long-lived planner can follow scenario
         switches (``db.use_scenario``).
+    selectivity_hook:
+        Optional ``(category, cascade_name) -> float | None`` callable
+        supplying corpus-calibrated selectivity — typically the positive
+        rate observed over already-materialized virtual columns
+        (:meth:`~repro.db.executor.QueryExecutor.observed_positive_rate`).
+        ``None`` (or a ``None`` return) falls back to the evaluation-set
+        estimate.
     """
 
     def __init__(self, optimizers: dict[str, TahomaOptimizer],
-                 profiler: CostProfiler) -> None:
+                 profiler: CostProfiler,
+                 selectivity_hook: Callable[[str, str], float | None]
+                 | None = None) -> None:
         self.optimizers = dict(optimizers)
         self.profiler = profiler
+        self.selectivity_hook = selectivity_hook
 
     def _optimizer_for(self, category: str) -> TahomaOptimizer:
         try:
@@ -183,7 +203,12 @@ class QueryPlanner:
         for predicate in query.content_predicates:
             optimizer = self._optimizer_for(predicate.category)
             evaluation = optimizer.select(self.profiler, query.constraints)
-            selectivity = estimate_selectivity(evaluation)
+            selectivity = None
+            if self.selectivity_hook is not None:
+                selectivity = self.selectivity_hook(predicate.category,
+                                                    evaluation.cascade.name)
+            if selectivity is None:
+                selectivity = estimate_selectivity(evaluation)
             content_steps.append(ContentStep(
                 predicate=predicate, evaluation=evaluation,
                 selectivity=selectivity,

@@ -16,7 +16,8 @@ where a predicate is one of
 
 * ``contains_object(<category>)`` — a binary content predicate,
 * ``<column> <op> <literal>`` with ``op`` one of ``=``, ``!=``, ``<``, ``<=``,
-  ``>``, ``>=`` and a literal that is a quoted string or a number, or
+  ``>``, ``>=`` and a literal that is a quoted string (doubled quotes escape
+  a quote character, as in ``'rock ''n'' roll'``) or a number, or
 * ``<column> IN (<literal> [, <literal>]*)`` — a metadata membership test.
 
 Only conjunctions are supported, mirroring the paper's decomposition of
@@ -63,17 +64,29 @@ _OP_MAP = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 
 
 def _quoted_mask(text: str) -> bytearray:
-    """Per-character flags marking positions inside quoted string literals."""
+    """Per-character flags marking positions inside quoted string literals.
+
+    A doubled quote inside a literal (``'rock ''n'' roll'``) is the SQL
+    escape for one quote character: both characters stay inside the literal
+    rather than closing and reopening it.
+    """
     mask = bytearray(len(text))
     quote = None
-    for index, char in enumerate(text):
+    index = 0
+    while index < len(text):
+        char = text[index]
         if quote is not None:
             mask[index] = 1
             if char == quote:
+                if index + 1 < len(text) and text[index + 1] == quote:
+                    mask[index + 1] = 1
+                    index += 2
+                    continue
                 quote = None
         elif char in "'\"":
             quote = char
             mask[index] = 1
+        index += 1
     return mask
 
 
@@ -99,9 +112,11 @@ def _split_conjuncts(where: str) -> list[str]:
 
 def _parse_literal(text: str):
     text = text.strip()
-    if (text.startswith("'") and text.endswith("'")) or \
-            (text.startswith('"') and text.endswith('"')):
-        return text[1:-1]
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        quote = text[0]
+        # Collapse the SQL doubled-quote escape: '' inside a single-quoted
+        # literal (or "" inside a double-quoted one) means one quote char.
+        return text[1:-1].replace(quote * 2, quote)
     try:
         return int(text)
     except ValueError:

@@ -5,6 +5,18 @@ representations as it is ingested and those representations are stored on SSD,
 so only the (much smaller) representation bytes are loaded at query time.
 :class:`RepresentationStore` models that behaviour and is also a convenient
 cache when evaluating many models that share a representation.
+
+Two pieces make the store safe to keep alive for the lifetime of a growing
+database:
+
+* a **registration set** — representations a deployment has committed to
+  materializing at ingest time (the ONGOING policy); registration survives
+  :meth:`clear` and persistence, while the arrays themselves may come and go,
+* an optional **byte budget** with least-recently-used eviction — whenever
+  stored bytes exceed the budget the coldest representations are dropped.
+  Evicted representations are recomputed on demand by the consumers
+  (:meth:`get_or_transform`, the query executor), so a budget bounds memory
+  without affecting query results.
 """
 
 from __future__ import annotations
@@ -26,47 +38,110 @@ class RepresentationStore:
     tier:
         The storage tier the representations notionally live on; used to
         answer simulated load-time questions.
+    byte_budget:
+        Maximum simulated bytes (:meth:`bytes_stored`) the store may hold.
+        ``None`` (the default) means unbounded.  When an insertion pushes the
+        total over the budget, least-recently-used representations are
+        evicted until the total fits — including, if necessary, the
+        representation just inserted (a single representation larger than
+        the whole budget is never kept).
     """
 
-    def __init__(self, tier: StorageTier = SSD) -> None:
+    def __init__(self, tier: StorageTier = SSD,
+                 byte_budget: int | None = None) -> None:
+        if byte_budget is not None and byte_budget <= 0:
+            raise ValueError("byte_budget must be positive (or None)")
         self.tier = tier
+        self.byte_budget = byte_budget
+        # Insertion order doubles as recency order: get()/add() move the
+        # touched name to the end, so eviction pops from the front.
         self._arrays: dict[str, np.ndarray] = {}
         self._specs: dict[str, TransformSpec] = {}
+        self._registered: dict[str, TransformSpec] = {}
+        self._evictions = 0
 
     # -- ingest ------------------------------------------------------------
     def materialize(self, images: np.ndarray,
                     specs: list[TransformSpec] | tuple[TransformSpec, ...]) -> None:
-        """Transform ``images`` into every representation in ``specs`` and keep them."""
+        """Transform ``images`` into every representation in ``specs`` and keep them.
+
+        This is the ingest-time entry point, so the specs are also
+        :meth:`register`-ed: later :meth:`append` calls (new frames arriving)
+        extend these representations.
+        """
         if images.ndim != 4:
             raise ValueError(f"expected NHWC batch, got shape {images.shape}")
         for spec in specs:
-            self._arrays[spec.name] = spec.apply_batch(images)
-            self._specs[spec.name] = spec
+            self.register(spec)
+            self.add(spec, spec.apply_batch(images))
 
     def add(self, spec: TransformSpec, array: np.ndarray) -> None:
-        """Store an already-transformed array under ``spec``."""
+        """Store an already-transformed array under ``spec`` (marks it hot)."""
         expected = spec.shape
         if array.shape[1:] != expected:
             raise ValueError(
                 f"array shape {array.shape[1:]} does not match spec {expected}")
+        self._arrays.pop(spec.name, None)
         self._arrays[spec.name] = array
         self._specs[spec.name] = spec
+        self._enforce_budget(newest=spec.name)
+
+    def extend(self, spec: TransformSpec, array: np.ndarray) -> np.ndarray:
+        """Append already-transformed rows to the stored array for ``spec``.
+
+        This is how a growing corpus keeps full-corpus representations
+        consistent: new rows are transformed once (at ingest under ONGOING,
+        lazily at query time otherwise) and concatenated onto the stored
+        array.  Returns the extended array — under a byte budget the store
+        may evict it immediately, but the caller can still use it.
+        """
+        if spec not in self:
+            raise KeyError(f"representation {spec.name!r} not materialized; "
+                           f"cannot extend it")
+        stored = self.get(spec)
+        if array.shape[1:] != stored.shape[1:]:
+            raise ValueError(
+                f"array shape {array.shape[1:]} does not match stored "
+                f"shape {stored.shape[1:]}")
+        extended = np.concatenate([stored, array], axis=0)
+        self.add(spec, extended)
+        return extended
+
+    def register(self, spec: TransformSpec) -> None:
+        """Commit to materializing ``spec`` for new rows at ingest time.
+
+        Registration is policy, not data: it survives :meth:`clear` and
+        eviction, and is persisted with the database so a reloaded ONGOING
+        deployment keeps materializing the same representations.
+        """
+        self._registered[spec.name] = spec
+
+    def registered_specs(self) -> list[TransformSpec]:
+        """The specs committed to ingest-time materialization."""
+        return [self._registered[name] for name in sorted(self._registered)]
 
     # -- access --------------------------------------------------------------
     def __contains__(self, spec: TransformSpec) -> bool:
         return spec.name in self._arrays
 
     def get(self, spec: TransformSpec) -> np.ndarray:
-        """The stored representation array for ``spec``."""
+        """The stored representation array for ``spec`` (marks it hot)."""
         try:
-            return self._arrays[spec.name]
+            array = self._arrays.pop(spec.name)
         except KeyError:
             raise KeyError(f"representation {spec.name!r} not materialized; "
                            f"available: {sorted(self._arrays)}") from None
+        self._arrays[spec.name] = array
+        return array
 
     def get_or_transform(self, spec: TransformSpec,
                          source_images: np.ndarray) -> np.ndarray:
-        """Return the stored representation, transforming and caching on miss."""
+        """Return the stored representation, transforming and caching on miss.
+
+        Under a byte budget the freshly transformed array may be evicted
+        immediately (when it alone exceeds the budget); the computed array is
+        returned to the caller either way.
+        """
         if spec in self:
             return self.get(spec)
         array = spec.apply_batch(source_images)
@@ -75,7 +150,17 @@ class RepresentationStore:
 
     def specs(self) -> list[TransformSpec]:
         """The representation specs currently materialized."""
-        return [self._specs[name] for name in sorted(self._specs)]
+        return [self._specs[name] for name in sorted(self._arrays)]
+
+    def rows(self, spec: TransformSpec) -> int:
+        """Number of rows stored for ``spec`` (0 when not materialized)."""
+        array = self._arrays.get(spec.name)
+        return 0 if array is None else int(array.shape[0])
+
+    def clear(self) -> None:
+        """Drop all stored arrays, keeping tier, budget and registrations."""
+        self._arrays.clear()
+        self._specs.clear()
 
     # -- accounting -------------------------------------------------------------
     def bytes_stored(self, per_image: bool = False) -> int:
@@ -87,9 +172,35 @@ class RepresentationStore:
             total += representation_bytes(spec) * count
         return int(total)
 
+    @property
+    def evictions(self) -> int:
+        """Representations evicted so far to stay within the byte budget."""
+        return self._evictions
+
     def load_time(self, spec: TransformSpec) -> float:
         """Simulated seconds to load one image's representation from the tier."""
         return self.tier.read_time(representation_bytes(spec))
 
     def __len__(self) -> int:
         return len(self._arrays)
+
+    # -- internals ---------------------------------------------------------
+    def _entry_bytes(self, name: str) -> int:
+        return representation_bytes(self._specs[name]) * \
+            int(self._arrays[name].shape[0])
+
+    def _evict(self, name: str) -> None:
+        del self._arrays[name]
+        del self._specs[name]
+        self._evictions += 1
+
+    def _enforce_budget(self, newest: str | None = None) -> None:
+        if self.byte_budget is None:
+            return
+        # A newcomer that alone exceeds the budget can never be kept: evict
+        # just it, not the warm entries that did fit.
+        if (newest in self._arrays
+                and self._entry_bytes(newest) > self.byte_budget):
+            self._evict(newest)
+        while self._arrays and self.bytes_stored() > self.byte_budget:
+            self._evict(next(iter(self._arrays)))

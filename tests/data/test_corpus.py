@@ -124,3 +124,64 @@ class TestImageCorpus:
                                  image_size=16, rng=np.random.default_rng(6))
         timestamps = corpus.metadata["timestamp"]
         assert np.all(np.diff(timestamps) >= 0)
+
+    def test_list_valued_columns_coerced_to_arrays(self):
+        # Regression: __post_init__ validated via np.asarray but stored the
+        # original Python lists, breaking persistence and append paths.
+        corpus = ImageCorpus(images=np.zeros((2, 8, 8, 3)),
+                             metadata={"location": ["a", "b"]},
+                             content={"cat": [True, False]})
+        assert isinstance(corpus.metadata["location"], np.ndarray)
+        assert isinstance(corpus.content["cat"], np.ndarray)
+
+
+class TestImageCorpusAppend:
+    def make(self, n=4):
+        return ImageCorpus(
+            images=np.zeros((n, 8, 8, 3)),
+            metadata={"location": np.array(["a"] * n)},
+            content={"cat": np.zeros(n, dtype=bool)})
+
+    def test_append_returns_new_ids_and_grows_in_place(self):
+        corpus = self.make(4)
+        new_ids = corpus.append(np.ones((2, 8, 8, 3)),
+                                metadata={"location": ["b", "c"]},
+                                content={"cat": [True, True]})
+        np.testing.assert_array_equal(new_ids, [4, 5])
+        assert len(corpus) == 6
+        assert corpus.metadata["location"][-1] == "c"
+        assert corpus.content["cat"][-2:].all()
+        assert corpus.images[-1].max() == 1.0
+
+    def test_append_pads_missing_content(self):
+        corpus = self.make(3)
+        corpus.append(np.zeros((2, 8, 8, 3)), metadata={"location": ["b", "b"]})
+        assert corpus.content["cat"].shape == (5,)
+        assert not corpus.content["cat"][-2:].any()
+
+    def test_append_rejects_wrong_frame_shape(self):
+        corpus = self.make(3)
+        with pytest.raises(ValueError):
+            corpus.append(np.zeros((2, 16, 16, 3)),
+                          metadata={"location": ["b", "b"]})
+
+    def test_append_rejects_metadata_mismatch(self):
+        corpus = self.make(3)
+        with pytest.raises(ValueError):
+            corpus.append(np.zeros((1, 8, 8, 3)), metadata={})
+        with pytest.raises(ValueError):
+            corpus.append(np.zeros((1, 8, 8, 3)),
+                          metadata={"location": ["b"], "extra": [1]})
+
+    def test_append_rejects_unknown_content(self):
+        corpus = self.make(3)
+        with pytest.raises(ValueError):
+            corpus.append(np.zeros((1, 8, 8, 3)), metadata={"location": ["b"]},
+                          content={"dog": [True]})
+
+    def test_append_empty_batch_is_noop(self):
+        corpus = self.make(3)
+        new_ids = corpus.append(np.zeros((0, 8, 8, 3)),
+                                metadata={"location": np.array([], dtype=str)})
+        assert new_ids.size == 0
+        assert len(corpus) == 3

@@ -183,6 +183,39 @@ class TestLimit:
         assert len(result) == 0
         assert result.images_classified["komondor"] == 0
 
+    def test_limit_early_stop_with_two_content_predicates(self, corpus,
+                                                          planner):
+        # Regression: chunked early-stop must apply per chunk across *all*
+        # content steps — the second predicate only sees survivors of the
+        # first, and neither sweeps the corpus once the limit is satisfied.
+        executor = QueryExecutor(corpus, min_limit_chunk=4)
+        plan = planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),
+                                ContainsObject("komondor2")),
+            constraints=CONSTRAINED, limit=1))
+        result = executor.execute(plan)
+        first_cat, second_cat = plan.categories
+        assert (result.images_classified[second_cat]
+                <= result.images_classified[first_cat])
+        if len(result) == 1:
+            assert result.images_classified[first_cat] < len(corpus)
+            unlimited = QueryExecutor(corpus).execute(planner.plan(Query(
+                content_predicates=(ContainsObject("komondor"),
+                                    ContainsObject("komondor2")),
+                constraints=CONSTRAINED)))
+            np.testing.assert_array_equal(result.selected_indices,
+                                          unlimited.selected_indices[:1])
+
+    def test_limit_zero_with_two_content_predicates(self, corpus, planner):
+        executor = QueryExecutor(corpus)
+        plan = planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),
+                                ContainsObject("komondor2")),
+            constraints=CONSTRAINED, limit=0))
+        result = executor.execute(plan)
+        assert len(result) == 0
+        assert all(count == 0 for count in result.images_classified.values())
+
     def test_limit_stops_classifying_early(self, corpus, planner):
         # Small chunks so the 30-image corpus spans several of them: once a
         # chunk yields enough survivors, later chunks are never classified.
@@ -200,6 +233,41 @@ class TestLimit:
             constraints=CONSTRAINED)))
         np.testing.assert_array_equal(result.selected_indices,
                                       unlimited.selected_indices[:1])
+
+
+class TestScenarioSwitchKeying:
+    def test_labels_keyed_by_producing_cascade(self, corpus, tiny_optimizer,
+                                               camera_profiler,
+                                               infer_only_profiler):
+        # Regression: materialized labels are keyed by (category, cascade);
+        # a scenario/constraint switch that selects a different cascade must
+        # re-classify, and switching back must serve the original labels.
+        executor = QueryExecutor(corpus)
+        planner_a = QueryPlanner({"komondor": tiny_optimizer}, camera_profiler)
+        planner_b = QueryPlanner({"komondor": tiny_optimizer},
+                                 infer_only_profiler)
+        query = Query(content_predicates=(ContainsObject("komondor"),),
+                      constraints=CONSTRAINED)
+        loose = Query(content_predicates=(ContainsObject("komondor"),),
+                      constraints=UserConstraints())
+        plan_a = planner_a.plan(query)
+        plan_b = next((plan for plan in (planner_b.plan(query),
+                                         planner_a.plan(loose),
+                                         planner_b.plan(loose))
+                       if (plan.content_steps[0].evaluation.cascade.name
+                           != plan_a.content_steps[0].evaluation.cascade.name)),
+                      None)
+        if plan_b is None:
+            pytest.skip("all scenario/constraint combinations selected the "
+                        "same cascade")
+        first = executor.execute(plan_a)
+        assert first.images_classified["komondor"] == len(corpus)
+        switched = executor.execute(plan_b)
+        assert switched.images_classified["komondor"] == len(corpus)
+        back = executor.execute(plan_a)
+        assert back.images_classified["komondor"] == 0
+        np.testing.assert_array_equal(back.selected_indices,
+                                      first.selected_indices)
 
 
 class TestConstruction:

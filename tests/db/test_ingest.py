@@ -1,0 +1,263 @@
+"""Tests for streaming ingest: corpus growth, incremental executor state,
+ingest-time materialization, byte-budgeted eviction and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.selector import UserConstraints
+from repro.data.categories import get_category
+from repro.data.corpus import generate_corpus
+from repro.db import connect
+from repro.db.executor import QueryExecutor
+from repro.db.planner import QueryPlanner
+from repro.query.predicates import ContainsObject, MetadataPredicate
+from repro.query.processor import Query
+from repro.storage.store import RepresentationStore
+from tests.conftest import TINY_SIZE
+
+CONSTRAINED = UserConstraints(max_accuracy_loss=0.1)
+REFERENCE_PARAMS = {"base_width": 8, "n_stages": 2, "blocks_per_stage": 1}
+SQL = "SELECT * FROM images WHERE contains_object(komondor)"
+
+
+def make_corpus(n_images: int, seed: int):
+    return generate_corpus((get_category("komondor"),), n_images=n_images,
+                           image_size=TINY_SIZE,
+                           rng=np.random.default_rng(seed), positive_rate=0.9)
+
+
+@pytest.fixture()
+def corpus():
+    """Function-scoped: ingest mutates the corpus in place."""
+    return make_corpus(24, seed=77)
+
+
+@pytest.fixture()
+def batch():
+    """A second corpus serving as the stream of frames to ingest."""
+    return make_corpus(10, seed=78)
+
+
+@pytest.fixture()
+def planner(tiny_optimizer, camera_profiler):
+    return QueryPlanner({"komondor": tiny_optimizer}, camera_profiler)
+
+
+def content_plan(planner, **kwargs):
+    return planner.plan(Query(content_predicates=(ContainsObject("komondor"),),
+                              constraints=CONSTRAINED, **kwargs))
+
+
+class TestExecutorIngest:
+    def test_ingest_grows_corpus_and_relation(self, corpus, batch, planner):
+        executor = QueryExecutor(corpus)
+        new_ids = executor.ingest(batch.images, metadata=batch.metadata,
+                                  content=batch.content)
+        np.testing.assert_array_equal(new_ids, np.arange(24, 34))
+        assert len(executor.corpus) == 34
+        assert len(executor.relation) == 34
+        np.testing.assert_array_equal(executor.relation["image_id"],
+                                      np.arange(34))
+        assert executor.relation["location"].shape == (34,)
+
+    def test_repeated_query_classifies_only_new_rows(self, corpus, batch,
+                                                     planner):
+        executor = QueryExecutor(corpus)
+        plan = content_plan(planner)
+        first = executor.execute(plan)
+        assert first.images_classified["komondor"] == 24
+        executor.ingest(batch.images, metadata=batch.metadata)
+        second = executor.execute(plan)
+        assert second.images_classified["komondor"] == 10
+        # Old rows kept their labels: the old selection is a prefix of the new.
+        old_selected = [i for i in second.selected_indices if i < 24]
+        np.testing.assert_array_equal(old_selected, first.selected_indices)
+
+    def test_ingested_rows_queryable_by_metadata(self, corpus, planner):
+        executor = QueryExecutor(corpus)
+        frames = make_corpus(4, seed=5)
+        metadata = dict(frames.metadata)
+        metadata["location"] = np.array(["atlantis"] * 4)
+        new_ids = executor.ingest(frames.images, metadata=metadata)
+        plan = planner.plan(Query(metadata_predicates=(
+            MetadataPredicate("location", "==", "atlantis"),)))
+        result = executor.execute(plan)
+        np.testing.assert_array_equal(result.selected_indices, new_ids)
+
+    def test_lazy_top_up_after_ingest_matches_fresh_executor(self, corpus,
+                                                             batch, planner):
+        # ARCHIVE-style: ingest leaves stored representations stale; the next
+        # broad query tops them up and the results match a from-scratch run.
+        executor = QueryExecutor(corpus)
+        plan = content_plan(planner)
+        executor.execute(plan)
+        for spec in executor.store.specs():
+            assert executor.store.rows(spec) == 24
+        executor.ingest(batch.images, metadata=batch.metadata)
+        incremental = executor.execute(plan)
+        for spec in executor.store.specs():
+            assert executor.store.rows(spec) == 34
+
+        merged = QueryExecutor(executor.corpus)
+        fresh = merged.execute(plan)
+        np.testing.assert_array_equal(incremental.selected_indices,
+                                      fresh.selected_indices)
+
+    def test_materialize_on_ingest_extends_registered_reps(self, corpus,
+                                                           batch, planner):
+        executor = QueryExecutor(corpus)
+        executor.execute(content_plan(planner))  # registers + materializes
+        registered = executor.store.registered_specs()
+        assert registered
+        executor.ingest(batch.images, metadata=batch.metadata,
+                        materialize=True)
+        for spec in registered:
+            assert executor.store.rows(spec) == 34
+
+    def test_observed_positive_rate_tracks_materialized_labels(self, corpus,
+                                                               planner):
+        executor = QueryExecutor(corpus)
+        assert executor.observed_positive_rate("komondor") is None
+        result = executor.execute(content_plan(planner))
+        rate = executor.observed_positive_rate("komondor")
+        assert rate == pytest.approx(len(result) / 24)
+        assert executor.observed_positive_rate("komondor", "no-such") is None
+
+    def test_ingest_rejects_mismatched_metadata(self, corpus):
+        executor = QueryExecutor(corpus)
+        with pytest.raises(ValueError):
+            executor.ingest(corpus.images[:2], metadata={"location": ["a", "b"]})
+
+    def test_ingest_pads_missing_content_with_false(self, corpus):
+        executor = QueryExecutor(corpus)
+        frames = make_corpus(3, seed=6)
+        executor.ingest(frames.images, metadata=frames.metadata)
+        assert not executor.corpus.content["komondor"][-3:].any()
+
+
+class TestByteBudget:
+    def test_budget_holds_and_results_identical(self, corpus, batch, planner):
+        # A budget that can hold roughly one of the cascade's representations:
+        # eviction must kick in, results must not change.
+        budget = len(corpus) * TINY_SIZE * TINY_SIZE * 3
+        bounded = QueryExecutor(corpus,
+                                store=RepresentationStore(byte_budget=budget))
+        unbounded = QueryExecutor(make_corpus(24, seed=77))
+        plan = content_plan(planner)
+
+        for executor in (bounded, unbounded):
+            executor.execute(plan)
+            executor.ingest(batch.images, metadata=batch.metadata)
+            executor.execute(plan)
+            executor.invalidate()
+            executor.execute(plan)
+        assert bounded.store.bytes_stored() <= budget
+
+        final_bounded = bounded.execute(plan)
+        final_unbounded = unbounded.execute(plan)
+        np.testing.assert_array_equal(final_bounded.selected_indices,
+                                      final_unbounded.selected_indices)
+
+    def test_eviction_happens_under_pressure(self, corpus, planner):
+        tiny_budget = 64  # far below any full-corpus representation
+        executor = QueryExecutor(
+            corpus, store=RepresentationStore(byte_budget=tiny_budget))
+        result = executor.execute(content_plan(planner))
+        assert executor.store.bytes_stored() <= tiny_budget
+        assert executor.store.evictions > 0
+        # Queries still work (representations recomputed on demand).
+        assert result.images_classified["komondor"] == len(corpus)
+
+
+class TestDatabaseIngest:
+    @pytest.fixture()
+    def db(self, corpus, tiny_optimizer, tiny_device):
+        database = connect(corpus, device=tiny_device, scenario="camera",
+                           calibrate_target_fps=None,
+                           default_constraints=CONSTRAINED)
+        database.register_optimizer("komondor", tiny_optimizer,
+                                    reference_params=REFERENCE_PARAMS)
+        return database
+
+    def test_ingest_then_requery_classifies_only_new_rows(self, db, batch):
+        db.execute(SQL)
+        new_ids = db.ingest(batch.images, metadata=batch.metadata,
+                            content=batch.content)
+        assert new_ids.size == 10
+        result = db.execute(SQL)
+        assert result.images_classified["komondor"] == 10
+
+    def test_ongoing_scenario_materializes_at_ingest(self, db, batch):
+        db.use_scenario("ongoing")
+        assert db.scenario.materializes_on_ingest
+        db.execute(SQL)
+        registered = db.executor.store.registered_specs()
+        assert registered
+        db.ingest(batch.images, metadata=batch.metadata)
+        for spec in registered:
+            assert db.executor.store.rows(spec) == len(db.corpus)
+
+    def test_camera_scenario_stays_lazy_at_ingest(self, db, batch):
+        assert not db.scenario.materializes_on_ingest
+        db.execute(SQL)
+        stale_rows = {spec.name: db.executor.store.rows(spec)
+                      for spec in db.executor.store.specs()}
+        db.ingest(batch.images, metadata=batch.metadata)
+        for spec in db.executor.store.specs():
+            assert db.executor.store.rows(spec) == stale_rows[spec.name]
+
+    def test_explain_selectivity_refreshed_from_labels(self, db):
+        before = db.explain(SQL).content_steps[0].selectivity
+        result = db.execute(SQL)
+        observed = len(result) / len(db.corpus)
+        after = db.explain(SQL).content_steps[0].selectivity
+        assert after == pytest.approx(observed)
+        # The 90%-positive corpus is far from the balanced eval split, so the
+        # refresh should actually move the estimate.
+        assert after != before
+
+    def test_ingested_state_round_trips_through_save_load(self, db, batch,
+                                                          tmp_path):
+        db.execute(SQL)
+        db.ingest(batch.images, metadata=batch.metadata, content=batch.content)
+        before = db.execute(SQL)
+        db.save(tmp_path / "db")
+
+        from repro.db import VisualDatabase
+        loaded = VisualDatabase.load(tmp_path / "db")
+        assert len(loaded.corpus) == 34
+        after = loaded.execute(SQL)
+        np.testing.assert_array_equal(after.image_ids, before.image_ids)
+        # Materialized virtual columns survived: nothing is re-classified.
+        assert after.images_classified["komondor"] == 0
+
+    def test_replacement_corpus_does_not_inherit_labels(self, db, tmp_path):
+        # Regression: labels saved for corpus A must not be served for a
+        # caller-supplied corpus B that merely matches in length.
+        db.execute(SQL)
+        db.save(tmp_path / "db")
+        replacement = make_corpus(len(db.corpus), seed=123)
+        from repro.db import VisualDatabase
+        loaded = VisualDatabase.load(tmp_path / "db", corpus=replacement)
+        result = loaded.execute(SQL)
+        assert result.images_classified["komondor"] == len(replacement)
+
+    def test_store_policy_round_trips(self, corpus, batch, tiny_optimizer,
+                                      tiny_device, tmp_path):
+        budget = 2 * len(corpus) * TINY_SIZE * TINY_SIZE * 3
+        database = connect(corpus, device=tiny_device, scenario="ongoing",
+                           calibrate_target_fps=None,
+                           default_constraints=CONSTRAINED,
+                           store_budget=budget)
+        database.register_optimizer("komondor", tiny_optimizer,
+                                    reference_params=REFERENCE_PARAMS)
+        database.execute(SQL)
+        registered = {spec.name
+                      for spec in database.executor.store.registered_specs()}
+        database.save(tmp_path / "db")
+
+        from repro.db import VisualDatabase
+        loaded = VisualDatabase.load(tmp_path / "db")
+        store = loaded.executor.store
+        assert store.byte_budget == budget
+        assert {spec.name for spec in store.registered_specs()} == registered

@@ -7,7 +7,8 @@ import pytest
 from repro.core.evaluator import CascadeEvaluation
 from repro.core.selector import UserConstraints
 from repro.costs.profiler import CostBreakdown
-from repro.db.planner import QueryPlanner, estimate_selectivity
+from repro.db.planner import (DEFAULT_SELECTIVITY, QueryPlanner,
+                              estimate_selectivity)
 from repro.query.predicates import ContainsObject, MetadataPredicate
 from repro.query.processor import Query
 
@@ -28,7 +29,7 @@ class _StubOptimizer:
             name=f"stub-cascade-{self._cost_s}",
             accuracy=0.9,
             throughput=1.0 / self._cost_s,
-            cascade=None,
+            cascade=SimpleNamespace(name=f"stub-cascade-{self._cost_s}"),
             stub_selectivity=self._selectivity)
 
 
@@ -107,12 +108,46 @@ class TestEstimateSelectivity:
         # budget, so its positive rate should be in a broad middle band.
         assert 0.2 <= selectivity <= 0.8
 
-    def test_evaluation_without_positive_rate_rejected(self, tiny_optimizer,
-                                                       camera_profiler):
+    def test_evaluation_without_positive_rate_falls_back(self, tiny_optimizer,
+                                                         camera_profiler):
+        # Externally built evaluations (register_optimizer) may carry no
+        # positive rate; planning must warn and assume the default, not crash.
         selected = tiny_optimizer.select(camera_profiler)
         bare = CascadeEvaluation(cascade=selected.cascade,
                                  accuracy=selected.accuracy,
                                  cost=selected.cost,
                                  level_fractions=selected.level_fractions)
-        with pytest.raises(ValueError):
-            estimate_selectivity(bare)
+        with pytest.warns(UserWarning, match="positive_rate"):
+            assert estimate_selectivity(bare) == DEFAULT_SELECTIVITY
+
+
+class TestSelectivityHook:
+    def test_hook_overrides_estimate(self):
+        observed = {"a": 0.125}
+        planner = QueryPlanner(
+            {"a": _StubOptimizer(cost_s=0.01, selectivity=0.5)},
+            _STUB_PROFILER,
+            selectivity_hook=lambda category, cascade: observed.get(category))
+        plan = planner.plan(Query(content_predicates=(ContainsObject("a"),)))
+        assert plan.content_steps[0].selectivity == 0.125
+
+    def test_hook_none_falls_back_to_estimate(self):
+        planner = QueryPlanner(
+            {"a": _StubOptimizer(cost_s=0.01, selectivity=0.5)},
+            _STUB_PROFILER,
+            selectivity_hook=lambda category, cascade: None)
+        plan = planner.plan(Query(content_predicates=(ContainsObject("a"),)))
+        assert plan.content_steps[0].selectivity == 0.5
+
+    def test_hook_receives_selected_cascade_name(self):
+        seen = []
+
+        def hook(category, cascade):
+            seen.append((category, cascade))
+            return None
+
+        planner = QueryPlanner(
+            {"a": _StubOptimizer(cost_s=0.01, selectivity=0.5)},
+            _STUB_PROFILER, selectivity_hook=hook)
+        planner.plan(Query(content_predicates=(ContainsObject("a"),)))
+        assert seen == [("a", "stub-cascade-0.01")]

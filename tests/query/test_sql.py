@@ -54,6 +54,38 @@ class TestLiteralsAndOperators:
         with pytest.raises(SqlParseError):
             parse_query("SELECT * FROM images WHERE location = detroit")
 
+    def test_doubled_quote_escape_collapsed(self):
+        query = parse_query(
+            "SELECT * FROM images WHERE location = 'rock ''n'' roll'")
+        assert query.metadata_predicates[0].value == "rock 'n' roll"
+
+    def test_doubled_quote_escape_in_double_quotes(self):
+        query = parse_query(
+            'SELECT * FROM images WHERE location = "say ""hi"" twice"')
+        assert query.metadata_predicates[0].value == 'say "hi" twice'
+
+    def test_single_quote_inside_double_quotes_untouched(self):
+        query = parse_query('SELECT * FROM images WHERE location = "it\'s"')
+        assert query.metadata_predicates[0].value == "it's"
+
+    def test_literal_that_is_one_escaped_quote(self):
+        query = parse_query("SELECT * FROM images WHERE location = ''''")
+        assert query.metadata_predicates[0].value == "'"
+
+    def test_escaped_quote_does_not_terminate_literal(self):
+        # The doubled quote must not close the literal: the AND inside the
+        # string stays part of it, the trailing predicate still parses.
+        query = parse_query("SELECT * FROM images "
+                            "WHERE location = 'rock ''n'' roll and blues' "
+                            "AND camera_id = 3")
+        assert query.metadata_predicates[0].value == "rock 'n' roll and blues"
+        assert query.metadata_predicates[1].value == 3
+
+    def test_doubled_quote_escape_in_in_list(self):
+        query = parse_query(
+            "SELECT * FROM images WHERE location IN ('it''s', 'plain')")
+        assert query.metadata_predicates[0].value == ("it's", "plain")
+
 
 class TestConjunctions:
     def test_multiple_predicates(self):
