@@ -43,7 +43,8 @@ def _timed(fn):
     return result, time.perf_counter() - start
 
 
-def test_query_api_overhead(benchmark, default_workspace, results_dir):
+def test_query_api_overhead(benchmark, default_workspace, smoke_mode,
+                            results_dir):
     corpus = _corpus(default_workspace)
     optimizers = {name: default_workspace.predicates[name].optimizer
                   for name in CATEGORIES}
@@ -99,5 +100,7 @@ def test_query_api_overhead(benchmark, default_workspace, results_dir):
 
     # The facade must not add classification work: with a warm store both
     # entry points re-classify the same rows, and the plan-only run must be
-    # far cheaper than any classifying run.
-    assert facade_hot_s < facade_cold_s
+    # far cheaper than any classifying run.  At SMOKE_SCALE classification is
+    # near-free, so the timing comparison is noise — skip it there.
+    if not smoke_mode:
+        assert facade_hot_s < facade_cold_s

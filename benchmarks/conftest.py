@@ -27,13 +27,27 @@ for path in (str(_SRC), str(_ROOT)):
 RESULTS_DIR = _ROOT / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="Run benchmarks at SMOKE_SCALE (tiny model pools, reduced shard "
+             "counts, perf assertions relaxed) so CI can exercise them on "
+             "every push without the DEFAULT_SCALE training cost.")
+
+
 @pytest.fixture(scope="session")
-def default_workspace():
-    """The DEFAULT_SCALE workspace: ten predicates, ~60 models each."""
-    from repro.experiments.presets import DEFAULT_SCALE
+def smoke_mode(request) -> bool:
+    """True when benchmarks run under ``--smoke`` (CI rot check)."""
+    return bool(request.config.getoption("--smoke"))
+
+
+@pytest.fixture(scope="session")
+def default_workspace(smoke_mode):
+    """The DEFAULT_SCALE workspace (SMOKE_SCALE under ``--smoke``)."""
+    from repro.experiments.presets import DEFAULT_SCALE, SMOKE_SCALE
     from repro.experiments.workspace import get_workspace
 
-    return get_workspace(DEFAULT_SCALE)
+    return get_workspace(SMOKE_SCALE if smoke_mode else DEFAULT_SCALE)
 
 
 @pytest.fixture(scope="session")

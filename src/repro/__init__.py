@@ -8,7 +8,8 @@ channels), and by selecting cascades with awareness of deployment-specific
 data-handling costs.
 
 The public entry point is :func:`repro.db.connect`, which opens a
-:class:`~repro.db.VisualDatabase` over an image corpus::
+:class:`~repro.db.VisualDatabase` over an image corpus (or a ``{name:
+corpus}`` mapping — a multi-camera catalog)::
 
     db = repro.connect(corpus)
     db.register_predicate("bicycle", splits=splits, config=config)
@@ -26,12 +27,20 @@ Package map
 ``repro.core``        the TAHOMA optimizer itself
 ``repro.baselines``   reference classifier, baseline cascades, NoScope, +DD
 ``repro.query``       relational layer with the contains_object operator
-``repro.db``          the database facade: connect(), planner/executor split,
-                      result sets and whole-database persistence
+``repro.db``          the database facade: connect(), the table catalog,
+                      planner/executor split, result sets and
+                      whole-database persistence
 ``repro.experiments`` harness regenerating every table and figure
 """
 
-from repro.db import QueryPlan, ResultSet, VisualDatabase, connect
+from repro.db import (
+    FanoutResultSet,
+    QueryPlan,
+    ResultSet,
+    VisualDatabase,
+    connect,
+)
 from repro.version import __version__
 
-__all__ = ["__version__", "connect", "VisualDatabase", "ResultSet", "QueryPlan"]
+__all__ = ["__version__", "connect", "VisualDatabase", "ResultSet",
+           "FanoutResultSet", "QueryPlan"]

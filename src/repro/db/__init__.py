@@ -10,12 +10,22 @@ with materialized virtual columns and a shared representation store
 
     import repro.db
 
-    db = repro.db.connect(corpus)
+    db = repro.db.connect(corpus)                  # single table: "images"
     db.register_predicate("bicycle", splits=splits, config=config)
     db.use_scenario("archive")
     results = db.execute("SELECT * FROM images "
                          "WHERE location = 'detroit' AND contains_object(bicycle)")
+
+A ``{name: corpus}`` mapping opens a multi-table catalog
+(:mod:`repro.db.catalog`): ``SELECT * FROM <table>`` routes to one shard and
+the virtual ``all_cameras`` table fans out across all of them concurrently::
+
+    db = repro.db.connect({"cam_north": north, "cam_south": south})
+    merged = db.execute("SELECT * FROM all_cameras "
+                        "WHERE contains_object(bicycle)")
 """
+
+from repro.db.catalog import DEFAULT_TABLE, FANOUT_TABLE, Catalog
 
 from repro.db.database import (
     PredicateDefinition,
@@ -31,11 +41,14 @@ from repro.db.planner import (
     QueryPlanner,
     estimate_selectivity,
 )
-from repro.db.results import ResultSet
+from repro.db.results import TABLE_COLUMN, FanoutResultSet, ResultSet
 
 __all__ = [
     "VisualDatabase",
     "connect",
+    "Catalog",
+    "DEFAULT_TABLE",
+    "FANOUT_TABLE",
     "PredicateDefinition",
     "initialize_predicate",
     "QueryPlanner",
@@ -45,4 +58,6 @@ __all__ = [
     "estimate_selectivity",
     "QueryExecutor",
     "ResultSet",
+    "FanoutResultSet",
+    "TABLE_COLUMN",
 ]

@@ -1,0 +1,126 @@
+"""The table catalog: named corpora behind one shared representation budget.
+
+The paper's CAMERA scenario assumes many live feeds; the catalog is the piece
+that lets one :class:`~repro.db.database.VisualDatabase` hold many of them as
+named tables (one per camera, archive, or other shard).  Each table owns its
+own :class:`~repro.db.executor.QueryExecutor` — corpus, base relation and
+materialized virtual columns — while all tables share a single
+:class:`~repro.storage.store.RepresentationStore` budget through per-table
+:meth:`~repro.storage.store.RepresentationStore.scoped` namespaces, so one
+hot camera cannot evict every other shard's representations.
+
+``SELECT * FROM <table>`` routes to that table's executor; the reserved
+virtual table :data:`FANOUT_TABLE` (``all_cameras``) fans a query out across
+every attached shard.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.data.corpus import ImageCorpus
+from repro.db.executor import QueryExecutor
+from repro.query.processor import DEFAULT_TABLE
+from repro.storage.store import RepresentationStore
+
+__all__ = ["Catalog", "DEFAULT_TABLE", "FANOUT_TABLE"]
+
+#: Reserved virtual table: ``SELECT * FROM all_cameras`` fans out across
+#: every attached table.  It can never be attached.
+FANOUT_TABLE = "all_cameras"
+
+_TABLE_NAME_RE = re.compile(r"^[a-zA-Z_]\w*$")
+
+
+class Catalog:
+    """Named tables, each an :class:`~repro.db.executor.QueryExecutor`.
+
+    Parameters
+    ----------
+    store_budget:
+        Byte budget for the *shared* representation store.  All tables draw
+        on one budget; accounting is namespace-aware (see
+        :mod:`repro.storage.store`).
+    """
+
+    def __init__(self, store_budget: int | None = None) -> None:
+        self._store = RepresentationStore(byte_budget=store_budget)
+        self._executors: dict[str, QueryExecutor] = {}
+
+    # -- membership -----------------------------------------------------------
+    def attach(self, name: str, corpus: ImageCorpus) -> QueryExecutor:
+        """Attach ``corpus`` as table ``name``; rejects duplicates."""
+        self._validate_name(name)
+        if name in self._executors:
+            raise ValueError(f"table {name!r} already attached; "
+                             f"detach it first or use replace()")
+        executor = QueryExecutor(corpus, store=self._store.scoped(name),
+                                 table=name)
+        self._executors[name] = executor
+        return executor
+
+    def replace(self, name: str, corpus: ImageCorpus) -> QueryExecutor:
+        """Attach ``corpus`` as ``name``, dropping any previous shard's state."""
+        if name in self._executors:
+            self.detach(name)
+        return self.attach(name, corpus)
+
+    def detach(self, name: str) -> None:
+        """Drop table ``name``: executor state and its store namespace."""
+        executor = self._executors.pop(name, None)
+        if executor is None:
+            raise KeyError(f"no table {name!r}; attached: {self.tables()}")
+        executor.store.purge()
+
+    # -- lookup ---------------------------------------------------------------
+    def tables(self) -> list[str]:
+        """Attached table names, in attachment order."""
+        return list(self._executors)
+
+    def executor(self, name: str) -> QueryExecutor:
+        try:
+            return self._executors[name]
+        except KeyError:
+            raise KeyError(f"no table {name!r}; "
+                           f"attached: {self.tables()}") from None
+
+    def default_table(self) -> str | None:
+        """The table unqualified operations act on.
+
+        :data:`DEFAULT_TABLE` when attached (the single-corpus API), else the
+        sole table when exactly one is attached, else ``None`` — callers must
+        then name a table explicitly.
+        """
+        if DEFAULT_TABLE in self._executors:
+            return DEFAULT_TABLE
+        if len(self._executors) == 1:
+            return next(iter(self._executors))
+        return None
+
+    @property
+    def store(self) -> RepresentationStore:
+        """The shared (root) representation store; tables see scoped views."""
+        return self._store
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._executors
+
+    def __len__(self) -> int:
+        return len(self._executors)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._executors)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Catalog(tables={self.tables()})"
+
+    # -- internals -------------------------------------------------------------
+    @staticmethod
+    def _validate_name(name: str) -> None:
+        if not isinstance(name, str) or not _TABLE_NAME_RE.match(name):
+            raise ValueError(f"invalid table name {name!r}; table names are "
+                             "SQL identifiers ([a-zA-Z_][a-zA-Z0-9_]*)")
+        if name == FANOUT_TABLE:
+            raise ValueError(f"{FANOUT_TABLE!r} is the reserved virtual "
+                             "fan-out table and cannot be attached")

@@ -6,28 +6,40 @@ The paper presents TAHOMA as a *visual analytics database*: users write ::
 
 and the system hides cascade training, representation choice and
 deployment-cost-aware selection.  :class:`VisualDatabase` is that surface.
-A typical session::
+A typical multi-camera session::
 
-    db = repro.db.connect(corpus)
+    db = repro.db.connect({"cam_north": north, "cam_south": south})
     db.register_predicate("bicycle", splits=splits, config=small_config)
-    db.use_scenario("archive")
-    for row in db.execute("SELECT * FROM images WHERE location = 'detroit' "
-                          "AND contains_object(bicycle)"):
+    db.use_scenario("camera")
+    for row in db.execute("SELECT * FROM cam_north "
+                          "WHERE contains_object(bicycle)"):
         ...
-    print(db.explain("SELECT * FROM images WHERE contains_object(bicycle)"))
-    db.ingest(new_frames, metadata=new_metadata)   # ONGOING: grows in place
+    results = db.execute("SELECT * FROM all_cameras "
+                         "WHERE contains_object(bicycle)")
+    for row in results:                     # merged, with provenance
+        print(row["__table__"], row["image_id"])
+    db.attach("cam_east", east)             # a new feed comes online
+    db.ingest(new_frames, table="cam_north")   # ONGOING: grows one shard
+    print(db.explain("SELECT * FROM cam_south "
+                     "WHERE contains_object(bicycle)"))
     db.save("my.vdb")
 
-Under the facade, queries flow through the :mod:`repro.query.sql` parser, the
+``connect(corpus)`` with a single corpus registers it as the table
+``images``, preserving the original one-table API.  Under the facade,
+queries flow through the :mod:`repro.query.sql` parser, the
 :class:`~repro.db.planner.QueryPlanner` (cascade selection + predicate
-ordering) and the :class:`~repro.db.executor.QueryExecutor` (materialized
-virtual columns + the shared representation store).
+ordering, planned per shard) and one
+:class:`~repro.db.executor.QueryExecutor` per table (materialized virtual
+columns + a per-table namespace of the shared representation store).
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -39,9 +51,11 @@ from repro.costs.device import DEFAULT_DEVICE, DeviceProfile, calibrate_device
 from repro.costs.profiler import CostProfiler
 from repro.costs.scenario import INFER_ONLY, Scenario, get_scenario
 from repro.data.corpus import ImageCorpus, PredicateDataSplits
+from repro.db.catalog import DEFAULT_TABLE, FANOUT_TABLE, Catalog
 from repro.db.executor import QueryExecutor
 from repro.db.planner import QueryPlan, QueryPlanner
-from repro.db.results import ResultSet
+from repro.db.results import FanoutResultSet, ResultSet
+from repro.query.processor import Query
 from repro.query.sql import parse_query
 
 __all__ = ["VisualDatabase", "connect", "PredicateDefinition",
@@ -111,13 +125,15 @@ class PredicateDefinition:
 
 
 class VisualDatabase:
-    """A queryable visual analytics database over one image corpus.
+    """A queryable visual analytics database over a catalog of image corpora.
 
     Parameters
     ----------
     corpus:
-        The corpus to query (may also be attached later via
-        :meth:`register_corpus`).
+        What to query: a single :class:`~repro.data.corpus.ImageCorpus`
+        (registered as the table ``images``), a ``{name: corpus}`` mapping
+        (one table per camera/shard), or ``None`` (attach tables later via
+        :meth:`attach` / :meth:`register_corpus`).
     device:
         Base compute-device profile for the analytic cost model.
     scenario:
@@ -135,13 +151,17 @@ class VisualDatabase:
     store_budget:
         Byte budget for the representation store (see
         :class:`~repro.storage.store.RepresentationStore`): a long-lived
-        database over a growing corpus holds representation memory constant
+        database over growing corpora holds representation memory constant
         by evicting least-recently-used representations; evicted ones are
-        recomputed on demand, so results are unaffected.  ``None`` keeps the
-        store unbounded.
+        recomputed on demand, so results are unaffected.  The budget is
+        shared by *all* tables (namespace-aware accounting keeps one hot
+        camera from evicting every other shard's representations).  ``None``
+        keeps the store unbounded.
     """
 
-    def __init__(self, corpus: ImageCorpus | None = None, *,
+    def __init__(self,
+                 corpus: ImageCorpus | Mapping[str, ImageCorpus] | None = None,
+                 *,
                  device: DeviceProfile = DEFAULT_DEVICE,
                  scenario: Scenario | str | CostProfiler = INFER_ONLY,
                  cost_resolution: int = 224,
@@ -159,58 +179,101 @@ class VisualDatabase:
         self.default_constraints = default_constraints or UserConstraints()
         self.store_budget = store_budget
 
-        self._executor: QueryExecutor | None = None
+        self._catalog = Catalog(store_budget=store_budget)
         self._optimizers: dict[str, TahomaOptimizer] = {}
         self._pending: dict[str, PredicateDefinition] = {}
         self._reference_params: dict[str, dict] = {}
 
         if corpus is not None:
-            self.register_corpus(corpus)
+            if isinstance(corpus, Mapping):
+                for name, table_corpus in corpus.items():
+                    self.attach(name, table_corpus)
+            else:
+                self.register_corpus(corpus)
         self.use_scenario(scenario)
 
-    # -- corpus ---------------------------------------------------------------
-    def register_corpus(self, corpus: ImageCorpus) -> None:
-        """Attach (or replace) the corpus; query-time caches start fresh."""
-        from repro.storage.store import RepresentationStore
+    # -- catalog ---------------------------------------------------------------
+    @property
+    def catalog(self) -> Catalog:
+        """The table catalog (one executor per attached corpus)."""
+        return self._catalog
 
-        self._executor = QueryExecutor(
-            corpus, store=RepresentationStore(byte_budget=self.store_budget))
+    def register_corpus(self, corpus: ImageCorpus,
+                        name: str = DEFAULT_TABLE) -> None:
+        """Attach (or replace) ``name``; that table's caches start fresh."""
+        self._catalog.replace(name, corpus)
+
+    def attach(self, name: str, corpus: ImageCorpus) -> None:
+        """Attach ``corpus`` as a new table ``name`` (duplicates rejected).
+
+        Predicates are shared across tables: train once, query any shard.
+        """
+        self._catalog.attach(name, corpus)
+
+    def detach(self, name: str) -> None:
+        """Drop table ``name`` with its materialized labels and store namespace."""
+        self._catalog.detach(name)
+
+    def tables(self) -> list[str]:
+        """Attached table names, in attachment order."""
+        return self._catalog.tables()
 
     def ingest(self, images: np.ndarray,
                metadata: dict[str, np.ndarray] | None = None,
                content: dict[str, np.ndarray] | None = None, *,
-               materialize: bool | None = None) -> np.ndarray:
-        """Append new frames to the corpus — the paper's ONGOING ingest path.
+               materialize: bool | None = None,
+               table: str | None = None) -> np.ndarray:
+        """Append new frames to one table — the paper's ONGOING ingest path.
 
-        Query-time state grows incrementally: already-classified rows are
-        never re-classified, so a repeated query after ingest pays only for
-        the new frames.  Under a scenario that materializes at ingest
-        (ONGOING), every representation the store has registered is extended
-        with the new frames now, so queries keep loading representation
-        bytes instead of transforming; other scenarios (ARCHIVE, CAMERA)
-        stay lazy.  ``materialize`` overrides the scenario's policy.
+        ``table`` names the shard receiving the frames; ``None`` targets the
+        default table (``images``, or the sole attached table).  Query-time
+        state grows incrementally: already-classified rows are never
+        re-classified, so a repeated query after ingest pays only for the
+        new frames.  Under a scenario that materializes at ingest (ONGOING),
+        every representation the table's store namespace has registered is
+        extended with the new frames now, so queries keep loading
+        representation bytes instead of transforming; other scenarios
+        (ARCHIVE, CAMERA) stay lazy.  ``materialize`` overrides the
+        scenario's policy.
 
-        Returns the new rows' image ids.
+        Returns the new rows' image ids (within that table).
         """
         if materialize is None:
             materialize = self._scenario.materializes_on_ingest
-        return self.executor.ingest(images, metadata=metadata,
-                                    content=content, materialize=materialize)
+        executor = (self.executor if table is None
+                    else self.executor_for(table))
+        return executor.ingest(images, metadata=metadata,
+                               content=content, materialize=materialize)
+
+    def _default_executor(self) -> QueryExecutor:
+        default = self._catalog.default_table()
+        if default is None:
+            if len(self._catalog) == 0:
+                raise RuntimeError("no corpus registered; call "
+                                   "register_corpus() or pass one to connect()")
+            raise RuntimeError(
+                f"multiple tables attached ({self.tables()}) and none is "
+                f"{DEFAULT_TABLE!r}; name one explicitly "
+                "(executor_for/corpus_for/ingest(table=...))")
+        return self._catalog.executor(default)
 
     @property
     def corpus(self) -> ImageCorpus:
-        if self._executor is None:
-            raise RuntimeError("no corpus registered; call register_corpus() "
-                               "or pass one to connect()")
-        return self._executor.corpus
+        """The default table's corpus (single-corpus API)."""
+        return self._default_executor().corpus
+
+    def corpus_for(self, table: str) -> ImageCorpus:
+        """The corpus behind one attached table."""
+        return self._catalog.executor(table).corpus
 
     @property
     def executor(self) -> QueryExecutor:
-        """The query executor (owns materialized columns and the store)."""
-        if self._executor is None:
-            raise RuntimeError("no corpus registered; call register_corpus() "
-                               "or pass one to connect()")
-        return self._executor
+        """The default table's executor (single-corpus API)."""
+        return self._default_executor()
+
+    def executor_for(self, table: str) -> QueryExecutor:
+        """The executor owning one table's materialized columns and store."""
+        return self._catalog.executor(table)
 
     # -- predicates ------------------------------------------------------------
     def register_predicate(self, name: str, splits: PredicateDataSplits, *,
@@ -221,8 +284,10 @@ class VisualDatabase:
                            lazy: bool = False, seed: int = 0) -> None:
         """Register ``contains_object(name)``: train its cascade machinery.
 
-        With ``lazy=True`` training is deferred until the predicate is first
-        used by :meth:`execute` / :meth:`explain` (or :meth:`save`), so a
+        Predicates are catalog-wide: trained once, evaluated against any
+        table (each shard keeps its own materialized labels).  With
+        ``lazy=True`` training is deferred until the predicate is first used
+        by :meth:`execute` / :meth:`explain` (or :meth:`save`), so a
         database over many predicates only pays for the ones queries touch.
         """
         if name in self._optimizers or name in self._pending:
@@ -316,7 +381,7 @@ class VisualDatabase:
         :class:`Scenario`, or a fully built :class:`CostProfiler` for complete
         control over device and resolutions.
 
-        Switching is safe at any time: the executor keys materialized labels
+        Switching is safe at any time: executors key materialized labels
         by the cascade that produced them, so a newly selected cascade never
         serves another cascade's labels, while switching back to a previous
         scenario reuses its materialized columns.
@@ -344,8 +409,9 @@ class VisualDatabase:
         if self._profiler_override is not None:
             return self._profiler_override
         source = self._source_resolution
-        if source is None and self._executor is not None:
-            source = self.corpus.image_size
+        if source is None and len(self._catalog) > 0:
+            first = self._catalog.default_table() or self.tables()[0]
+            source = self._catalog.executor(first).corpus.image_size
         if source is None:
             raise RuntimeError("cannot price costs without a corpus; register "
                                "one or pass source_resolution=")
@@ -354,50 +420,167 @@ class VisualDatabase:
                             cost_resolution=self.cost_resolution)
 
     # -- queries ---------------------------------------------------------------
-    def _plan(self, sql: str,
-              constraints: UserConstraints | None) -> QueryPlan:
+    def _parse(self, sql: str,
+               constraints: UserConstraints | None) -> Query:
+        # Unknown tables are rejected at plan time, listing the catalog; an
+        # empty catalog skips validation so the "no corpus registered" error
+        # (not a parse error) surfaces, as in the single-corpus API.
+        known = self.tables()
         query = parse_query(sql, constraints=constraints
-                            or self.default_constraints)
+                            or self.default_constraints,
+                            known_tables=known + [FANOUT_TABLE]
+                            if known else None)
         self._ensure_trained(predicate.category
                              for predicate in query.content_predicates)
-        # Selectivity is refreshed from materialized virtual columns (when a
-        # cascade has classified rows already — including rows just ingested)
-        # so predicate ordering tracks the corpus, not the balanced eval set.
-        hook = (self._executor.observed_positive_rate
-                if self._executor is not None else None)
-        planner = QueryPlanner(self._optimizers, self.profiler,
-                               selectivity_hook=hook)
-        return planner.plan(query)
+        return query
+
+    def _profiler_for(self, table: str | None) -> CostProfiler:
+        """The cost profiler pricing one shard's plan.
+
+        Shards may render at different resolutions; unless the database was
+        given an explicit profiler or ``source_resolution``, each table's
+        data-handling costs are priced at *its own* corpus resolution.
+        """
+        if (self._profiler_override is not None
+                or self._source_resolution is not None
+                or table is None or table not in self._catalog):
+            return self.profiler
+        return CostProfiler(
+            self._device, self._scenario,
+            source_resolution=self._catalog.executor(table).corpus.image_size,
+            cost_resolution=self.cost_resolution)
+
+    def _planner_for(self, table: str | None) -> QueryPlanner:
+        # Selectivity is refreshed from that shard's materialized virtual
+        # columns (when a cascade has classified rows already — including
+        # rows just ingested) so predicate ordering tracks each shard's
+        # corpus, not the balanced eval set.
+        hook = None
+        if table is not None and table in self._catalog:
+            hook = self._catalog.executor(table).observed_positive_rate
+        return QueryPlanner(self._optimizers, self._profiler_for(table),
+                            selectivity_hook=hook)
+
+    def _resolve_single_table(self, query: Query) -> str:
+        if query.table in self._catalog:
+            return query.table
+        # Empty catalog: fall through to the executor property so the
+        # single-corpus "no corpus registered" RuntimeError is raised.
+        self._default_executor()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _fanout_targets(self, query: Query,
+                        tables: Iterable[str] | None) -> list[str]:
+        if tables is not None:
+            if query.table != FANOUT_TABLE:
+                # Never answer a FROM cam_a query with cam_b's rows: an
+                # explicit shard list goes with the virtual fan-out table.
+                raise ValueError(
+                    f"tables=[...] requires FROM {FANOUT_TABLE}; the query "
+                    f"names table {query.table!r}")
+            targets = list(tables)
+            if not targets:
+                raise ValueError("tables=[...] must name at least one "
+                                 f"attached table; attached: {self.tables()}")
+        else:
+            targets = self.tables()
+            if not targets:
+                raise RuntimeError("no corpus registered; call "
+                                   "register_corpus() or pass one to connect()")
+        unknown = [name for name in targets if name not in self._catalog]
+        if unknown:
+            raise KeyError(f"unknown tables {unknown}; "
+                           f"attached: {self.tables()}")
+        return targets
+
+    def _plan_per_table(self, query: Query,
+                        targets: list[str]) -> dict[str, QueryPlan]:
+        """Plan once per shard, with that shard's observed selectivity."""
+        return {table: self._planner_for(table).plan(query, table=table)
+                for table in targets}
 
     def execute(self, sql: str,
-                constraints: UserConstraints | None = None) -> ResultSet:
-        """Parse, plan and run one SELECT query, returning a :class:`ResultSet`."""
-        plan = self._plan(sql, constraints)
-        return ResultSet(self.executor.execute(plan), plan)
+                constraints: UserConstraints | None = None, *,
+                tables: Iterable[str] | None = None
+                ) -> ResultSet | FanoutResultSet:
+        """Parse, plan and run one SELECT query, returning a :class:`ResultSet`.
+
+        ``SELECT * FROM <table>`` routes to that table's executor.  A query
+        against the virtual ``all_cameras`` table fans out — across every
+        attached table, or just the shards named by ``tables=[...]`` (only
+        valid with ``FROM all_cameras``): the planner plans once per shard using
+        that shard's observed selectivity, the shards execute concurrently,
+        and the merged :class:`~repro.db.results.FanoutResultSet` carries a
+        ``__table__`` provenance column plus per-shard ``cascades_used`` and
+        ``images_classified``.
+        """
+        query = self._parse(sql, constraints)
+        if tables is not None or query.table == FANOUT_TABLE:
+            targets = self._fanout_targets(query, tables)
+            plans = self._plan_per_table(query, targets)
+            return self._execute_fanout(plans)
+        table = self._resolve_single_table(query)
+        plan = self._planner_for(table).plan(query, table=table)
+        return ResultSet(self._catalog.executor(table).execute(plan), plan)
+
+    def _execute_fanout(self,
+                        plans: dict[str, QueryPlan]) -> FanoutResultSet:
+        """Run per-shard plans concurrently and merge with provenance.
+
+        Executors are independent (per-table state; the shared store is
+        namespace-locked, models compute outputs from locals), so shards run
+        on a thread pool — classification is NumPy matmul-bound and releases
+        the GIL.
+        """
+        workers = min(len(plans), os.cpu_count() or 1)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {table: pool.submit(self._catalog.executor(table).execute,
+                                          plan)
+                       for table, plan in plans.items()}
+            results = {table: future.result()
+                       for table, future in futures.items()}
+        return FanoutResultSet(results, plans)
 
     def explain(self, sql: str,
-                constraints: UserConstraints | None = None) -> QueryPlan:
-        """The physical plan :meth:`execute` would run, without running it."""
-        return self._plan(sql, constraints)
+                constraints: UserConstraints | None = None, *,
+                tables: Iterable[str] | None = None
+                ) -> QueryPlan | dict[str, QueryPlan]:
+        """The physical plan :meth:`execute` would run, without running it.
+
+        For a fan-out query (``FROM all_cameras`` or ``tables=[...]``)
+        returns the per-shard plans as a ``{table: QueryPlan}`` mapping —
+        shards can pick different cascade orderings when their observed
+        selectivities differ.
+        """
+        query = self._parse(sql, constraints)
+        if tables is not None or query.table == FANOUT_TABLE:
+            return self._plan_per_table(query,
+                                        self._fanout_targets(query, tables))
+        table = self._resolve_single_table(query)
+        return self._planner_for(table).plan(query, table=table)
 
     # -- persistence -----------------------------------------------------------
-    def save(self, path: str | Path, include_corpus: bool = True) -> Path:
-        """Persist the whole database (optimizers, scenario, corpus) to disk.
+    def save(self, path: str | Path, include_corpus: bool = True,
+             store_bytes_cap: int | None = None) -> Path:
+        """Persist the whole catalog (optimizers, scenario, tables) to disk.
 
         Pending lazy predicates are trained first — a saved database is fully
-        initialized.  See :mod:`repro.db.persistence` for the layout.
+        initialized.  Materialized representation arrays are saved per table
+        up to ``store_bytes_cap`` (hottest first), so a reload warm-starts
+        without recompute; see :mod:`repro.db.persistence` for the layout.
         """
         from repro.db.persistence import save_database
 
-        return save_database(self, path, include_corpus=include_corpus)
+        return save_database(self, path, include_corpus=include_corpus,
+                             store_bytes_cap=store_bytes_cap)
 
     @classmethod
     def load(cls, path: str | Path,
              corpus: ImageCorpus | None = None) -> "VisualDatabase":
         """Restore a database saved with :meth:`save` (no retraining).
 
-        ``corpus`` overrides the stored corpus (e.g. when the database was
-        saved with ``include_corpus=False``).
+        ``corpus`` overrides the stored corpus of a single-table save (e.g.
+        when the database was saved with ``include_corpus=False``).
         """
         from repro.db.persistence import load_database
 
@@ -405,15 +588,20 @@ class VisualDatabase:
 
     # -- introspection ---------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        n_rows = len(self._executor.corpus) if self._executor else 0
-        return (f"VisualDatabase(rows={n_rows}, "
+        rows = {name: len(self._catalog.executor(name).corpus)
+                for name in self.tables()}
+        return (f"VisualDatabase(tables={rows}, "
                 f"predicates={self.predicates()}, "
                 f"scenario={self._scenario.name!r})")
 
 
-def connect(corpus: ImageCorpus | None = None, **kwargs) -> VisualDatabase:
-    """Open a :class:`VisualDatabase` over ``corpus`` (DB-API-style entry point).
+def connect(corpus: ImageCorpus | Mapping[str, ImageCorpus] | None = None,
+            **kwargs) -> VisualDatabase:
+    """Open a :class:`VisualDatabase` (DB-API-style entry point).
 
-    Keyword arguments are forwarded to :class:`VisualDatabase`.
+    ``corpus`` may be a single :class:`~repro.data.corpus.ImageCorpus`
+    (registered as the table ``images``) or a ``{name: corpus}`` mapping —
+    one table per camera or shard.  Keyword arguments are forwarded to
+    :class:`VisualDatabase`.
     """
     return VisualDatabase(corpus, **kwargs)

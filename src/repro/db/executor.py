@@ -55,12 +55,16 @@ class QueryExecutor:
         in chunks of ``max(min_limit_chunk, 4 * limit)`` and execution stops
         as soon as the limit is satisfied, so a selective LIMIT query never
         classifies the whole candidate set.
+    table:
+        The catalog table this executor backs (purely informational; a
+        catalog passes the table name so diagnostics can name the shard).
     """
 
     def __init__(self, corpus: ImageCorpus,
                  store: RepresentationStore | None = None,
                  full_materialize_fraction: float = 0.5,
-                 min_limit_chunk: int = 64) -> None:
+                 min_limit_chunk: int = 64,
+                 table: str = "") -> None:
         if len(corpus) == 0:
             raise ValueError("corpus is empty")
         if not 0.0 <= full_materialize_fraction <= 1.0:
@@ -71,6 +75,7 @@ class QueryExecutor:
         self.store = store if store is not None else RepresentationStore()
         self.full_materialize_fraction = full_materialize_fraction
         self.min_limit_chunk = min_limit_chunk
+        self.table = table
         self._base_relation = Relation(
             {**corpus.metadata, "image_id": np.arange(len(corpus))})
         # Materialized virtual columns, keyed by (category, cascade name) so
@@ -234,6 +239,11 @@ class QueryExecutor:
                            cascades_used=cascades_used,
                            images_classified=images_classified)
 
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f"table={self.table!r}, " if self.table else ""
+        return (f"QueryExecutor({label}rows={len(self.corpus)}, "
+                f"materialized={self.materialized_categories()})")
+
     # -- internals -----------------------------------------------------------
     def _evaluate_content(self, step: ContentStep,
                           candidate_mask: np.ndarray) -> tuple[np.ndarray, int]:
@@ -277,12 +287,17 @@ class QueryExecutor:
         bounds memory without affecting the current query.
         """
         n = len(self.corpus)
-        if spec in self.store:
-            array = self.store.get(spec)
+        # try_get, not contains+get: under a shared byte budget another
+        # shard's concurrent insert may evict this entry between the check
+        # and the read.  The top-up concatenates locally and re-adds for the
+        # same reason — the stored entry can vanish at any point.
+        array = self.store.try_get(spec)
+        if array is not None:
             n_stored = array.shape[0]
             if n_stored < n:
                 tail = spec.apply_batch(self.corpus.images[n_stored:])
-                array = self.store.extend(spec, tail)
+                array = np.concatenate([array, tail])
+                self.store.add(spec, array)
             return array
         if materialize:
             array = spec.apply_batch(self.corpus.images)

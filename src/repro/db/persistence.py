@@ -2,22 +2,29 @@
 
 Built on :mod:`repro.core.persistence` (the per-predicate model repository),
 plus a database-level manifest carrying the deployment scenario, device
-profile and corpus.  Layout::
+profile and the table catalog.  Layout (format version 2)::
 
     <root>/
-      database.json            # manifest: scenario, device, predicates, store
-      corpus.npz               # images + metadata + content (optional)
-      materialized.npz         # materialized virtual columns (optional)
+      database.json            # manifest: scenario, device, predicates,
+                               # store budget, per-table entries
       predicates/<name>/       # one model repository per predicate
         repository.json
         weights/*.npz
+      tables/<table>/          # one subdirectory per catalog table
+        corpus.npz             # images + metadata + content (optional)
+        materialized.npz       # materialized virtual columns (optional)
+        store.npz              # representation arrays (optional, size-capped)
 
 A trained database therefore round-trips without retraining: all optimizers,
-the active scenario, the corpus (including rows added by ``db.ingest``), the
-store's byte budget and ingest-time registrations, and every materialized
-virtual column come back — a reloaded database answers the same queries with
-identical results and without re-classifying rows classified before the
-save.
+the active scenario, every table's corpus (including rows added by
+``db.ingest``), the store's byte budget, ingest-time registrations and
+materialized virtual columns come back — a reloaded database answers the
+same queries with identical results and without re-classifying rows
+classified before the save.  Representation arrays are persisted per table
+(hottest first, up to a byte cap), so a reload *warm-starts*: queries load
+representation bytes instead of re-transforming the corpus.  Arrays that
+were evicted or fell over the cap are simply recomputed on demand — results
+are unaffected.
 """
 
 from __future__ import annotations
@@ -32,18 +39,26 @@ from repro.core.selector import UserConstraints
 from repro.costs.device import DeviceProfile
 from repro.costs.scenario import Scenario
 from repro.data.corpus import ImageCorpus
+from repro.db.catalog import DEFAULT_TABLE
 from repro.db.database import VisualDatabase
 from repro.storage.tiers import StorageTier
 from repro.transforms.spec import TransformSpec
 
-__all__ = ["save_database", "load_database"]
+__all__ = ["save_database", "load_database", "DEFAULT_STORE_BYTES_CAP"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
-_CORPUS_FILE = "corpus.npz"
 _MANIFEST_FILE = "database.json"
-_MATERIALIZED_FILE = "materialized.npz"
 _PREDICATES_DIR = "predicates"
+_TABLES_DIR = "tables"
+_CORPUS_FILE = "corpus.npz"
+_MATERIALIZED_FILE = "materialized.npz"
+_STORE_FILE = "store.npz"
+
+#: Default on-disk byte cap for persisted representation arrays, shared by
+#: the whole catalog.  Arrays beyond the cap (coldest first) are skipped and
+#: recomputed lazily after a load.
+DEFAULT_STORE_BYTES_CAP = 256 * 2 ** 20
 
 
 # -- component (de)serialization ------------------------------------------------
@@ -81,6 +96,11 @@ def _constraints_to_dict(constraints: UserConstraints) -> dict:
             "min_throughput": constraints.min_throughput}
 
 
+def _spec_to_dict(spec: TransformSpec) -> dict:
+    return {"resolution": spec.resolution, "color_mode": spec.color_mode,
+            "resize_mode": spec.resize_mode}
+
+
 def _save_corpus(corpus: ImageCorpus, path: Path) -> None:
     arrays = {"images": corpus.images}
     for name, values in corpus.metadata.items():
@@ -88,46 +108,6 @@ def _save_corpus(corpus: ImageCorpus, path: Path) -> None:
     for name, values in corpus.content.items():
         arrays[f"content/{name}"] = np.asarray(values)
     np.savez_compressed(path, **arrays)
-
-
-def _spec_to_dict(spec: TransformSpec) -> dict:
-    return {"resolution": spec.resolution, "color_mode": spec.color_mode,
-            "resize_mode": spec.resize_mode}
-
-
-def _save_materialized(db: VisualDatabase, root: Path) -> list[dict]:
-    """Persist the executor's materialized virtual columns.
-
-    Returns the manifest entries ([{category, cascade}] in array order) —
-    the labels a query materialized before the save are served unchanged
-    after a reload, so ingested-then-queried rows are never re-classified.
-    """
-    materialized = db.executor._materialized
-    entries, arrays = [], {}
-    for index, ((category, cascade), (mask, labels)) in \
-            enumerate(sorted(materialized.items())):
-        entries.append({"category": category, "cascade": cascade})
-        arrays[f"mask_{index}"] = mask
-        arrays[f"labels_{index}"] = labels
-    if arrays:
-        np.savez_compressed(root / _MATERIALIZED_FILE, **arrays)
-    return entries
-
-
-def _load_materialized(db: VisualDatabase, root: Path,
-                       entries: list[dict]) -> None:
-    path = root / _MATERIALIZED_FILE
-    if not entries or not path.exists() or db._executor is None:
-        return
-    n = len(db.corpus)
-    with np.load(path, allow_pickle=False) as archive:
-        for index, entry in enumerate(entries):
-            mask = archive[f"mask_{index}"].astype(bool)
-            labels = archive[f"labels_{index}"].astype(np.int64)
-            if mask.shape[0] != n or labels.shape[0] != n:
-                continue  # saved against a different corpus; recompute lazily
-            key = (entry["category"], entry["cascade"])
-            db.executor._materialized[key] = (mask, labels)
 
 
 def _load_corpus(path: Path) -> ImageCorpus:
@@ -142,12 +122,132 @@ def _load_corpus(path: Path) -> ImageCorpus:
                            content=content)
 
 
+# -- per-table state -------------------------------------------------------------
+def _save_materialized(executor, table_dir: Path) -> list[dict]:
+    """Persist one executor's materialized virtual columns.
+
+    Returns the manifest entries ([{category, cascade}] in array order) —
+    the labels a query materialized before the save are served unchanged
+    after a reload, so ingested-then-queried rows are never re-classified.
+    """
+    entries, arrays = [], {}
+    for index, ((category, cascade), (mask, labels)) in \
+            enumerate(sorted(executor._materialized.items())):
+        entries.append({"category": category, "cascade": cascade})
+        arrays[f"mask_{index}"] = mask
+        arrays[f"labels_{index}"] = labels
+    if arrays:
+        np.savez_compressed(table_dir / _MATERIALIZED_FILE, **arrays)
+    return entries
+
+
+def _load_materialized(executor, table_dir: Path, entries: list[dict]) -> None:
+    path = table_dir / _MATERIALIZED_FILE
+    if not entries or not path.exists():
+        return
+    n = len(executor.corpus)
+    with np.load(path, allow_pickle=False) as archive:
+        for index, entry in enumerate(entries):
+            mask = archive[f"mask_{index}"].astype(bool)
+            labels = archive[f"labels_{index}"].astype(np.int64)
+            if mask.shape[0] != n or labels.shape[0] != n:
+                continue  # saved against a different corpus; recompute lazily
+            key = (entry["category"], entry["cascade"])
+            executor._materialized[key] = (mask, labels)
+
+
+def _select_store_arrays(db: VisualDatabase,
+                         cap: int | None) -> dict[str, list]:
+    """Pick the representation arrays to persist, globally hottest first.
+
+    The byte cap is spent across the whole catalog by shared-store recency
+    (not per table in attachment order), so a reload warm-starts the arrays
+    queries touched most recently.  Arrays over the cap are skipped — the
+    executor recomputes them on demand after a load, so the cap trades disk
+    for warm-start coverage, never correctness.
+    """
+    candidates = []
+    for table in db.tables():
+        store = db.executor_for(table).store
+        for spec, array in store.arrays_by_recency():
+            candidates.append((store.recency_rank(spec) or 0,
+                               table, spec, array))
+    candidates.sort(key=lambda item: item[0], reverse=True)
+
+    selected: dict[str, list] = {table: [] for table in db.tables()}
+    used = 0
+    for _, table, spec, array in candidates:
+        if cap is not None and used + array.nbytes > cap:
+            continue
+        selected[table].append((spec, array))
+        used += array.nbytes
+    return selected
+
+
+def _save_store_arrays(selected: list, table_dir: Path) -> list[dict]:
+    """Persist one table's selected (spec, array) pairs, returning entries."""
+    entries, arrays = [], {}
+    for spec, array in selected:
+        arrays[f"rep_{len(entries)}"] = array
+        entries.append({"spec": _spec_to_dict(spec)})
+    if arrays:
+        np.savez_compressed(table_dir / _STORE_FILE, **arrays)
+    return entries
+
+
+def _load_store_arrays(executor, table_dir: Path, entries: list[dict]) -> None:
+    path = table_dir / _STORE_FILE
+    if not entries or not path.exists():
+        return
+    n = len(executor.corpus)
+    with np.load(path, allow_pickle=False) as archive:
+        # Coldest first, so recency (and byte-budget eviction order) after
+        # the load mirrors the order before the save.
+        for index in reversed(range(len(entries))):
+            spec = TransformSpec(**entries[index]["spec"])
+            array = archive[f"rep_{index}"]
+            if array.shape[0] > n:
+                continue  # saved against a different corpus; recompute lazily
+            executor.store.add(spec, array)
+
+
+def _upgrade_v1_manifest(manifest: dict) -> dict:
+    """Map a format-1 manifest (single anonymous corpus, files at the save
+    root) onto the v2 table layout, as the default ``images`` table.
+
+    Databases saved before the catalog redesign stay loadable: the corpus,
+    materialized labels, store policy and budget all come back; v1 never
+    persisted representation arrays, so those start cold as they always did.
+    """
+    store = manifest.get("store") or {}
+    upgraded = dict(manifest)
+    upgraded["format_version"] = _FORMAT_VERSION
+    upgraded["store"] = {"byte_budget": store.get("byte_budget")}
+    upgraded["tables"] = [{
+        "name": DEFAULT_TABLE,
+        "corpus_file": manifest.get("corpus_file"),
+        "materialized": manifest.get("materialized", []),
+        "store_arrays": [],
+        "registered_specs": store.get("registered_specs", []),
+        "table_dir": ".",  # v1 kept materialized.npz at the save root
+    }]
+    return upgraded
+
+
 # -- database save / load --------------------------------------------------------
 def save_database(db: VisualDatabase, root: str | Path,
-                  include_corpus: bool = True) -> Path:
-    """Persist ``db`` under ``root`` (created if needed)."""
+                  include_corpus: bool = True,
+                  store_bytes_cap: int | None = None) -> Path:
+    """Persist ``db`` under ``root`` (created if needed).
+
+    ``store_bytes_cap`` bounds the on-disk bytes spent on representation
+    arrays across all tables (``None`` uses :data:`DEFAULT_STORE_BYTES_CAP`);
+    materialized labels and corpora are always saved in full.
+    """
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
+    if store_bytes_cap is None:
+        store_bytes_cap = DEFAULT_STORE_BYTES_CAP
 
     names = db.predicates()
     db._ensure_trained(names)  # lazy predicates are trained before saving
@@ -155,14 +255,28 @@ def save_database(db: VisualDatabase, root: str | Path,
         save_optimizer(db._optimizers[name], root / _PREDICATES_DIR / name,
                        reference_params=db._reference_params.get(name) or {})
 
-    has_corpus = include_corpus and db._executor is not None
-    materialized_entries: list[dict] = []
-    registered_specs: list[dict] = []
-    if has_corpus:
-        _save_corpus(db.corpus, root / _CORPUS_FILE)
-        materialized_entries = _save_materialized(db, root)
-        registered_specs = [_spec_to_dict(spec)
-                            for spec in db.executor.store.registered_specs()]
+    tables = []
+    selected_arrays = (_select_store_arrays(db, store_bytes_cap)
+                       if include_corpus else {})
+    for table in db.tables():
+        executor = db.executor_for(table)
+        table_dir = root / _TABLES_DIR / table
+        table_dir.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "name": table,
+            "corpus_file": None,
+            "materialized": [],
+            "store_arrays": [],
+            "registered_specs": [_spec_to_dict(spec) for spec
+                                 in executor.store.registered_specs()],
+        }
+        if include_corpus:
+            _save_corpus(executor.corpus, table_dir / _CORPUS_FILE)
+            entry["corpus_file"] = f"{_TABLES_DIR}/{table}/{_CORPUS_FILE}"
+            entry["materialized"] = _save_materialized(executor, table_dir)
+            entry["store_arrays"] = _save_store_arrays(
+                selected_arrays.get(table, []), table_dir)
+        tables.append(entry)
 
     manifest = {
         "format_version": _FORMAT_VERSION,
@@ -176,10 +290,8 @@ def save_database(db: VisualDatabase, root: str | Path,
         "predicates": [{"name": name,
                         "reference_params": db._reference_params.get(name) or {}}
                        for name in names],
-        "corpus_file": _CORPUS_FILE if has_corpus else None,
-        "store": {"byte_budget": db.store_budget,
-                  "registered_specs": registered_specs},
-        "materialized": materialized_entries,
+        "store": {"byte_budget": db.store_budget},
+        "tables": tables,
     }
     (root / _MANIFEST_FILE).write_text(json.dumps(manifest))
     return root
@@ -187,26 +299,33 @@ def save_database(db: VisualDatabase, root: str | Path,
 
 def load_database(root: str | Path,
                   corpus: ImageCorpus | None = None) -> VisualDatabase:
-    """Restore a database saved with :func:`save_database` (no retraining)."""
+    """Restore a database saved with :func:`save_database` (no retraining).
+
+    ``corpus`` replaces the stored corpus of a *single-table* save (e.g. one
+    made with ``include_corpus=False``); materialized labels and stored
+    representations are only restored when the corpus comes from the save
+    itself, never onto a caller-supplied replacement (which may coincide in
+    length).
+    """
     root = Path(root)
     manifest_path = root / _MANIFEST_FILE
     if not manifest_path.exists():
         raise FileNotFoundError(f"no {_MANIFEST_FILE} under {root}")
     manifest = json.loads(manifest_path.read_text())
-    if manifest.get("format_version") != _FORMAT_VERSION:
+    if manifest.get("format_version") == 1:
+        manifest = _upgrade_v1_manifest(manifest)
+    elif manifest.get("format_version") != _FORMAT_VERSION:
         raise ValueError(f"unsupported database format "
                          f"{manifest.get('format_version')!r}")
 
-    # Materialized labels are only valid for the corpus they were computed
-    # over: restore them only when the corpus comes from the save itself,
-    # never onto a caller-supplied replacement (which may coincide in length).
-    corpus_is_saved = corpus is None and manifest["corpus_file"] is not None
-    if corpus_is_saved:
-        corpus = _load_corpus(root / manifest["corpus_file"])
+    table_entries = manifest.get("tables", [])
+    if corpus is not None and len(table_entries) > 1:
+        raise ValueError(
+            f"a replacement corpus fits a single-table save; this one has "
+            f"tables {[entry['name'] for entry in table_entries]}")
 
     store = manifest.get("store") or {}
     db = VisualDatabase(
-        corpus,
         device=DeviceProfile(**manifest["device"]),
         scenario=_scenario_from_dict(manifest["scenario"]),
         cost_resolution=manifest["cost_resolution"],
@@ -214,9 +333,6 @@ def load_database(root: str | Path,
         calibrate_target_fps=manifest["calibrate_target_fps"],
         default_constraints=UserConstraints(**manifest["default_constraints"]),
         store_budget=store.get("byte_budget"))
-    if db._executor is not None:
-        for entry in store.get("registered_specs", []):
-            db.executor.store.register(TransformSpec(**entry))
     # The stored device already carries any calibration that happened before
     # the save; don't re-anchor it against reloaded reference models.
     db._device_calibrated = bool(manifest["device_calibrated"])
@@ -227,6 +343,26 @@ def load_database(root: str | Path,
         db._optimizers[name] = optimizer
         db._reference_params[name] = dict(entry["reference_params"])
 
-    if corpus_is_saved:
-        _load_materialized(db, root, manifest.get("materialized", []))
+    if not table_entries and corpus is not None:
+        db.attach(DEFAULT_TABLE, corpus)
+        return db
+
+    for entry in table_entries:
+        table = entry["name"]
+        corpus_is_saved = corpus is None and entry["corpus_file"] is not None
+        table_corpus = (_load_corpus(root / entry["corpus_file"])
+                        if corpus_is_saved else corpus)
+        if table_corpus is None:
+            continue  # saved without corpus and none supplied: stays detached
+        db.attach(table, table_corpus)
+        executor = db.executor_for(table)
+        for spec_entry in entry.get("registered_specs", []):
+            executor.store.register(TransformSpec(**spec_entry))
+        if corpus_is_saved:
+            table_dir = root / entry.get("table_dir",
+                                         f"{_TABLES_DIR}/{table}")
+            _load_materialized(executor, table_dir,
+                               entry.get("materialized", []))
+            _load_store_arrays(executor, table_dir,
+                               entry.get("store_arrays", []))
     return db

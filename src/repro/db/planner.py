@@ -116,6 +116,7 @@ class QueryPlan:
     content_steps: tuple[ContentStep, ...]
     limit: int | None = None
     scenario_name: str = ""
+    table: str = ""
 
     @property
     def categories(self) -> tuple[str, ...]:
@@ -136,7 +137,8 @@ class QueryPlan:
         return total
 
     def describe(self) -> str:
-        header = f"QueryPlan (scenario={self.scenario_name or 'unknown'})"
+        target = f", table={self.table!r}" if self.table else ""
+        header = f"QueryPlan (scenario={self.scenario_name or 'unknown'}{target})"
         lines = [header]
         number = 1
         for step in self.metadata_steps:
@@ -194,8 +196,14 @@ class QueryPlanner:
             raise KeyError(f"no optimizer installed for category {category!r}; "
                            f"available: {sorted(self.optimizers)}") from None
 
-    def plan(self, query: "Query") -> QueryPlan:
-        """Select cascades, estimate selectivities and order the predicates."""
+    def plan(self, query: "Query", table: str | None = None) -> QueryPlan:
+        """Select cascades, estimate selectivities and order the predicates.
+
+        ``table`` overrides the plan's table provenance — a fan-out query
+        plans once per shard, and each shard's plan names the shard it was
+        priced for (its ``selectivity_hook`` observes that shard's labels),
+        not the virtual fan-out table.
+        """
         metadata_steps = tuple(MetadataStep(predicate)
                                for predicate in query.metadata_predicates)
 
@@ -218,4 +226,5 @@ class QueryPlanner:
         return QueryPlan(metadata_steps=metadata_steps,
                          content_steps=tuple(content_steps),
                          limit=query.limit,
-                         scenario_name=self.profiler.scenario.name)
+                         scenario_name=self.profiler.scenario.name,
+                         table=table if table is not None else query.table)

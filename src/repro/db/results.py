@@ -6,11 +6,16 @@ so callers can consume results the way they would from a database driver:
 with a cursor that advances, and ``to_relation()`` for columnar access.  Rows
 are built lazily, one dictionary at a time, so batched consumers never
 materialize a million dictionaries at once.
+
+A fan-out query (``SELECT * FROM all_cameras`` or ``execute(sql,
+tables=[...])``) returns a :class:`FanoutResultSet`: the same cursor API over
+the merged rows, a ``__table__`` provenance column naming the shard each row
+came from, and per-shard plans and execution statistics.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, Mapping
 
 import numpy as np
 
@@ -21,7 +26,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.evaluator import CascadeEvaluation
     from repro.query.processor import QueryResult
 
-__all__ = ["ResultSet"]
+__all__ = ["ResultSet", "FanoutResultSet", "TABLE_COLUMN"]
+
+#: Provenance column added to merged fan-out results: the shard each row
+#: came from.
+TABLE_COLUMN = "__table__"
 
 
 def _to_python(value):
@@ -32,7 +41,7 @@ def _to_python(value):
 class ResultSet:
     """Rows selected by one query, plus the plan that produced them."""
 
-    def __init__(self, result: "QueryResult", plan: QueryPlan) -> None:
+    def __init__(self, result: "QueryResult", plan: QueryPlan | None) -> None:
         self._result = result
         self.plan = plan
         self._cursor = 0
@@ -82,9 +91,15 @@ class ResultSet:
         return rows[0] if rows else None
 
     def fetchmany(self, size: int = 1) -> list[dict]:
-        """The next ``size`` rows, advancing the cursor; shorter at the end."""
-        if size < 1:
-            raise ValueError("size must be at least 1")
+        """The next ``size`` rows, advancing the cursor; shorter at the end.
+
+        DB-API-ish size semantics: ``fetchmany(0)`` returns ``[]`` without
+        moving the cursor; a negative size raises :class:`ValueError`.
+        """
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        if size == 0:
+            return []
         stop = min(self._cursor + size, len(self))
         rows = [self.row(index) for index in range(self._cursor, stop)]
         self._cursor = stop
@@ -92,8 +107,7 @@ class ResultSet:
 
     def fetchall(self) -> list[dict]:
         """All remaining rows, advancing the cursor to the end."""
-        return self.fetchmany(max(1, len(self) - self._cursor)) \
-            if self._cursor < len(self) else []
+        return self.fetchmany(len(self) - self._cursor)
 
     def rewind(self) -> None:
         """Reset the fetch cursor to the first row."""
@@ -105,6 +119,95 @@ class ResultSet:
         return self._result.relation
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        scenario = self.plan.scenario_name if self.plan else "unknown"
         return (f"ResultSet(rows={len(self)}, "
                 f"columns={self.columns}, "
-                f"scenario={self.plan.scenario_name!r})")
+                f"scenario={scenario!r})")
+
+
+def _merge_relations(results: "Mapping[str, QueryResult]") -> Relation:
+    """Concatenate shard relations, tagging rows with :data:`TABLE_COLUMN`.
+
+    Shards may carry different metadata columns (cameras need not share a
+    schema); the merge keeps the columns common to *all* shards —
+    ``image_id`` and the query's ``contains_*`` columns always are.
+    """
+    relations = {table: result.relation for table, result in results.items()}
+    common = set.intersection(*(set(relation.column_names())
+                                for relation in relations.values()))
+    columns = {name: np.concatenate([relation[name]
+                                     for relation in relations.values()])
+               for name in sorted(common)}
+    columns[TABLE_COLUMN] = np.concatenate(
+        [np.full(len(relation), table)
+         for table, relation in relations.items()])
+    return Relation(columns)
+
+
+class FanoutResultSet(ResultSet):
+    """Merged rows from one query fanned out across catalog tables.
+
+    Shards are concatenated in fan-out order; every cursor/row/columnar
+    operation of :class:`ResultSet` works on the merged rows, which carry a
+    ``__table__`` provenance column.  Provenance accessors are *per shard*:
+    :attr:`cascades_used` and :attr:`images_classified` map table name →
+    per-category mapping (a shard's observed selectivity can select a
+    different cascade than its neighbour's), :attr:`plans` maps table name →
+    the :class:`~repro.db.planner.QueryPlan` that shard ran, and
+    :meth:`per_table` recovers one shard's rows as a plain
+    :class:`ResultSet`.
+    """
+
+    def __init__(self, results: "Mapping[str, QueryResult]",
+                 plans: Mapping[str, QueryPlan]) -> None:
+        from repro.query.processor import QueryResult
+
+        if not results:
+            raise ValueError("a fan-out needs at least one table")
+        merged = QueryResult(
+            relation=_merge_relations(results),
+            selected_indices=np.concatenate(
+                [result.selected_indices for result in results.values()]),
+            cascades_used={table: dict(result.cascades_used)
+                           for table, result in results.items()},
+            images_classified={table: dict(result.images_classified)
+                               for table, result in results.items()})
+        super().__init__(merged, plan=None)
+        self._per_table = dict(results)
+        self.plans = dict(plans)
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        """The shards this result was merged from, in fan-out order."""
+        return tuple(self._per_table)
+
+    @property
+    def image_ids(self) -> np.ndarray:
+        """Per-shard corpus row indices, concatenated in fan-out order.
+
+        Indices are only unique *within* a shard; pair them with the
+        ``__table__`` column (or use :meth:`per_table`) to address images.
+        """
+        return self._result.selected_indices
+
+    @property
+    def cascades_used(self) -> dict[str, dict[str, "CascadeEvaluation"]]:
+        """Per shard: the cascade selected for each content predicate."""
+        return self._result.cascades_used
+
+    @property
+    def images_classified(self) -> dict[str, dict[str, int]]:
+        """Per shard: how many rows each content predicate classified."""
+        return self._result.images_classified
+
+    def per_table(self, table: str) -> ResultSet:
+        """One shard's rows as a plain :class:`ResultSet` (fresh cursor)."""
+        try:
+            return ResultSet(self._per_table[table], self.plans.get(table))
+        except KeyError:
+            raise KeyError(f"no table {table!r} in this result; "
+                           f"tables: {list(self._per_table)}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FanoutResultSet(rows={len(self)}, "
+                f"tables={list(self._per_table)})")

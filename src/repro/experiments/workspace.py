@@ -70,14 +70,17 @@ class ExperimentWorkspace:
         return list(self.predicates)
 
     def database(self, scenario_name: str = "infer_only",
-                 corpus: ImageCorpus | None = None,
+                 corpus: "ImageCorpus | dict[str, ImageCorpus] | None" = None,
                  constraints: UserConstraints | None = None) -> VisualDatabase:
         """A :class:`~repro.db.VisualDatabase` over this workspace's predicates.
 
         The facade reuses the workspace's trained optimizers and calibrated
         device (no retraining, no re-calibration), so experiments and
         benchmarks can issue SQL queries against the exact model pools the
-        figures were produced from.
+        figures were produced from.  ``corpus`` may be a single corpus
+        (registered as the table ``images``) or a ``{name: corpus}`` mapping
+        opening a multi-camera catalog (``SELECT * FROM <table>`` /
+        ``FROM all_cameras``).
         """
         db = VisualDatabase(
             corpus,

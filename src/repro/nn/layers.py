@@ -322,8 +322,12 @@ class ReLU(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        # The output is computed from a local so concurrent inference on a
+        # shared model (fan-out queries) never reads another thread's mask;
+        # the attribute only feeds backward(), which is single-threaded.
+        mask = x > 0
+        self._mask = mask
+        return np.where(mask, x, 0.0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:

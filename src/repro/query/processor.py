@@ -22,22 +22,30 @@ from repro.data.corpus import ImageCorpus
 from repro.query.predicates import ContainsObject, MetadataPredicate
 from repro.query.relation import Relation
 
-__all__ = ["Query", "QueryResult", "QueryProcessor"]
+__all__ = ["Query", "QueryResult", "QueryProcessor", "DEFAULT_TABLE"]
+
+#: The table an unqualified query targets — what ``connect(corpus)`` names
+#: its single corpus.  :mod:`repro.db.catalog` re-exports this; it lives here
+#: so the query model and the catalog can share it without an import cycle.
+DEFAULT_TABLE = "images"
 
 
 @dataclass(frozen=True)
 class Query:
-    """A conjunctive SELECT query over the corpus.
+    """A conjunctive SELECT query over one table of the catalog.
 
     All predicates are ANDed, mirroring the paper's decomposition of queries
     into metadata predicates plus binary ``contains_object`` predicates.
-    ``limit`` caps the number of returned rows (SQL ``LIMIT n``).
+    ``limit`` caps the number of returned rows (SQL ``LIMIT n``); ``table``
+    is the ``FROM`` target — a catalog table name, or the virtual
+    ``all_cameras`` table that fans the query out across every shard.
     """
 
     metadata_predicates: tuple[MetadataPredicate, ...] = ()
     content_predicates: tuple[ContainsObject, ...] = ()
     constraints: UserConstraints = field(default_factory=UserConstraints)
     limit: int | None = None
+    table: str = DEFAULT_TABLE
 
     def __post_init__(self) -> None:
         if not self.metadata_predicates and not self.content_predicates:

@@ -27,6 +27,7 @@ queries into metadata predicates plus binary content predicates.
 from __future__ import annotations
 
 import re
+from typing import Iterable
 
 from repro.core.selector import UserConstraints
 from repro.query.predicates import ContainsObject, MetadataPredicate
@@ -198,8 +199,9 @@ def _parse_predicate(text: str) -> MetadataPredicate | ContainsObject:
 
 
 def parse_query(sql: str,
-                constraints: UserConstraints | None = None) -> Query:
-    """Parse a ``SELECT * FROM images WHERE ...`` string into a :class:`Query`.
+                constraints: UserConstraints | None = None,
+                known_tables: "Iterable[str] | None" = None) -> Query:
+    """Parse a ``SELECT * FROM <table> WHERE ...`` string into a :class:`Query`.
 
     Parameters
     ----------
@@ -209,6 +211,11 @@ def parse_query(sql: str,
         Optional accuracy/throughput constraints attached to the query (the
         paper has users supply these alongside the query, in the spirit of
         BlinkDB-style approximation contracts).
+    known_tables:
+        When given, the ``FROM`` table must be one of these names (a catalog
+        passes its table names plus the virtual fan-out table); an unknown
+        table raises :class:`SqlParseError` listing the known tables instead
+        of silently answering from a default corpus.
     """
     if not sql or not sql.strip():
         raise SqlParseError("empty query")
@@ -219,6 +226,13 @@ def parse_query(sql: str,
     if not match:
         raise SqlParseError(
             "only 'SELECT * FROM <table> [WHERE ...]' queries are supported")
+
+    table = match.group("table")
+    if known_tables is not None:
+        known = sorted(known_tables)
+        if table not in known:
+            raise SqlParseError(
+                f"unknown table {table!r}; known tables: {known}")
 
     where_part, limit = _split_limit(match.group("rest") or "")
     where = None
@@ -243,4 +257,5 @@ def parse_query(sql: str,
     return Query(metadata_predicates=tuple(metadata),
                  content_predicates=tuple(content),
                  constraints=constraints or UserConstraints(),
-                 limit=limit)
+                 limit=limit,
+                 table=table)

@@ -6,8 +6,8 @@ so only the (much smaller) representation bytes are loaded at query time.
 :class:`RepresentationStore` models that behaviour and is also a convenient
 cache when evaluating many models that share a representation.
 
-Two pieces make the store safe to keep alive for the lifetime of a growing
-database:
+Three pieces make the store safe to keep alive for the lifetime of a growing,
+multi-camera database:
 
 * a **registration set** — representations a deployment has committed to
   materializing at ingest time (the ONGOING policy); registration survives
@@ -16,10 +16,19 @@ database:
   stored bytes exceed the budget the coldest representations are dropped.
   Evicted representations are recomputed on demand by the consumers
   (:meth:`get_or_transform`, the query executor), so a budget bounds memory
-  without affecting query results.
+  without affecting query results,
+* **namespaces** — a multi-table catalog gives each table a :meth:`scoped`
+  view of one shared store, so the byte budget is global while arrays, specs
+  and registrations stay per-table.  Budget accounting is namespace-aware:
+  eviction drains the inserting namespace's own cold entries before touching
+  any other namespace, so one hot camera cannot evict every other shard's
+  representations.
 """
 
 from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,6 +37,27 @@ from repro.storage.tiers import SSD, StorageTier
 from repro.transforms.spec import TransformSpec
 
 __all__ = ["RepresentationStore"]
+
+#: Internal key type: (namespace, representation name).
+_Key = tuple[str, str]
+
+
+@dataclass
+class _StoreState:
+    """State shared by every namespaced view of one store.
+
+    ``arrays`` insertion order doubles as recency order across *all*
+    namespaces: get()/add() move the touched key to the end, so eviction pops
+    from the front.
+    """
+
+    tier: StorageTier
+    byte_budget: int | None
+    arrays: dict[_Key, np.ndarray] = field(default_factory=dict)
+    specs: dict[_Key, TransformSpec] = field(default_factory=dict)
+    registered: dict[_Key, TransformSpec] = field(default_factory=dict)
+    evictions: int = 0
+    lock: threading.RLock = field(default_factory=threading.RLock)
 
 
 class RepresentationStore:
@@ -39,26 +69,49 @@ class RepresentationStore:
         The storage tier the representations notionally live on; used to
         answer simulated load-time questions.
     byte_budget:
-        Maximum simulated bytes (:meth:`bytes_stored`) the store may hold.
+        Maximum simulated bytes the store may hold *across all namespaces*.
         ``None`` (the default) means unbounded.  When an insertion pushes the
         total over the budget, least-recently-used representations are
-        evicted until the total fits — including, if necessary, the
-        representation just inserted (a single representation larger than
-        the whole budget is never kept).
+        evicted until the total fits — the inserting namespace's own entries
+        first, then (only if that namespace is drained) other namespaces'
+        coldest entries, and including, if necessary, the representation just
+        inserted (a single representation larger than the whole budget is
+        never kept).
     """
 
     def __init__(self, tier: StorageTier = SSD,
-                 byte_budget: int | None = None) -> None:
-        if byte_budget is not None and byte_budget <= 0:
-            raise ValueError("byte_budget must be positive (or None)")
-        self.tier = tier
-        self.byte_budget = byte_budget
-        # Insertion order doubles as recency order: get()/add() move the
-        # touched name to the end, so eviction pops from the front.
-        self._arrays: dict[str, np.ndarray] = {}
-        self._specs: dict[str, TransformSpec] = {}
-        self._registered: dict[str, TransformSpec] = {}
-        self._evictions = 0
+                 byte_budget: int | None = None, *,
+                 namespace: str = "",
+                 _state: _StoreState | None = None) -> None:
+        if _state is None:
+            if byte_budget is not None and byte_budget <= 0:
+                raise ValueError("byte_budget must be positive (or None)")
+            _state = _StoreState(tier=tier, byte_budget=byte_budget)
+        self._state = _state
+        self.namespace = namespace
+
+    def scoped(self, namespace: str) -> "RepresentationStore":
+        """A view of this store confined to ``namespace``.
+
+        The view shares arrays, budget and the eviction clock with every
+        other view of the same store; only the keys it sees differ.  A
+        catalog hands each table ``store.scoped(table_name)`` so shards share
+        one byte budget without sharing representations.
+        """
+        if not isinstance(namespace, str) or not namespace:
+            raise ValueError("namespace must be a non-empty string")
+        return RepresentationStore(namespace=namespace, _state=self._state)
+
+    @property
+    def tier(self) -> StorageTier:
+        return self._state.tier
+
+    @property
+    def byte_budget(self) -> int | None:
+        return self._state.byte_budget
+
+    def _key(self, name: str) -> _Key:
+        return (self.namespace, name)
 
     # -- ingest ------------------------------------------------------------
     def materialize(self, images: np.ndarray,
@@ -81,10 +134,13 @@ class RepresentationStore:
         if array.shape[1:] != expected:
             raise ValueError(
                 f"array shape {array.shape[1:]} does not match spec {expected}")
-        self._arrays.pop(spec.name, None)
-        self._arrays[spec.name] = array
-        self._specs[spec.name] = spec
-        self._enforce_budget(newest=spec.name)
+        state = self._state
+        key = self._key(spec.name)
+        with state.lock:
+            state.arrays.pop(key, None)
+            state.arrays[key] = array
+            state.specs[key] = spec
+            self._enforce_budget(newest=key)
 
     def extend(self, spec: TransformSpec, array: np.ndarray) -> np.ndarray:
         """Append already-transformed rows to the stored array for ``spec``.
@@ -95,17 +151,18 @@ class RepresentationStore:
         array.  Returns the extended array — under a byte budget the store
         may evict it immediately, but the caller can still use it.
         """
-        if spec not in self:
-            raise KeyError(f"representation {spec.name!r} not materialized; "
-                           f"cannot extend it")
-        stored = self.get(spec)
-        if array.shape[1:] != stored.shape[1:]:
-            raise ValueError(
-                f"array shape {array.shape[1:]} does not match stored "
-                f"shape {stored.shape[1:]}")
-        extended = np.concatenate([stored, array], axis=0)
-        self.add(spec, extended)
-        return extended
+        with self._state.lock:
+            if spec not in self:
+                raise KeyError(f"representation {spec.name!r} not materialized; "
+                               f"cannot extend it")
+            stored = self.get(spec)
+            if array.shape[1:] != stored.shape[1:]:
+                raise ValueError(
+                    f"array shape {array.shape[1:]} does not match stored "
+                    f"shape {stored.shape[1:]}")
+            extended = np.concatenate([stored, array], axis=0)
+            self.add(spec, extended)
+            return extended
 
     def register(self, spec: TransformSpec) -> None:
         """Commit to materializing ``spec`` for new rows at ingest time.
@@ -114,25 +171,45 @@ class RepresentationStore:
         eviction, and is persisted with the database so a reloaded ONGOING
         deployment keeps materializing the same representations.
         """
-        self._registered[spec.name] = spec
+        with self._state.lock:
+            self._state.registered[self._key(spec.name)] = spec
 
     def registered_specs(self) -> list[TransformSpec]:
-        """The specs committed to ingest-time materialization."""
-        return [self._registered[name] for name in sorted(self._registered)]
+        """The specs committed to ingest-time materialization (this namespace)."""
+        state = self._state
+        with state.lock:
+            return [state.registered[key] for key in sorted(state.registered)
+                    if key[0] == self.namespace]
 
     # -- access --------------------------------------------------------------
     def __contains__(self, spec: TransformSpec) -> bool:
-        return spec.name in self._arrays
+        return self._key(spec.name) in self._state.arrays
 
     def get(self, spec: TransformSpec) -> np.ndarray:
         """The stored representation array for ``spec`` (marks it hot)."""
-        try:
-            array = self._arrays.pop(spec.name)
-        except KeyError:
+        array = self.try_get(spec)
+        if array is None:
             raise KeyError(f"representation {spec.name!r} not materialized; "
-                           f"available: {sorted(self._arrays)}") from None
-        self._arrays[spec.name] = array
+                           f"available: {sorted(self._names())}")
         return array
+
+    def try_get(self, spec: TransformSpec) -> np.ndarray | None:
+        """Like :meth:`get` but ``None`` on a miss, atomically.
+
+        Concurrent shards sharing a byte budget can evict each other's
+        entries between a caller's ``in`` check and its ``get`` — consumers
+        that fall back to recomputing (the query executor) use this instead
+        of the non-atomic check-then-get pair.
+        """
+        state = self._state
+        key = self._key(spec.name)
+        with state.lock:
+            try:
+                array = state.arrays.pop(key)
+            except KeyError:
+                return None
+            state.arrays[key] = array
+            return array
 
     def get_or_transform(self, spec: TransformSpec,
                          source_images: np.ndarray) -> np.ndarray:
@@ -142,65 +219,146 @@ class RepresentationStore:
         immediately (when it alone exceeds the budget); the computed array is
         returned to the caller either way.
         """
-        if spec in self:
-            return self.get(spec)
+        stored = self.try_get(spec)
+        if stored is not None:
+            return stored
         array = spec.apply_batch(source_images)
         self.add(spec, array)
         return array
 
+    def _names(self) -> list[str]:
+        return [key[1] for key in self._state.arrays
+                if key[0] == self.namespace]
+
     def specs(self) -> list[TransformSpec]:
-        """The representation specs currently materialized."""
-        return [self._specs[name] for name in sorted(self._arrays)]
+        """The representation specs currently materialized (this namespace)."""
+        state = self._state
+        with state.lock:
+            return [state.specs[(self.namespace, name)]
+                    for name in sorted(self._names())]
+
+    def arrays_by_recency(self) -> list[tuple[TransformSpec, np.ndarray]]:
+        """This namespace's (spec, array) pairs, hottest first.
+
+        Used by persistence to save the most valuable arrays under a size
+        cap; reading through this method does not change recency.
+        """
+        state = self._state
+        with state.lock:
+            keys = [key for key in state.arrays if key[0] == self.namespace]
+            return [(state.specs[key], state.arrays[key])
+                    for key in reversed(keys)]
+
+    def recency_rank(self, spec: TransformSpec) -> int | None:
+        """Global recency of ``spec``'s entry (higher = hotter), or ``None``.
+
+        The rank orders entries across *all* namespaces sharing this store,
+        so persistence can spend a byte cap on the catalog's globally
+        hottest arrays; reading it does not change recency.
+        """
+        state = self._state
+        key = self._key(spec.name)
+        with state.lock:
+            for rank, stored_key in enumerate(state.arrays):
+                if stored_key == key:
+                    return rank
+            return None
 
     def rows(self, spec: TransformSpec) -> int:
         """Number of rows stored for ``spec`` (0 when not materialized)."""
-        array = self._arrays.get(spec.name)
+        array = self._state.arrays.get(self._key(spec.name))
         return 0 if array is None else int(array.shape[0])
 
     def clear(self) -> None:
-        """Drop all stored arrays, keeping tier, budget and registrations."""
-        self._arrays.clear()
-        self._specs.clear()
+        """Drop this namespace's stored arrays, keeping tier, budget and
+        registrations (other namespaces are untouched)."""
+        state = self._state
+        with state.lock:
+            for key in [key for key in state.arrays
+                        if key[0] == self.namespace]:
+                del state.arrays[key]
+                del state.specs[key]
+
+    def purge(self) -> None:
+        """Drop this namespace entirely: arrays *and* registrations.
+
+        Used when a table is detached from a catalog — nothing of the shard
+        should keep occupying the shared budget or the ingest policy.
+        """
+        state = self._state
+        with state.lock:
+            self.clear()
+            for key in [key for key in state.registered
+                        if key[0] == self.namespace]:
+                del state.registered[key]
 
     # -- accounting -------------------------------------------------------------
     def bytes_stored(self, per_image: bool = False) -> int:
-        """Total simulated bytes occupied by all stored representations."""
-        total = 0
-        for name, array in self._arrays.items():
-            spec = self._specs[name]
-            count = 1 if per_image else array.shape[0]
-            total += representation_bytes(spec) * count
-        return int(total)
+        """Simulated bytes occupied by this namespace's representations."""
+        state = self._state
+        with state.lock:
+            total = 0
+            for key, array in state.arrays.items():
+                if key[0] != self.namespace:
+                    continue
+                count = 1 if per_image else array.shape[0]
+                total += representation_bytes(state.specs[key]) * count
+            return int(total)
+
+    def total_bytes_stored(self) -> int:
+        """Simulated bytes stored across *all* namespaces (what the budget caps)."""
+        state = self._state
+        with state.lock:
+            return int(sum(self._entry_bytes(key) for key in state.arrays))
 
     @property
     def evictions(self) -> int:
-        """Representations evicted so far to stay within the byte budget."""
-        return self._evictions
+        """Representations evicted so far (all namespaces) to stay within budget."""
+        return self._state.evictions
 
     def load_time(self, spec: TransformSpec) -> float:
         """Simulated seconds to load one image's representation from the tier."""
         return self.tier.read_time(representation_bytes(spec))
 
     def __len__(self) -> int:
-        return len(self._arrays)
+        return len(self._names())
 
     # -- internals ---------------------------------------------------------
-    def _entry_bytes(self, name: str) -> int:
-        return representation_bytes(self._specs[name]) * \
-            int(self._arrays[name].shape[0])
+    def _entry_bytes(self, key: _Key) -> int:
+        state = self._state
+        return representation_bytes(state.specs[key]) * \
+            int(state.arrays[key].shape[0])
 
-    def _evict(self, name: str) -> None:
-        del self._arrays[name]
-        del self._specs[name]
-        self._evictions += 1
+    def _evict(self, key: _Key) -> None:
+        state = self._state
+        del state.arrays[key]
+        del state.specs[key]
+        state.evictions += 1
 
-    def _enforce_budget(self, newest: str | None = None) -> None:
-        if self.byte_budget is None:
+    def _enforce_budget(self, newest: _Key | None = None) -> None:
+        state = self._state
+        budget = state.byte_budget
+        if budget is None:
             return
         # A newcomer that alone exceeds the budget can never be kept: evict
         # just it, not the warm entries that did fit.
-        if (newest in self._arrays
-                and self._entry_bytes(newest) > self.byte_budget):
+        if (newest in state.arrays
+                and self._entry_bytes(newest) > budget):
             self._evict(newest)
-        while self._arrays and self.bytes_stored() > self.byte_budget:
-            self._evict(next(iter(self._arrays)))
+
+        total = self.total_bytes_stored()
+        # Namespace-aware fairness: the inserting namespace pays with its own
+        # coldest entries first, so one hot camera cannot evict every other
+        # shard's representations.
+        if newest is not None:
+            own = [key for key in state.arrays
+                   if key[0] == newest[0] and key != newest]
+            for key in own:
+                if total <= budget:
+                    return
+                total -= self._entry_bytes(key)
+                self._evict(key)
+        while state.arrays and total > budget:
+            key = next(iter(state.arrays))
+            total -= self._entry_bytes(key)
+            self._evict(key)

@@ -80,9 +80,15 @@ class TestFetchCursor:
         results.rewind()
         assert results.fetchone()["image_id"] == 0
 
-    def test_bad_size_rejected(self):
+    def test_fetchmany_zero_returns_empty_without_moving_cursor(self):
+        results = _result_set(3)
+        assert results.fetchmany(0) == []
+        # DB-API-ish: size 0 is a no-op, the cursor has not advanced.
+        assert results.fetchone()["image_id"] == 0
+
+    def test_negative_size_rejected(self):
         with pytest.raises(ValueError):
-            _result_set().fetchmany(0)
+            _result_set().fetchmany(-1)
 
 
 class TestColumnarAccess:
