@@ -1,0 +1,92 @@
+"""Retention-window soak: an endless feed through a bounded table.
+
+Without retention, a long-running ``db.ingest()`` loop grows the corpus, the
+base relation and every materialized virtual column forever.  With
+``RetentionPolicy(max_rows=N)`` the table is a sliding window: this benchmark
+streams many times the window's worth of frames through one table and checks
+the promises that make the window usable — the corpus never exceeds N rows,
+query latency reaches a steady state instead of growing with feed length,
+and surviving rows are never re-classified (each round's query classifies
+exactly the new frames).  It reports per-round query latency, the peak
+corpus length observed, and the store footprint.
+"""
+
+import time
+
+import numpy as np
+
+from _util import write_result
+from repro.core.selector import UserConstraints
+from repro.data.categories import get_category
+from repro.data.corpus import generate_corpus
+from repro.db import RetentionPolicy
+from repro.experiments.reporting import format_table
+
+CATEGORY = "komondor"
+SQL = f"SELECT * FROM images WHERE contains_object({CATEGORY})"
+CONSTRAINTS = UserConstraints(max_accuracy_loss=0.05)
+
+
+def _corpus(workspace, n_images, seed):
+    return generate_corpus((get_category(CATEGORY),), n_images=n_images,
+                           image_size=workspace.scale.image_size,
+                           rng=np.random.default_rng(seed), positive_rate=0.5)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_retention_soak(benchmark, default_workspace, smoke_mode, results_dir):
+    window = 16 if smoke_mode else 48
+    batch_size = window // 2
+    n_rounds = 6 if smoke_mode else 12  # ingest 3x / 6x the window
+
+    db = default_workspace.database("ongoing", corpus=_corpus(
+        default_workspace, window, seed=11), constraints=CONSTRAINTS)
+    db.set_retention("images", RetentionPolicy(max_rows=window))
+    db.execute(SQL)  # first query: registers ONGOING representations
+
+    rows, peak_rows, latencies_ms = [], len(db.corpus), []
+    for index in range(n_rounds):
+        batch = _corpus(default_workspace, batch_size, seed=20 + index)
+        db.ingest(batch.images, metadata=batch.metadata, content=batch.content)
+        peak_rows = max(peak_rows, len(db.corpus))
+        result, elapsed_s = _timed(lambda: db.execute(SQL))
+        latencies_ms.append(elapsed_s * 1e3)
+        rows.append([f"round {index + 1}", f"{len(db.corpus)}",
+                     f"{db.executor.id_offset}", f"{elapsed_s * 1e3:.1f}",
+                     f"{result.images_classified[CATEGORY]}"])
+        # Steady state: surviving rows keep their labels, so each round
+        # classifies exactly the freshly ingested frames.
+        assert result.images_classified[CATEGORY] == batch_size
+        assert len(db.corpus) <= window
+
+    assert peak_rows <= window
+    total_ingested = window + n_rounds * batch_size
+    assert db.executor.id_offset == total_ingested - window
+
+    # -- benchmark hook: one steady-state ingest + query round.
+    def soak_round():
+        batch = _corpus(default_workspace, batch_size, seed=99)
+        db.ingest(batch.images, metadata=batch.metadata)
+        return db.execute(SQL)
+
+    benchmark.pedantic(soak_round, rounds=3, iterations=1)
+
+    steady_ms = float(np.median(latencies_ms[n_rounds // 2:]))
+    store = db.executor.store
+    table = format_table(
+        ["step", "rows", "id offset", "query ms", "classified"], rows)
+    body = (f"{table}\n\n"
+            f"window: {window} rows; fed {total_ingested} frames total "
+            f"({total_ingested / window:.1f}x the window)\n"
+            f"peak corpus length: {peak_rows} (bound: {window})\n"
+            f"steady-state query latency: {steady_ms:.1f} ms (median of the "
+            f"last {n_rounds - n_rounds // 2} rounds)\n"
+            f"store footprint: {store.bytes_stored():,} simulated bytes "
+            f"across {len(store)} representations\n")
+    write_result(results_dir, "bench_retention",
+                 "Retention-window soak (bounded streaming state)", body)

@@ -37,10 +37,11 @@ from repro.db import (
     FanoutResultSet,
     QueryPlan,
     ResultSet,
+    RetentionPolicy,
     VisualDatabase,
     connect,
 )
 from repro.version import __version__
 
 __all__ = ["__version__", "connect", "VisualDatabase", "ResultSet",
-           "FanoutResultSet", "QueryPlan"]
+           "FanoutResultSet", "QueryPlan", "RetentionPolicy"]

@@ -237,6 +237,26 @@ class ImageCorpus:
                         for key, values in self.content.items()}
         return np.arange(n_old, n_old + n_new)
 
+    def drop_oldest(self, n: int) -> int:
+        """Drop the ``n`` oldest (front) rows in place; returns rows dropped.
+
+        This is the corpus half of retention windows: a streaming table is a
+        sliding window over its feed, so eviction always takes the front.
+        The surviving arrays are copied, not sliced — a view would pin the
+        dropped rows' memory, defeating the point of retention.
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        n = min(int(n), len(self))
+        if n == 0:
+            return 0
+        self.images = self.images[n:].copy()
+        self.metadata = {key: values[n:].copy()
+                         for key, values in self.metadata.items()}
+        self.content = {key: values[n:].copy()
+                        for key, values in self.content.items()}
+        return n
+
 
 def generate_corpus(categories: tuple[CategoryDef, ...], n_images: int,
                     image_size: int, rng: np.random.Generator | None = None,

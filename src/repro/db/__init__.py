@@ -42,6 +42,7 @@ from repro.db.planner import (
     estimate_selectivity,
 )
 from repro.db.results import TABLE_COLUMN, FanoutResultSet, ResultSet
+from repro.db.retention import RetentionPolicy
 
 __all__ = [
     "VisualDatabase",
@@ -60,4 +61,5 @@ __all__ = [
     "ResultSet",
     "FanoutResultSet",
     "TABLE_COLUMN",
+    "RetentionPolicy",
 ]

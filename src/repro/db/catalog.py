@@ -21,6 +21,7 @@ from typing import Iterator
 
 from repro.data.corpus import ImageCorpus
 from repro.db.executor import QueryExecutor
+from repro.db.retention import RetentionPolicy
 from repro.query.processor import DEFAULT_TABLE
 from repro.storage.store import RepresentationStore
 
@@ -49,22 +50,42 @@ class Catalog:
         self._executors: dict[str, QueryExecutor] = {}
 
     # -- membership -----------------------------------------------------------
-    def attach(self, name: str, corpus: ImageCorpus) -> QueryExecutor:
-        """Attach ``corpus`` as table ``name``; rejects duplicates."""
+    def attach(self, name: str, corpus: ImageCorpus,
+               retention: RetentionPolicy | None = None) -> QueryExecutor:
+        """Attach ``corpus`` as table ``name``; rejects duplicates.
+
+        ``retention`` makes the table a sliding window over its feed: the
+        oldest rows are dropped whenever the window is exceeded (see
+        :class:`~repro.db.retention.RetentionPolicy`).
+        """
         self._validate_name(name)
         if name in self._executors:
             raise ValueError(f"table {name!r} already attached; "
                              f"detach it first or use replace()")
         executor = QueryExecutor(corpus, store=self._store.scoped(name),
-                                 table=name)
+                                 table=name, retention=retention)
         self._executors[name] = executor
         return executor
 
-    def replace(self, name: str, corpus: ImageCorpus) -> QueryExecutor:
+    def replace(self, name: str, corpus: ImageCorpus,
+                retention: RetentionPolicy | None = None) -> QueryExecutor:
         """Attach ``corpus`` as ``name``, dropping any previous shard's state."""
         if name in self._executors:
             self.detach(name)
-        return self.attach(name, corpus)
+        return self.attach(name, corpus, retention=retention)
+
+    def set_retention(self, name: str,
+                      policy: RetentionPolicy | None) -> None:
+        """Set (or clear, with ``None``) table ``name``'s retention policy.
+
+        The policy takes effect at the next ingest or ``retain()`` call; it
+        never drops rows by itself.
+        """
+        self.executor(name).retention = policy
+
+    def retention(self, name: str) -> RetentionPolicy | None:
+        """Table ``name``'s retention policy (``None`` when unbounded)."""
+        return self.executor(name).retention
 
     def detach(self, name: str) -> None:
         """Drop table ``name``: executor state and its store namespace."""

@@ -55,6 +55,7 @@ from repro.db.catalog import DEFAULT_TABLE, FANOUT_TABLE, Catalog
 from repro.db.executor import QueryExecutor
 from repro.db.planner import QueryPlan, QueryPlanner
 from repro.db.results import FanoutResultSet, ResultSet
+from repro.db.retention import RetentionPolicy
 from repro.query.processor import Query
 from repro.query.sql import parse_query
 
@@ -157,6 +158,15 @@ class VisualDatabase:
         shared by *all* tables (namespace-aware accounting keeps one hot
         camera from evicting every other shard's representations).  ``None``
         keeps the store unbounded.
+    retention:
+        Retention window(s) for the attached tables: a single
+        :class:`~repro.db.retention.RetentionPolicy` applied to every table
+        given in ``corpus``, or a ``{name: policy}`` mapping assigning
+        per-table windows (names must be a subset of the attached tables).
+        A table with a policy is a sliding window over its feed — the
+        oldest rows are dropped at the end of every :meth:`ingest` (and on
+        demand via :meth:`retain`), with image ids stable across drops.
+        ``None`` keeps every table unbounded.
     """
 
     def __init__(self,
@@ -168,7 +178,9 @@ class VisualDatabase:
                  source_resolution: int | None = None,
                  calibrate_target_fps: float | None = 75.0,
                  default_constraints: UserConstraints | None = None,
-                 store_budget: int | None = None) -> None:
+                 store_budget: int | None = None,
+                 retention: RetentionPolicy
+                 | Mapping[str, RetentionPolicy] | None = None) -> None:
         self._device = device
         self._device_calibrated = False
         self._scenario: Scenario = INFER_ONLY
@@ -184,13 +196,34 @@ class VisualDatabase:
         self._pending: dict[str, PredicateDefinition] = {}
         self._reference_params: dict[str, dict] = {}
 
+        if retention is not None and not isinstance(retention,
+                                                    (RetentionPolicy, Mapping)):
+            raise TypeError("retention must be a RetentionPolicy or a "
+                            f"{{table: policy}} mapping, got {retention!r}")
         if corpus is not None:
             if isinstance(corpus, Mapping):
                 for name, table_corpus in corpus.items():
-                    self.attach(name, table_corpus)
+                    self.attach(name, table_corpus,
+                                retention=self._policy_for(retention, name))
             else:
-                self.register_corpus(corpus)
+                self.register_corpus(
+                    corpus,
+                    retention=self._policy_for(retention, DEFAULT_TABLE))
+        if isinstance(retention, Mapping):
+            unknown = [name for name in retention if name not in self._catalog]
+            if unknown:
+                raise ValueError(f"retention names unknown tables {unknown}; "
+                                 f"attached: {self.tables()}")
         self.use_scenario(scenario)
+
+    @staticmethod
+    def _policy_for(retention, name: str) -> RetentionPolicy | None:
+        """Resolve the constructor's ``retention`` argument for one table."""
+        if retention is None:
+            return None
+        if isinstance(retention, RetentionPolicy):
+            return retention
+        return retention.get(name)
 
     # -- catalog ---------------------------------------------------------------
     @property
@@ -199,16 +232,19 @@ class VisualDatabase:
         return self._catalog
 
     def register_corpus(self, corpus: ImageCorpus,
-                        name: str = DEFAULT_TABLE) -> None:
+                        name: str = DEFAULT_TABLE,
+                        retention: RetentionPolicy | None = None) -> None:
         """Attach (or replace) ``name``; that table's caches start fresh."""
-        self._catalog.replace(name, corpus)
+        self._catalog.replace(name, corpus, retention=retention)
 
-    def attach(self, name: str, corpus: ImageCorpus) -> None:
+    def attach(self, name: str, corpus: ImageCorpus,
+               retention: RetentionPolicy | None = None) -> None:
         """Attach ``corpus`` as a new table ``name`` (duplicates rejected).
 
         Predicates are shared across tables: train once, query any shard.
+        ``retention`` makes the new table a sliding window over its feed.
         """
-        self._catalog.attach(name, corpus)
+        self._catalog.attach(name, corpus, retention=retention)
 
     def detach(self, name: str) -> None:
         """Drop table ``name`` with its materialized labels and store namespace."""
@@ -217,6 +253,32 @@ class VisualDatabase:
     def tables(self) -> list[str]:
         """Attached table names, in attachment order."""
         return self._catalog.tables()
+
+    # -- retention -------------------------------------------------------------
+    def set_retention(self, table: str,
+                      policy: RetentionPolicy | None) -> None:
+        """Set (or clear, with ``None``) one table's retention window.
+
+        Takes effect at the end of the next :meth:`ingest` into that table,
+        or immediately via :meth:`retain`.
+        """
+        self._catalog.set_retention(table, policy)
+
+    def retention_for(self, table: str) -> RetentionPolicy | None:
+        """One table's retention policy (``None`` when unbounded)."""
+        return self._catalog.retention(table)
+
+    def retain(self, table: str | None = None) -> dict[str, int]:
+        """Enforce retention windows now, without waiting for an ingest.
+
+        ``table`` restricts the pass to one table; ``None`` sweeps the whole
+        catalog.  Returns ``{table: rows_dropped}`` (tables without a policy
+        drop 0 rows).  Image ids stay stable — see
+        :class:`~repro.db.retention.RetentionPolicy`.
+        """
+        targets = [table] if table is not None else self.tables()
+        return {name: self._catalog.executor(name).retain()
+                for name in targets}
 
     def ingest(self, images: np.ndarray,
                metadata: dict[str, np.ndarray] | None = None,
@@ -236,7 +298,11 @@ class VisualDatabase:
         (ARCHIVE, CAMERA) stay lazy.  ``materialize`` overrides the
         scenario's policy.
 
-        Returns the new rows' image ids (within that table).
+        A zero-row batch is a cheap no-op returning an empty id array.  When
+        the table carries a retention policy, the window is enforced after
+        the append (oldest rows dropped, surviving ids stable).
+
+        Returns the new rows' (stable) image ids (within that table).
         """
         if materialize is None:
             materialize = self._scenario.materializes_on_ingest

@@ -18,6 +18,7 @@ chooses cascades or orders predicates itself.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -27,6 +28,7 @@ from repro.query.relation import Relation
 from repro.storage.store import RepresentationStore
 
 from repro.db.planner import ContentStep, QueryPlan
+from repro.db.retention import RetentionPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.query.processor import QueryResult
@@ -58,13 +60,20 @@ class QueryExecutor:
     table:
         The catalog table this executor backs (purely informational; a
         catalog passes the table name so diagnostics can name the shard).
+    retention:
+        Optional :class:`~repro.db.retention.RetentionPolicy` making this
+        table a sliding window over its feed: the oldest rows are dropped at
+        the end of every :meth:`ingest` (and on demand via :meth:`retain`),
+        truncating corpus, base relation, materialized virtual columns and
+        the store namespace coherently while image ids stay stable.
     """
 
     def __init__(self, corpus: ImageCorpus,
                  store: RepresentationStore | None = None,
                  full_materialize_fraction: float = 0.5,
                  min_limit_chunk: int = 64,
-                 table: str = "") -> None:
+                 table: str = "",
+                 retention: RetentionPolicy | None = None) -> None:
         if len(corpus) == 0:
             raise ValueError("corpus is empty")
         if not 0.0 <= full_materialize_fraction <= 1.0:
@@ -76,8 +85,14 @@ class QueryExecutor:
         self.full_materialize_fraction = full_materialize_fraction
         self.min_limit_chunk = min_limit_chunk
         self.table = table
-        self._base_relation = Relation(
-            {**corpus.metadata, "image_id": np.arange(len(corpus))})
+        self.retention = retention
+        # Rows ever dropped by retention: stable image id = offset + row
+        # position.  Ids survive retention passes and are never reused.
+        self._id_offset = 0
+        # One lock per table: queries, ingest and retention on the same shard
+        # serialize (fan-out stays concurrent — each shard has its own lock).
+        self._lock = threading.RLock()
+        self._rebuild_base_relation()
         # Materialized virtual columns, keyed by (category, cascade name) so
         # labels are only ever served as output of the cascade that produced
         # them (the selected cascade changes with scenario and constraints):
@@ -85,11 +100,30 @@ class QueryExecutor:
         self._materialized: dict[tuple[str, str],
                                  tuple[np.ndarray, np.ndarray]] = {}
 
+    def _rebuild_base_relation(self) -> None:
+        n = len(self.corpus)
+        self._base_relation = Relation(
+            {**self.corpus.metadata,
+             "image_id": np.arange(self._id_offset, self._id_offset + n)})
+
     # -- public API ----------------------------------------------------------
     @property
     def relation(self) -> Relation:
         """The metadata relation (without content columns)."""
         return self._base_relation
+
+    @property
+    def id_offset(self) -> int:
+        """Image ids ever retired by retention: id = offset + row position."""
+        return self._id_offset
+
+    @id_offset.setter
+    def id_offset(self, offset: int) -> None:
+        if offset < 0:
+            raise ValueError(f"id_offset must be non-negative, got {offset}")
+        with self._lock:
+            self._id_offset = int(offset)
+            self._rebuild_base_relation()
 
     def ingest(self, images: np.ndarray,
                metadata: dict[str, np.ndarray] | None = None,
@@ -109,23 +143,68 @@ class QueryExecutor:
         representations go stale and are topped up lazily the next time a
         query needs them.
 
-        Returns the new rows' image ids.
+        A zero-row batch is a cheap no-op: nothing is rebuilt, the store is
+        untouched, and an empty id array comes back.  With a
+        :attr:`retention` policy the window is enforced after the append —
+        the returned ids are the ones the new rows were assigned, whether or
+        not they immediately fall out of the window.
+
+        Returns the new rows' (stable) image ids.
         """
-        new_ids = self.corpus.append(images, metadata=metadata,
-                                     content=content)
-        n = len(self.corpus)
-        self._base_relation = Relation(
-            {**self.corpus.metadata, "image_id": np.arange(n)})
-        n_new = new_ids.size
-        if n_new:
+        images = np.asarray(images)
+        if images.ndim >= 1 and images.shape[0] == 0:
+            return np.array([], dtype=np.int64)
+        with self._lock:
+            new_ids = self.corpus.append(images, metadata=metadata,
+                                         content=content)
+            n_new = new_ids.size
             for key, (evaluated, labels) in self._materialized.items():
                 self._materialized[key] = (
                     np.concatenate([evaluated, np.zeros(n_new, dtype=bool)]),
                     np.concatenate([labels, np.zeros(n_new, dtype=np.int64)]))
-        if materialize:
-            for spec in self.store.registered_specs():
-                self._full_representation(spec, materialize=True)
-        return new_ids
+            if materialize:
+                for spec in self.store.registered_specs():
+                    self._full_representation(spec, materialize=True)
+            new_ids = new_ids + self._id_offset
+            # A retention drop rebuilds the base relation itself; only
+            # rebuild here when nothing was dropped, so the hot streaming
+            # path pays the O(window) relation construction exactly once.
+            if self.retain() == 0:
+                self._rebuild_base_relation()
+            return new_ids
+
+    def retain(self) -> int:
+        """Enforce :attr:`retention` now; returns rows dropped (0, no policy)."""
+        with self._lock:
+            # Snapshot under the lock: set_retention() may swap (or clear)
+            # the policy from another thread at any time.
+            policy = self.retention
+            if policy is None:
+                return 0
+            return self.drop_oldest(policy.rows_to_drop(self.corpus))
+
+    def drop_oldest(self, n: int) -> int:
+        """Drop the ``n`` oldest rows from *all* per-table state coherently.
+
+        The corpus loses its front rows, the base relation is rebuilt, every
+        materialized ``(evaluated, labels)`` column is truncated, and the
+        store namespace trims its representation arrays in step (crediting
+        the freed bytes against the global budget).  Image ids stay stable:
+        the id offset advances by the rows dropped, so surviving rows keep
+        their ids (a repeated query never re-classifies them) and dropped
+        ids are never reused.  Returns the number of rows actually dropped.
+        """
+        with self._lock:
+            n = self.corpus.drop_oldest(n)
+            if n == 0:
+                return 0
+            self._id_offset += n
+            self._rebuild_base_relation()
+            for key, (evaluated, labels) in self._materialized.items():
+                self._materialized[key] = (evaluated[n:].copy(),
+                                           labels[n:].copy())
+            self.store.drop_oldest_rows(n)
+            return n
 
     def materialized_categories(self) -> list[str]:
         """Categories with at least one row's virtual column materialized."""
@@ -141,7 +220,9 @@ class QueryExecutor:
         planner then falls back to the evaluation-set estimate.
         """
         evaluated_total, positive_total = 0, 0
-        for (cat, cascade), (evaluated, labels) in self._materialized.items():
+        with self._lock:
+            materialized = list(self._materialized.items())
+        for (cat, cascade), (evaluated, labels) in materialized:
             if cat != category:
                 continue
             if cascade_name is not None and cascade != cascade_name:
@@ -183,6 +264,10 @@ class QueryExecutor:
         order) and execution stops once enough rows survive, so selective
         limited queries pay for a fraction of the candidate set.
         """
+        with self._lock:
+            return self._execute_locked(plan)
+
+    def _execute_locked(self, plan: QueryPlan) -> "QueryResult":
         from repro.query.processor import QueryResult
 
         n = len(self.corpus)
@@ -234,8 +319,10 @@ class QueryExecutor:
         for step in plan.content_steps:
             relation = relation.with_column(step.predicate.column_name,
                                             labels_by_step[step.category])
+        # Selected indices are *stable* image ids (offset + row position),
+        # matching the relation's image_id column across retention passes.
         return QueryResult(relation=relation.filter(final_mask),
-                           selected_indices=selected,
+                           selected_indices=selected + self._id_offset,
                            cascades_used=cascades_used,
                            images_classified=images_classified)
 

@@ -2,7 +2,7 @@
 
 Built on :mod:`repro.core.persistence` (the per-predicate model repository),
 plus a database-level manifest carrying the deployment scenario, device
-profile and the table catalog.  Layout (format version 2)::
+profile and the table catalog.  Layout (format version 3)::
 
     <root>/
       database.json            # manifest: scenario, device, predicates,
@@ -25,6 +25,13 @@ classified before the save.  Representation arrays are persisted per table
 representation bytes instead of re-transforming the corpus.  Arrays that
 were evicted or fell over the cap are simply recomputed on demand — results
 are unaffected.
+
+Format 3 adds two per-table fields: the retention policy (a table that is a
+sliding window over its feed stays one after a reload) and the stable-id
+offset (rows ever dropped by retention), so reloaded image ids keep naming
+the same frames.  Format-2 saves, which predate retention, still load —
+tables come back unbounded with offset 0 — and format-1 single-corpus saves
+load through the v1 shim as before.
 """
 
 from __future__ import annotations
@@ -41,12 +48,13 @@ from repro.costs.scenario import Scenario
 from repro.data.corpus import ImageCorpus
 from repro.db.catalog import DEFAULT_TABLE
 from repro.db.database import VisualDatabase
+from repro.db.retention import RetentionPolicy
 from repro.storage.tiers import StorageTier
 from repro.transforms.spec import TransformSpec
 
 __all__ = ["save_database", "load_database", "DEFAULT_STORE_BYTES_CAP"]
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
 
 _MANIFEST_FILE = "database.json"
 _PREDICATES_DIR = "predicates"
@@ -269,6 +277,11 @@ def save_database(db: VisualDatabase, root: str | Path,
             "store_arrays": [],
             "registered_specs": [_spec_to_dict(spec) for spec
                                  in executor.store.registered_specs()],
+            # Format 3: the retention window and the stable-id offset (rows
+            # ever dropped), so a reloaded sliding window keeps its ids.
+            "retention": (executor.retention.to_dict()
+                          if executor.retention is not None else None),
+            "id_offset": executor.id_offset,
         }
         if include_corpus:
             _save_corpus(executor.corpus, table_dir / _CORPUS_FILE)
@@ -314,7 +327,7 @@ def load_database(root: str | Path,
     manifest = json.loads(manifest_path.read_text())
     if manifest.get("format_version") == 1:
         manifest = _upgrade_v1_manifest(manifest)
-    elif manifest.get("format_version") != _FORMAT_VERSION:
+    elif manifest.get("format_version") not in (2, _FORMAT_VERSION):
         raise ValueError(f"unsupported database format "
                          f"{manifest.get('format_version')!r}")
 
@@ -356,6 +369,11 @@ def load_database(root: str | Path,
             continue  # saved without corpus and none supplied: stays detached
         db.attach(table, table_corpus)
         executor = db.executor_for(table)
+        # Format-2 saves carry neither field: unbounded table, offset 0.
+        retention = entry.get("retention")
+        if retention is not None:
+            executor.retention = RetentionPolicy.from_dict(retention)
+        executor.id_offset = int(entry.get("id_offset", 0))
         for spec_entry in entry.get("registered_specs", []):
             executor.store.register(TransformSpec(**spec_entry))
         if corpus_is_saved:

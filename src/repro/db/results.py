@@ -57,7 +57,11 @@ class ResultSet:
 
     @property
     def image_ids(self) -> np.ndarray:
-        """Corpus row indices of the selected images, in corpus order."""
+        """Stable image ids of the selected images, in corpus order.
+
+        Ids match the relation's ``image_id`` column and survive retention
+        passes (they are corpus row positions plus the table's id offset).
+        """
         return self._result.selected_indices
 
     # -- provenance ----------------------------------------------------------
@@ -125,23 +129,82 @@ class ResultSet:
                 f"scenario={scenario!r})")
 
 
+def _fill_column(dtype: np.dtype, n: int) -> np.ndarray:
+    """A typed fill for a column a shard does not carry."""
+    if np.issubdtype(dtype, np.floating):
+        value = np.nan
+    elif np.issubdtype(dtype, np.bool_):
+        value = False
+    elif np.issubdtype(dtype, np.unsignedinteger):
+        value = np.iinfo(dtype).max  # -1 would overflow; max is the sentinel
+    elif np.issubdtype(dtype, np.integer):
+        value = -1
+    elif dtype.kind in ("U", "S"):
+        value = ""
+    else:
+        value = None
+    return np.full(n, value, dtype=dtype)
+
+
 def _merge_relations(results: "Mapping[str, QueryResult]") -> Relation:
     """Concatenate shard relations, tagging rows with :data:`TABLE_COLUMN`.
 
     Shards may carry different metadata columns (cameras need not share a
-    schema); the merge keeps the columns common to *all* shards —
-    ``image_id`` and the query's ``contains_*`` columns always are.
+    schema); the merge takes the column *union*, padding the shards that
+    lack a column with a typed fill value (NaN for floats, -1 for integers,
+    False for booleans, "" for strings) so no shard's rows — and no shard's
+    columns — are silently dropped or misaligned.
     """
     relations = {table: result.relation for table, result in results.items()}
-    common = set.intersection(*(set(relation.column_names())
-                                for relation in relations.values()))
-    columns = {name: np.concatenate([relation[name]
-                                     for relation in relations.values()])
-               for name in sorted(common)}
+    union: list[str] = []
+    for relation in relations.values():
+        union.extend(name for name in relation.column_names()
+                     if name not in union)
+    columns = {}
+    for name in sorted(union):
+        present = [relation[name] for relation in relations.values()
+                   if name in relation]
+        dtype = np.result_type(*(array.dtype for array in present))
+        columns[name] = np.concatenate(
+            [np.asarray(relation[name], dtype=dtype) if name in relation
+             else _fill_column(dtype, len(relation))
+             for relation in relations.values()])
     columns[TABLE_COLUMN] = np.concatenate(
         [np.full(len(relation), table)
          for table, relation in relations.items()])
     return Relation(columns)
+
+
+def _head(result: "QueryResult", n: int) -> "QueryResult":
+    """The first ``n`` selected rows of a shard's result (corpus order)."""
+    from repro.query.processor import QueryResult
+
+    mask = np.zeros(len(result.relation), dtype=bool)
+    mask[:n] = True
+    return QueryResult(relation=result.relation.filter(mask),
+                       selected_indices=result.selected_indices[:n],
+                       cascades_used=result.cascades_used,
+                       images_classified=result.images_classified)
+
+
+def _apply_limit(results: "Mapping[str, QueryResult]",
+                 limit: int | None) -> "dict[str, QueryResult]":
+    """Cap the merged fan-out at ``limit`` rows.
+
+    Each shard's plan carries the limit as a per-shard upper bound (chunked
+    early stop), so up to ``limit x shards`` rows arrive here; the merged
+    result must still honour ``LIMIT n`` — rows are kept in corpus order
+    within a shard and attachment order across shards.  Shards past the cap
+    keep their execution statistics but contribute zero rows.
+    """
+    if limit is None:
+        return dict(results)
+    capped, remaining = {}, limit
+    for table, result in results.items():
+        take = min(len(result), remaining)
+        capped[table] = result if take == len(result) else _head(result, take)
+        remaining -= take
+    return capped
 
 
 class FanoutResultSet(ResultSet):
@@ -156,6 +219,11 @@ class FanoutResultSet(ResultSet):
     the :class:`~repro.db.planner.QueryPlan` that shard ran, and
     :meth:`per_table` recovers one shard's rows as a plain
     :class:`ResultSet`.
+
+    A ``LIMIT n`` query caps the *merged* rows at ``n`` (corpus order within
+    a shard, attachment order across shards); per-shard statistics still
+    report the work each shard actually did, and :meth:`per_table` views are
+    consistent with the merged rows.
     """
 
     def __init__(self, results: "Mapping[str, QueryResult]",
@@ -164,6 +232,11 @@ class FanoutResultSet(ResultSet):
 
         if not results:
             raise ValueError("a fan-out needs at least one table")
+        # Per-shard plans carry LIMIT n as an upper bound (each shard's
+        # chunked early stop), so the union can hold up to n x shards rows;
+        # the merged result still honours the query's LIMIT.
+        limit = next(iter(plans.values())).limit if plans else None
+        results = _apply_limit(results, limit)
         merged = QueryResult(
             relation=_merge_relations(results),
             selected_indices=np.concatenate(
@@ -183,9 +256,9 @@ class FanoutResultSet(ResultSet):
 
     @property
     def image_ids(self) -> np.ndarray:
-        """Per-shard corpus row indices, concatenated in fan-out order.
+        """Per-shard stable image ids, concatenated in fan-out order.
 
-        Indices are only unique *within* a shard; pair them with the
+        Ids are only unique *within* a shard; pair them with the
         ``__table__`` column (or use :meth:`per_table`) to address images.
         """
         return self._result.selected_indices

@@ -269,6 +269,28 @@ class RepresentationStore:
         array = self._state.arrays.get(self._key(spec.name))
         return 0 if array is None else int(array.shape[0])
 
+    def drop_oldest_rows(self, n: int) -> None:
+        """Trim the first ``n`` rows from every array in this namespace.
+
+        This is the store half of retention windows: when a table drops its
+        oldest corpus rows, the stored representation arrays are trimmed in
+        step so row ``i`` of an array keeps describing row ``i`` of the
+        corpus.  The freed bytes are credited against the global byte budget
+        automatically — accounting reads current array lengths.  Recency,
+        specs and registrations are unchanged; arrays shorter than ``n``
+        become empty (and are topped back up lazily like any stale array).
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if n == 0:
+            return
+        state = self._state
+        with state.lock:
+            for key in [key for key in state.arrays
+                        if key[0] == self.namespace]:
+                # Copy, not slice: a view would pin the dropped rows' memory.
+                state.arrays[key] = state.arrays[key][n:].copy()
+
     def clear(self) -> None:
         """Drop this namespace's stored arrays, keeping tier, budget and
         registrations (other namespaces are untouched)."""

@@ -247,6 +247,68 @@ class TestFanout:
         with pytest.raises(RuntimeError, match="no corpus"):
             database.execute(FANOUT_SQL)
 
+    def test_fanout_limit_caps_merged_result(self, db, cameras):
+        # Regression: LIMIT used to apply per shard, so the merged result
+        # returned up to n x shards rows.
+        unlimited = db.execute(FANOUT_SQL)
+        assert len(unlimited) > 5
+        limited = db.execute(f"{FANOUT_SQL} LIMIT 5")
+        assert len(limited) == 5
+        # Corpus order within shard, attachment order across shards: the
+        # capped rows are a prefix of the unlimited merge.
+        np.testing.assert_array_equal(limited.image_ids,
+                                      unlimited.image_ids[:5])
+        np.testing.assert_array_equal(limited.to_relation()["__table__"],
+                                      unlimited.to_relation()["__table__"][:5])
+        # per_table views are consistent with the merged rows.
+        assert sum(len(limited.per_table(table))
+                   for table in limited.tables) == 5
+
+    def test_fanout_limit_larger_than_result_returns_everything(self, db):
+        unlimited = db.execute(FANOUT_SQL)
+        limited = db.execute(f"{FANOUT_SQL} LIMIT 1000")
+        np.testing.assert_array_equal(limited.image_ids, unlimited.image_ids)
+
+    def test_fanout_merges_shards_with_different_metadata_schemas(
+            self, db, cameras):
+        # Regression: the merge used to keep only the intersection of the
+        # shard columns, silently dropping any camera-specific metadata.
+        hires = make_corpus(8, seed=91)
+        hires.metadata["weather"] = np.array(["sunny", "rain"] * 4)
+        db.attach("cam_weather", hires)
+        merged = db.execute(FANOUT_SQL)
+        relation = merged.to_relation()
+        assert "weather" in relation
+        assert "location" in relation
+        tables = relation["__table__"]
+        # Shards lacking the column get a typed fill, never misalignment.
+        assert set(relation["weather"][tables != "cam_weather"]) <= {""}
+        weather_rows = relation["weather"][tables == "cam_weather"]
+        assert set(weather_rows) <= {"sunny", "rain"}
+
+    def test_detach_then_reattach_starts_from_clean_state(self, db, cameras):
+        # Regression guard: reattaching the same table name must not leak
+        # the old shard's store bytes, registrations or materialized labels.
+        db.use_scenario("ongoing")
+        db.execute("SELECT * FROM cam_north WHERE contains_object(komondor)")
+        old_executor = db.executor_for("cam_north")
+        assert old_executor.store.bytes_stored() > 0
+        assert old_executor.store.registered_specs()
+        global_before = db.catalog.store.total_bytes_stored()
+
+        db.detach("cam_north")
+        db.attach("cam_north", make_corpus(9, seed=92))
+        executor = db.executor_for("cam_north")
+        assert executor is not old_executor
+        assert executor.materialized_categories() == []
+        assert executor.store.bytes_stored() == 0
+        assert executor.store.registered_specs() == []
+        assert db.catalog.store.total_bytes_stored() < global_before
+        # The fresh shard classifies from scratch -- nothing inherited.
+        result = db.execute(
+            "SELECT * FROM cam_north WHERE contains_object(komondor)")
+        assert result.images_classified["komondor"] == 9
+
 
 class TestSharedStoreBudget:
     def test_namespaces_share_one_budget(self, cameras, tiny_optimizer,

@@ -134,6 +134,27 @@ class TestExecutorIngest:
         executor.ingest(frames.images, metadata=frames.metadata)
         assert not executor.corpus.content["komondor"][-3:].any()
 
+    def test_zero_row_ingest_is_a_cheap_noop(self, corpus):
+        # Regression: an empty batch used to rebuild the base relation and
+        # walk the store registration path.
+        executor = QueryExecutor(corpus)
+        relation_before = executor.relation
+        gray = executor.store  # namespaceless store; registration must stay 0
+        empty = np.zeros((0, TINY_SIZE, TINY_SIZE, 3))
+        new_ids = executor.ingest(empty, materialize=True)
+        assert new_ids.size == 0
+        assert new_ids.dtype == np.int64
+        assert executor.relation is relation_before  # nothing rebuilt
+        assert len(executor.corpus) == 24
+        assert gray.registered_specs() == []
+        assert len(gray) == 0
+
+    def test_zero_row_ingest_skips_metadata_validation_cost(self, corpus):
+        # The no-op does not even require matching metadata columns.
+        executor = QueryExecutor(corpus)
+        empty = np.zeros((0, TINY_SIZE, TINY_SIZE, 3))
+        assert executor.ingest(empty, metadata={}).size == 0
+
 
 class TestByteBudget:
     def test_budget_holds_and_results_identical(self, corpus, batch, planner):
@@ -178,6 +199,11 @@ class TestDatabaseIngest:
         database.register_optimizer("komondor", tiny_optimizer,
                                     reference_params=REFERENCE_PARAMS)
         return database
+
+    def test_zero_row_ingest_returns_empty_ids(self, db):
+        empty = np.zeros((0, TINY_SIZE, TINY_SIZE, 3))
+        assert db.ingest(empty).size == 0
+        assert len(db.corpus) == 24
 
     def test_ingest_then_requery_classifies_only_new_rows(self, db, batch):
         db.execute(SQL)

@@ -102,3 +102,101 @@ class TestColumnarAccess:
         assert results.images_classified == {"komondor": 2}
         assert results.cascades_used == {}
         assert results.plan.scenario_name == "camera"
+
+
+def _shard_result(ids, columns) -> QueryResult:
+    """A synthetic per-shard QueryResult for merge tests."""
+    return QueryResult(relation=Relation(columns),
+                       selected_indices=np.asarray(ids),
+                       cascades_used={},
+                       images_classified={"komondor": len(ids)})
+
+
+class TestMergeMixedSchemas:
+    def test_union_merge_with_typed_fills(self):
+        from repro.db.results import _merge_relations
+
+        north = _shard_result([0, 1], {
+            "image_id": np.array([0, 1]),
+            "weather": np.array(["sunny", "rain"]),
+            "speed": np.array([1.5, 2.5]),
+        })
+        south = _shard_result([4], {
+            "image_id": np.array([4]),
+            "lane": np.array([3]),
+        })
+        merged = _merge_relations({"north": north, "south": south})
+        assert len(merged) == 3
+        np.testing.assert_array_equal(merged["image_id"], [0, 1, 4])
+        np.testing.assert_array_equal(merged["__table__"],
+                                      ["north", "north", "south"])
+        # Missing columns get typed fills, never misaligned values.
+        np.testing.assert_array_equal(merged["weather"],
+                                      ["sunny", "rain", ""])
+        np.testing.assert_array_equal(merged["lane"], [-1, -1, 3])
+        np.testing.assert_array_equal(merged["speed"][:2], [1.5, 2.5])
+        assert np.isnan(merged["speed"][2])
+
+    def test_unsigned_fill_does_not_overflow(self):
+        from repro.db.results import _merge_relations
+
+        a = _shard_result([0], {"image_id": np.array([0]),
+                                "lane": np.array([3], dtype=np.uint8)})
+        b = _shard_result([1], {"image_id": np.array([1])})
+        merged = _merge_relations({"a": a, "b": b})
+        # -1 would overflow an unsigned dtype; the sentinel is the max value.
+        np.testing.assert_array_equal(merged["lane"], [3, 255])
+        assert merged["lane"].dtype == np.uint8
+
+    def test_bool_fill_is_false(self):
+        from repro.db.results import _merge_relations
+
+        a = _shard_result([0], {"image_id": np.array([0]),
+                                "flagged": np.array([True])})
+        b = _shard_result([1], {"image_id": np.array([1])})
+        merged = _merge_relations({"a": a, "b": b})
+        np.testing.assert_array_equal(merged["flagged"], [True, False])
+        assert merged["flagged"].dtype == np.bool_
+
+    def test_identical_schemas_unchanged(self):
+        from repro.db.results import _merge_relations
+
+        a = _shard_result([0], {"image_id": np.array([0]),
+                                "location": np.array(["x"])})
+        b = _shard_result([1], {"image_id": np.array([1]),
+                                "location": np.array(["y"])})
+        merged = _merge_relations({"a": a, "b": b})
+        np.testing.assert_array_equal(merged["location"], ["x", "y"])
+
+
+class TestFanoutLimit:
+    def _fanout(self, limit):
+        from repro.db.results import FanoutResultSet
+
+        results = {
+            "cam_a": _shard_result([0, 1, 2], {"image_id": np.array([0, 1, 2])}),
+            "cam_b": _shard_result([5, 6], {"image_id": np.array([5, 6])}),
+        }
+        plans = {table: QueryPlan(metadata_steps=(), content_steps=(),
+                                  limit=limit, table=table)
+                 for table in results}
+        return FanoutResultSet(results, plans)
+
+    def test_merged_rows_capped_at_limit(self):
+        merged = self._fanout(limit=4)
+        assert len(merged) == 4
+        np.testing.assert_array_equal(merged.image_ids, [0, 1, 2, 5])
+        np.testing.assert_array_equal(merged.to_relation()["__table__"],
+                                      ["cam_a", "cam_a", "cam_a", "cam_b"])
+        # per_table views reflect the capped rows; stats report real work.
+        assert len(merged.per_table("cam_b")) == 1
+        assert merged.images_classified["cam_b"]["komondor"] == 2
+
+    def test_no_limit_keeps_everything(self):
+        merged = self._fanout(limit=None)
+        assert len(merged) == 5
+
+    def test_limit_zero_returns_no_rows(self):
+        merged = self._fanout(limit=0)
+        assert len(merged) == 0
+        assert merged.tables == ("cam_a", "cam_b")
