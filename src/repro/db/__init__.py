@@ -41,8 +41,11 @@ from repro.db.planner import (
     QueryPlanner,
     estimate_selectivity,
 )
-from repro.db.results import TABLE_COLUMN, FanoutResultSet, ResultSet
+from repro.db.aggregates import GroupedPartials, compute_partials, merge_partials
+from repro.db.results import (TABLE_COLUMN, AggregateResultSet,
+                              FanoutResultSet, ResultSet, build_result_set)
 from repro.db.retention import RetentionPolicy
+from repro.query.ast import QueryError, SqlParseError
 
 __all__ = [
     "VisualDatabase",
@@ -60,6 +63,13 @@ __all__ = [
     "QueryExecutor",
     "ResultSet",
     "FanoutResultSet",
+    "AggregateResultSet",
+    "build_result_set",
+    "GroupedPartials",
+    "compute_partials",
+    "merge_partials",
+    "QueryError",
+    "SqlParseError",
     "TABLE_COLUMN",
     "RetentionPolicy",
 ]

@@ -54,7 +54,8 @@ from repro.data.corpus import ImageCorpus, PredicateDataSplits
 from repro.db.catalog import DEFAULT_TABLE, FANOUT_TABLE, Catalog
 from repro.db.executor import QueryExecutor
 from repro.db.planner import QueryPlan, QueryPlanner
-from repro.db.results import FanoutResultSet, ResultSet
+from repro.db.results import (AggregateResultSet, FanoutResultSet, ResultSet,
+                              build_result_set)
 from repro.db.retention import RetentionPolicy
 from repro.query.processor import Query
 from repro.query.sql import parse_query
@@ -568,17 +569,24 @@ class VisualDatabase:
     def execute(self, sql: str,
                 constraints: UserConstraints | None = None, *,
                 tables: Iterable[str] | None = None
-                ) -> ResultSet | FanoutResultSet:
+                ) -> ResultSet | FanoutResultSet | AggregateResultSet:
         """Parse, plan and run one SELECT query, returning a :class:`ResultSet`.
 
-        ``SELECT * FROM <table>`` routes to that table's executor.  A query
-        against the virtual ``all_cameras`` table fans out — across every
-        attached table, or just the shards named by ``tables=[...]`` (only
-        valid with ``FROM all_cameras``): the planner plans once per shard using
-        that shard's observed selectivity, the shards execute concurrently,
-        and the merged :class:`~repro.db.results.FanoutResultSet` carries a
+        The dialect supports projection (``SELECT col, ...``), aggregates
+        (``COUNT/SUM/AVG/MIN/MAX``), boolean WHERE trees (AND/OR/NOT with
+        parentheses), ``GROUP BY``, ``ORDER BY`` and ``LIMIT`` — see
+        :mod:`repro.query.sql` for the grammar.  An aggregate query returns
+        an :class:`~repro.db.results.AggregateResultSet` of group tuples.
+
+        ``FROM <table>`` routes to that table's executor.  A query against
+        the virtual ``all_cameras`` table fans out — across every attached
+        table, or just the shards named by ``tables=[...]`` (only valid with
+        ``FROM all_cameras``): the planner plans once per shard using that
+        shard's observed selectivity, the shards execute concurrently, and
+        the merged :class:`~repro.db.results.FanoutResultSet` carries a
         ``__table__`` provenance column plus per-shard ``cascades_used`` and
-        ``images_classified``.
+        ``images_classified``.  A fan-out aggregate merges per-shard
+        *partial aggregates* at the coordinator instead of shipping rows.
         """
         query = self._parse(sql, constraints)
         if tables is not None or query.table == FANOUT_TABLE:
@@ -587,16 +595,22 @@ class VisualDatabase:
             return self._execute_fanout(plans)
         table = self._resolve_single_table(query)
         plan = self._planner_for(table).plan(query, table=table)
-        return ResultSet(self._catalog.executor(table).execute(plan), plan)
+        return build_result_set(self._catalog.executor(table).execute(plan),
+                                plan)
 
-    def _execute_fanout(self,
-                        plans: dict[str, QueryPlan]) -> FanoutResultSet:
+    def _execute_fanout(self, plans: dict[str, QueryPlan]
+                        ) -> FanoutResultSet | AggregateResultSet:
         """Run per-shard plans concurrently and merge with provenance.
 
         Executors are independent (per-table state; the shared store is
         namespace-locked, models compute outputs from locals), so shards run
         on a thread pool — classification is NumPy matmul-bound and releases
         the GIL.
+
+        For an aggregate query each shard returns *partial aggregates*
+        (group tuples — COUNT/SUM/MIN/MAX associative states, AVG as
+        sum+count) and the coordinator merges them exactly; selected rows
+        never cross the shard boundary.
         """
         workers = min(len(plans), os.cpu_count() or 1)
         with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -605,6 +619,8 @@ class VisualDatabase:
                        for table, plan in plans.items()}
             results = {table: future.result()
                        for table, future in futures.items()}
+        if next(iter(plans.values())).is_aggregate:
+            return AggregateResultSet.from_fanout(results, plans)
         return FanoutResultSet(results, plans)
 
     def explain(self, sql: str,

@@ -27,7 +27,8 @@ from repro.data.corpus import ImageCorpus
 from repro.query.relation import Relation
 from repro.storage.store import RepresentationStore
 
-from repro.db.planner import ContentStep, QueryPlan
+from repro.db.planner import (ContentStep, MetadataStep, PlanAnd, PlanNot,
+                              PlanOr, QueryPlan)
 from repro.db.retention import RetentionPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -262,69 +263,188 @@ class QueryExecutor:
 
         With a ``LIMIT``, candidate rows are classified in chunks (in corpus
         order) and execution stops once enough rows survive, so selective
-        limited queries pay for a fraction of the candidate set.
+        limited queries pay for a fraction of the candidate set.  Early stop
+        is disabled under aggregates and ORDER BY
+        (:attr:`~repro.db.planner.QueryPlan.allow_early_stop`), where the
+        limit applies to the final groups / sorted rows instead.
+
+        A plan carrying a boolean :attr:`~repro.db.planner.QueryPlan
+        .predicate_tree` is evaluated with mask-based short-circuiting: an
+        AND child only sees rows every earlier child accepted, an OR child
+        only classifies rows the earlier (cheaper) children left undecided.
+        For an aggregate plan the result additionally carries per-shard
+        partial aggregates (:class:`~repro.db.aggregates.GroupedPartials`).
         """
         with self._lock:
             return self._execute_locked(plan)
 
     def _execute_locked(self, plan: QueryPlan) -> "QueryResult":
+        from repro.db.aggregates import compute_partials
         from repro.query.processor import QueryResult
 
         n = len(self.corpus)
-        mask = np.ones(n, dtype=bool)
-        for step in plan.metadata_steps:
-            mask &= step.predicate.evaluate(self._base_relation)
-        candidates = np.where(mask)[0]
+        # Under aggregates/ORDER BY the limit caps the *final* output, not
+        # the scan: every candidate row must be evaluated first.
+        limit = plan.limit if plan.allow_early_stop else None
 
+        # Metadata leaf masks are evaluated once per query (keyed by node
+        # identity) and sliced per chunk — a LIMIT query over many chunks
+        # must not re-evaluate full-corpus metadata predicates per chunk.
+        metadata_masks: dict[int, np.ndarray] = {}
+        if plan.predicate_tree is None:
+            mask = np.ones(n, dtype=bool)
+            for step in plan.metadata_steps:
+                mask &= step.predicate.evaluate(self._base_relation)
+            candidates = np.where(mask)[0]
+        else:
+            # Top-level AND metadata children are a conjunctive prefilter:
+            # apply them up front so chunking walks the surviving rows only,
+            # exactly like the flat conjunctive path.
+            mask = np.ones(n, dtype=bool)
+            if isinstance(plan.predicate_tree, PlanAnd):
+                for child in plan.predicate_tree.children:
+                    if isinstance(child, MetadataStep):
+                        mask &= self._metadata_mask(child, metadata_masks)
+            candidates = np.where(mask)[0]
+
+        # LIMIT 0 is unconditionally empty output — even under ORDER BY or
+        # aggregates (zero rows / zero groups survive the final truncation),
+        # so never pay for a scan or a single classification.
         if plan.limit == 0:
             chunks = []
-        elif plan.limit is None or not plan.content_steps:
+        elif limit is None or not plan.content_steps:
             chunks = [candidates]
         else:
-            size = max(self.min_limit_chunk, 4 * plan.limit)
+            size = max(self.min_limit_chunk, 4 * limit)
             chunks = [candidates[start:start + size]
                       for start in range(0, candidates.size, size)]
 
         cascades_used = {step.category: step.evaluation
                          for step in plan.content_steps}
         images_classified = {step.category: 0 for step in plan.content_steps}
-        # Rows in never-classified chunks keep label 0; only selected rows
-        # (all classified) survive into the returned relation.
-        labels_by_step = {step.category: np.zeros(n, dtype=np.int64)
-                          for step in plan.content_steps}
         survivors: list[np.ndarray] = []
         n_selected = 0
         for chunk in chunks:
             chunk_mask = np.zeros(n, dtype=bool)
             chunk_mask[chunk] = True
-            for step in plan.content_steps:
-                labels, n_classified = self._evaluate_content(step, chunk_mask)
-                images_classified[step.category] += n_classified
-                labels_by_step[step.category] = labels
-                chunk_mask &= labels.astype(bool)
+            if plan.predicate_tree is None:
+                for step in plan.content_steps:
+                    labels, n_classified = self._evaluate_content(step,
+                                                                  chunk_mask)
+                    images_classified[step.category] += n_classified
+                    chunk_mask &= labels.astype(bool)
+            else:
+                chunk_mask = self._evaluate_tree(plan.predicate_tree,
+                                                 chunk_mask,
+                                                 images_classified,
+                                                 metadata_masks)
             surviving = np.where(chunk_mask)[0]
             survivors.append(surviving)
             n_selected += surviving.size
-            if plan.limit is not None and n_selected >= plan.limit:
+            if limit is not None and n_selected >= limit:
                 break
 
         selected = (np.concatenate(survivors) if survivors
                     else np.array([], dtype=np.int64))
-        if plan.limit is not None:
-            selected = selected[:plan.limit]
+        if limit is not None:
+            selected = selected[:limit]
         final_mask = np.zeros(n, dtype=bool)
         final_mask[selected] = True
 
+        # A short-circuited OR can select rows without evaluating every
+        # cascade.  Any content column the SELECT / GROUP BY / ORDER BY
+        # stages consume must hold real labels for every selected row, so
+        # classify the gap now (bounded by the selected rows); columns only
+        # exposed by SELECT * instead mark unevaluated rows with -1.
+        if selected.size:
+            referenced = plan.referenced_columns()
+            for step in plan.content_steps:
+                if step.predicate.column_name in referenced:
+                    _, n_classified = self._evaluate_content(step, final_mask)
+                    images_classified[step.category] += n_classified
+
+        # Content columns are rebuilt from the materialized state: real
+        # labels where a cascade evaluated the row (this query or an earlier
+        # one), -1 where it never did — a decided OR can select rows no
+        # cascade ever saw.
         relation = self._base_relation
         for step in plan.content_steps:
+            key = (step.category, step.evaluation.cascade.name)
+            entry = self._materialized.get(key)
+            if entry is None:
+                column = np.full(n, -1, dtype=np.int64)
+            else:
+                evaluated, labels = entry
+                column = np.where(evaluated, labels, -1)
             relation = relation.with_column(step.predicate.column_name,
-                                            labels_by_step[step.category])
+                                            column)
+        selected_relation = relation.filter(final_mask)
+        partials = None
+        if plan.is_aggregate:
+            partials = compute_partials(selected_relation, plan.aggregates,
+                                        plan.group_by)
         # Selected indices are *stable* image ids (offset + row position),
         # matching the relation's image_id column across retention passes.
-        return QueryResult(relation=relation.filter(final_mask),
+        return QueryResult(relation=selected_relation,
                            selected_indices=selected + self._id_offset,
                            cascades_used=cascades_used,
-                           images_classified=images_classified)
+                           images_classified=images_classified,
+                           partials=partials)
+
+    def _metadata_mask(self, step: MetadataStep,
+                       cache: dict[int, np.ndarray]) -> np.ndarray:
+        """One metadata leaf's full-corpus mask, evaluated once per query."""
+        mask = cache.get(id(step))
+        if mask is None:
+            mask = step.predicate.evaluate(self._base_relation)
+            cache[id(step)] = mask
+        return mask
+
+    def _evaluate_tree(self, node, mask: np.ndarray,
+                       images_classified: dict[str, int],
+                       metadata_masks: dict[int, np.ndarray]) -> np.ndarray:
+        """Short-circuit one predicate-tree node over the rows in ``mask``.
+
+        Returns the mask of rows in ``mask`` the node accepts.  Only rows
+        still undecided reach a cascade: an AND child sees the rows every
+        earlier child accepted, an OR child the rows every earlier child
+        failed to decide — so in ``cheap OR cascade`` the cascade classifies
+        exactly the rows the cheap side left undecided.
+        """
+        if isinstance(node, MetadataStep):
+            return mask & self._metadata_mask(node, metadata_masks)
+        if isinstance(node, ContentStep):
+            if not mask.any():
+                return mask
+            labels, n_classified = self._evaluate_content(node, mask)
+            images_classified[node.category] += n_classified
+            return mask & labels.astype(bool)
+        if isinstance(node, PlanAnd):
+            accepted = mask
+            for child in node.children:
+                accepted = self._evaluate_tree(child, accepted,
+                                               images_classified,
+                                               metadata_masks)
+                if not accepted.any():
+                    break
+            return accepted
+        if isinstance(node, PlanOr):
+            decided = np.zeros_like(mask)
+            undecided = mask.copy()
+            for child in node.children:
+                child_mask = self._evaluate_tree(child, undecided,
+                                                 images_classified,
+                                                 metadata_masks)
+                decided |= child_mask
+                undecided &= ~child_mask
+                if not undecided.any():
+                    break
+            return decided
+        if isinstance(node, PlanNot):
+            return mask & ~self._evaluate_tree(node.child, mask,
+                                               images_classified,
+                                               metadata_masks)
+        raise TypeError(f"not a plan node: {node!r}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = f"table={self.table!r}, " if self.table else ""

@@ -26,12 +26,16 @@ import numpy as np
 from repro.core.evaluator import CascadeEvaluation
 from repro.core.optimizer import TahomaOptimizer
 from repro.costs.profiler import CostProfiler
+from repro.query.ast import (Aggregate, AndExpr, BooleanExpr, NotExpr,
+                             OrderItem, OrExpr, PredicateExpr, SelectItem,
+                             conjunctive_predicates, select_label)
 from repro.query.predicates import ContainsObject, MetadataPredicate
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.query.processor import Query
 
 __all__ = ["MetadataStep", "ContentStep", "QueryPlan", "QueryPlanner",
+           "PlanAnd", "PlanOr", "PlanNot",
            "estimate_selectivity", "DEFAULT_SELECTIVITY"]
 
 #: Selectivity assumed when an evaluation carries no positive rate (e.g. an
@@ -104,12 +108,111 @@ class ContentStep:
 
 
 @dataclass(frozen=True)
-class QueryPlan:
-    """The physical plan for one query: ordered steps plus cost estimates.
+class PlanNot:
+    """Negation node of a physical predicate tree."""
 
-    ``content_steps`` are already in execution order (ascending
-    selectivity x cost); ``db.explain(sql)`` returns this object and
-    ``str(plan)`` renders the human-readable form.
+    child: "PlanExpr"
+
+
+@dataclass(frozen=True)
+class PlanAnd:
+    """Conjunction node; children are in execution order (cheap/selective
+    first), and each child only sees rows every earlier child accepted."""
+
+    children: tuple["PlanExpr", ...]
+
+
+@dataclass(frozen=True)
+class PlanOr:
+    """Disjunction node; children are in execution order (cheap first), and
+    each child only evaluates rows every earlier child left undecided."""
+
+    children: tuple["PlanExpr", ...]
+
+
+#: A physical predicate-tree node: steps at the leaves, boolean combinators
+#: above them.
+PlanExpr = "MetadataStep | ContentStep | PlanAnd | PlanOr | PlanNot"
+
+
+def _node_stats(node) -> tuple[float, float]:
+    """(estimated selectivity, expected cost per candidate) of one node.
+
+    Metadata filters cost ~0 and, lacking statistics, are assumed to pass
+    half their input; content steps carry the planner's estimates.  For AND
+    the children run in order on a shrinking candidate set; for OR on a
+    shrinking *undecided* set.
+    """
+    if isinstance(node, MetadataStep):
+        return 0.5, 0.0
+    if isinstance(node, ContentStep):
+        return node.selectivity, node.cost_per_image_s
+    if isinstance(node, PlanNot):
+        selectivity, cost = _node_stats(node.child)
+        return 1.0 - selectivity, cost
+    if isinstance(node, PlanAnd):
+        surviving, cost = 1.0, 0.0
+        for child in node.children:
+            child_selectivity, child_cost = _node_stats(child)
+            cost += surviving * child_cost
+            surviving *= child_selectivity
+        return surviving, cost
+    if isinstance(node, PlanOr):
+        undecided, cost = 1.0, 0.0
+        for child in node.children:
+            child_selectivity, child_cost = _node_stats(child)
+            cost += undecided * child_cost
+            undecided *= 1.0 - child_selectivity
+        return 1.0 - undecided, cost
+    raise TypeError(f"not a plan node: {node!r}")
+
+
+def _and_rank(node) -> float:
+    """AND-child ordering key: selectivity x cost (cheap, selective first)."""
+    selectivity, cost = _node_stats(node)
+    return selectivity * cost
+
+
+def _or_rank(node) -> float:
+    """OR-child ordering key: (1 - selectivity) x cost — a likely-true cheap
+    disjunct decides the most rows before any expensive child runs."""
+    selectivity, cost = _node_stats(node)
+    return (1.0 - selectivity) * cost
+
+
+def _describe_node(node, indent: str = "") -> str:
+    """Render one predicate-tree node for ``QueryPlan.describe()``."""
+    if isinstance(node, MetadataStep):
+        return f"{indent}filter   {node.predicate}"
+    if isinstance(node, ContentStep):
+        return (f"{indent}cascade  {node.predicate} "
+                f"[{node.evaluation.name}, sel {node.selectivity:.2f}, "
+                f"{node.cost_per_image_s * 1e3:.3f} ms/image]")
+    if isinstance(node, PlanNot):
+        return f"{indent}NOT\n{_describe_node(node.child, indent + '  ')}"
+    label = "AND" if isinstance(node, PlanAnd) else "OR"
+    lines = [f"{indent}{label}"]
+    lines.extend(_describe_node(child, indent + "  ")
+                 for child in node.children)
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The physical plan for one query, lowered from the logical pipeline
+    Scan -> Filter -> Aggregate -> OrderBy -> Project -> Limit.
+
+    For a conjunctive query (the paper's shape) the filter is the flat
+    ``metadata_steps`` + ``content_steps`` (already in execution order,
+    ascending selectivity x cost) and ``predicate_tree`` is ``None`` — the
+    executor runs the seed's chunked path unchanged.  A query with OR/NOT
+    carries the ordered boolean tree in ``predicate_tree``;
+    ``content_steps`` then still lists every cascade leaf (for provenance),
+    but execution follows the tree with mask-based short-circuiting.
+
+    ``select``/``group_by``/``order_by`` carry the projection, grouping and
+    sort stages; ``db.explain(sql)`` returns this object and ``str(plan)``
+    renders the human-readable form.
     """
 
     metadata_steps: tuple[MetadataStep, ...]
@@ -117,6 +220,50 @@ class QueryPlan:
     limit: int | None = None
     scenario_name: str = ""
     table: str = ""
+    predicate_tree: "PlanExpr | None" = None
+    select: tuple[SelectItem, ...] | None = None
+    group_by: tuple[str, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+
+    @property
+    def aggregates(self) -> tuple[Aggregate, ...]:
+        """The aggregate items of the SELECT list, in SELECT order."""
+        return tuple(item for item in (self.select or ())
+                     if isinstance(item, Aggregate))
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether the plan produces groups (aggregates / GROUP BY)."""
+        return bool(self.aggregates) or bool(self.group_by)
+
+    def referenced_columns(self) -> frozenset:
+        """Columns the post-filter stages read: SELECT list (including
+        aggregate arguments), GROUP BY and ORDER BY keys.
+
+        The executor uses this to force classification of selected rows for
+        any content-derived ``contains_*`` column these stages consume — a
+        short-circuited OR may select rows without evaluating every cascade,
+        and aggregating a placeholder label would corrupt the answer.
+        """
+        names = set(self.group_by)
+        for item in (self.select or ()) + tuple(entry.key
+                                                for entry in self.order_by):
+            if isinstance(item, Aggregate):
+                if item.argument is not None:
+                    names.add(item.argument)
+            else:
+                names.add(item)
+        return frozenset(names)
+
+    @property
+    def allow_early_stop(self) -> bool:
+        """Whether ``LIMIT`` may stop execution early.
+
+        Under aggregates or ORDER BY the limit applies to the *final* groups
+        or sorted rows, so the executor must evaluate every candidate first;
+        stopping early there would silently drop rows from the answer.
+        """
+        return not self.is_aggregate and not self.order_by
 
     @property
     def categories(self) -> tuple[str, ...]:
@@ -141,13 +288,33 @@ class QueryPlan:
         header = f"QueryPlan (scenario={self.scenario_name or 'unknown'}{target})"
         lines = [header]
         number = 1
-        for step in self.metadata_steps:
-            body = step.describe().replace("\n", "\n   ")
+        if self.predicate_tree is not None:
+            body = _describe_node(self.predicate_tree).replace("\n", "\n   ")
             lines.append(f"  {number}. {body}")
             number += 1
-        for step in self.content_steps:
-            body = step.describe().replace("\n", "\n   ")
-            lines.append(f"  {number}. {body}")
+        else:
+            for step in self.metadata_steps:
+                body = step.describe().replace("\n", "\n   ")
+                lines.append(f"  {number}. {body}")
+                number += 1
+            for step in self.content_steps:
+                body = step.describe().replace("\n", "\n   ")
+                lines.append(f"  {number}. {body}")
+                number += 1
+        if self.is_aggregate:
+            spec = ", ".join(aggregate.label for aggregate in self.aggregates)
+            if self.group_by:
+                spec += f"{' ' if spec else ''}group by " + \
+                        ", ".join(self.group_by)
+            lines.append(f"  {number}. aggregate {spec}")
+            number += 1
+        if self.order_by:
+            keys = ", ".join(str(item) for item in self.order_by)
+            lines.append(f"  {number}. order by {keys}")
+            number += 1
+        if self.select is not None and not self.is_aggregate:
+            columns = ", ".join(select_label(item) for item in self.select)
+            lines.append(f"  {number}. project  {columns}")
             number += 1
         if self.limit is not None:
             lines.append(f"  {number}. limit    {self.limit}")
@@ -196,35 +363,87 @@ class QueryPlanner:
             raise KeyError(f"no optimizer installed for category {category!r}; "
                            f"available: {sorted(self.optimizers)}") from None
 
+    def _content_step(self, predicate: ContainsObject,
+                      constraints, cache: dict) -> ContentStep:
+        """Select a cascade for one category (once per query, cached)."""
+        if predicate.category in cache:
+            return cache[predicate.category]
+        optimizer = self._optimizer_for(predicate.category)
+        evaluation = optimizer.select(self.profiler, constraints)
+        selectivity = None
+        if self.selectivity_hook is not None:
+            selectivity = self.selectivity_hook(predicate.category,
+                                                evaluation.cascade.name)
+        if selectivity is None:
+            selectivity = estimate_selectivity(evaluation)
+        step = ContentStep(predicate=predicate, evaluation=evaluation,
+                           selectivity=selectivity,
+                           cost_per_image_s=evaluation.cost.total_s)
+        cache[predicate.category] = step
+        return step
+
+    def _lower(self, expr: BooleanExpr, constraints, cache: dict):
+        """Lower one AST node into an ordered physical plan node.
+
+        Children of AND are ordered by estimated selectivity x cost (the
+        paper's rule, generalized to subtrees); children of OR by
+        (1 - selectivity) x cost — a likely-true cheap disjunct decides the
+        most rows per unit cost, and every later child only evaluates rows
+        the earlier children left undecided.  Metadata filters cost nothing
+        and therefore always run before any cascade at the same level.
+        """
+        if isinstance(expr, PredicateExpr):
+            if isinstance(expr.predicate, ContainsObject):
+                return self._content_step(expr.predicate, constraints, cache)
+            return MetadataStep(expr.predicate)
+        if isinstance(expr, NotExpr):
+            return PlanNot(self._lower(expr.child, constraints, cache))
+        children = [self._lower(child, constraints, cache)
+                    for child in expr.children]
+        if isinstance(expr, AndExpr):
+            children.sort(key=_and_rank)
+            return PlanAnd(tuple(children))
+        if isinstance(expr, OrExpr):
+            children.sort(key=_or_rank)
+            return PlanOr(tuple(children))
+        raise TypeError(f"not a BooleanExpr node: {expr!r}")
+
     def plan(self, query: "Query", table: str | None = None) -> QueryPlan:
         """Select cascades, estimate selectivities and order the predicates.
+
+        A conjunctive query (the original dialect) lowers to the seed's flat
+        plan: metadata steps first, then content steps ordered by estimated
+        selectivity x selected-cascade cost.  A query whose WHERE tree has
+        OR/NOT lowers to an ordered :data:`PlanExpr` tree instead, with
+        cascades selected once per category.
 
         ``table`` overrides the plan's table provenance — a fan-out query
         plans once per shard, and each shard's plan names the shard it was
         priced for (its ``selectivity_hook`` observes that shard's labels),
         not the virtual fan-out table.
         """
-        metadata_steps = tuple(MetadataStep(predicate)
-                               for predicate in query.metadata_predicates)
-
-        content_steps = []
-        for predicate in query.content_predicates:
-            optimizer = self._optimizer_for(predicate.category)
-            evaluation = optimizer.select(self.profiler, query.constraints)
-            selectivity = None
-            if self.selectivity_hook is not None:
-                selectivity = self.selectivity_hook(predicate.category,
-                                                    evaluation.cascade.name)
-            if selectivity is None:
-                selectivity = estimate_selectivity(evaluation)
-            content_steps.append(ContentStep(
-                predicate=predicate, evaluation=evaluation,
-                selectivity=selectivity,
-                cost_per_image_s=evaluation.cost.total_s))
-        content_steps.sort(key=lambda step: step.rank)
+        cache: dict[str, ContentStep] = {}
+        conjuncts = conjunctive_predicates(query.where)
+        predicate_tree = None
+        if conjuncts is not None:
+            metadata_steps = tuple(MetadataStep(predicate)
+                                   for predicate in query.metadata_predicates)
+            content_steps = [self._content_step(predicate, query.constraints,
+                                                cache)
+                             for predicate in query.content_predicates]
+            content_steps.sort(key=lambda step: step.rank)
+        else:
+            predicate_tree = self._lower(query.where, query.constraints, cache)
+            metadata_steps = tuple(MetadataStep(predicate)
+                                   for predicate in query.metadata_predicates)
+            content_steps = sorted(cache.values(), key=lambda step: step.rank)
 
         return QueryPlan(metadata_steps=metadata_steps,
                          content_steps=tuple(content_steps),
                          limit=query.limit,
                          scenario_name=self.profiler.scenario.name,
-                         table=table if table is not None else query.table)
+                         table=table if table is not None else query.table,
+                         predicate_tree=predicate_tree,
+                         select=query.select,
+                         group_by=query.group_by,
+                         order_by=query.order_by)

@@ -7,10 +7,18 @@ with a cursor that advances, and ``to_relation()`` for columnar access.  Rows
 are built lazily, one dictionary at a time, so batched consumers never
 materialize a million dictionaries at once.
 
+This module is also where the tail of the logical pipeline
+(... -> Aggregate -> OrderBy -> Project -> Limit) is applied to executor
+output: :func:`build_result_set` finalizes aggregates into an
+:class:`AggregateResultSet`, sorts ORDER BY rows, projects the SELECT list
+and applies post-sort limits.
+
 A fan-out query (``SELECT * FROM all_cameras`` or ``execute(sql,
 tables=[...])``) returns a :class:`FanoutResultSet`: the same cursor API over
 the merged rows, a ``__table__`` provenance column naming the shard each row
-came from, and per-shard plans and execution statistics.
+came from, and per-shard plans and execution statistics.  A fan-out
+*aggregate* never merges rows at all — each shard ships partial aggregates
+(group tuples) and :meth:`AggregateResultSet.from_fanout` merges them.
 """
 
 from __future__ import annotations
@@ -19,23 +27,21 @@ from typing import TYPE_CHECKING, Iterator, Mapping
 
 import numpy as np
 
+from repro.db.aggregates import GroupedPartials, merge_partials
 from repro.db.planner import QueryPlan
-from repro.query.relation import Relation
+from repro.query.ast import OrderItem, QueryError, select_label
+from repro.query.relation import Relation, to_python as _to_python
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.evaluator import CascadeEvaluation
     from repro.query.processor import QueryResult
 
-__all__ = ["ResultSet", "FanoutResultSet", "TABLE_COLUMN"]
+__all__ = ["ResultSet", "FanoutResultSet", "AggregateResultSet",
+           "build_result_set", "TABLE_COLUMN"]
 
 #: Provenance column added to merged fan-out results: the shard each row
 #: came from.
 TABLE_COLUMN = "__table__"
-
-
-def _to_python(value):
-    """NumPy scalars become plain Python values in row dictionaries."""
-    return value.item() if isinstance(value, np.generic) else value
 
 
 class ResultSet:
@@ -127,6 +133,153 @@ class ResultSet:
         return (f"ResultSet(rows={len(self)}, "
                 f"columns={self.columns}, "
                 f"scenario={scenario!r})")
+
+
+def _sorted_permutation(relation: Relation,
+                        order_by: tuple[OrderItem, ...]) -> np.ndarray:
+    """Row permutation sorting ``relation`` by the ORDER BY keys.
+
+    Sorts are applied least-significant key first (each pass stable), so
+    earlier keys dominate.  Descending order sorts on negated rank codes —
+    dtype-agnostic, so string keys descend too.
+    """
+    permutation = np.arange(len(relation))
+    for item in reversed(order_by):
+        name = item.label
+        if name not in relation:
+            raise QueryError(f"ORDER BY: unknown column {name!r}; "
+                             f"available: {relation.column_names()}")
+        values = relation.column(name)[permutation]
+        codes = np.unique(values, return_inverse=True)[1]
+        if not item.ascending:
+            codes = -codes
+        permutation = permutation[np.argsort(codes, kind="stable")]
+    return permutation
+
+
+def _project(relation: Relation, names: list[str]) -> Relation:
+    """Project with a query-level error naming the available columns."""
+    missing = [name for name in names if name not in relation]
+    if missing:
+        raise QueryError(f"SELECT: unknown column(s) {missing}; "
+                         f"available: {relation.column_names()}")
+    # Preserve SELECT-list order while dropping duplicates.
+    return relation.project(list(dict.fromkeys(names)))
+
+
+def _shape_rows(result: "QueryResult", plan: QueryPlan | None,
+                extra_columns: tuple[str, ...] = ()) -> "QueryResult":
+    """Apply the OrderBy -> Project -> Limit tail to a row result.
+
+    The executor already applied ``LIMIT`` when early stop was legal; under
+    ORDER BY it deferred both, so the limit is applied here, after the sort.
+    ``extra_columns`` (fan-out provenance) survive projection.
+    """
+    from repro.query.processor import QueryResult
+
+    if plan is None or (not plan.order_by and plan.select is None):
+        return result
+    relation, selected = result.relation, result.selected_indices
+    if plan.order_by:
+        permutation = _sorted_permutation(relation, plan.order_by)
+        if plan.limit is not None:
+            permutation = permutation[:plan.limit]
+        relation = relation.take(permutation)
+        selected = selected[permutation]
+    if plan.select is not None:
+        names = [select_label(item) for item in plan.select]
+        relation = _project(relation, names + list(extra_columns))
+    return QueryResult(relation=relation, selected_indices=selected,
+                       cascades_used=result.cascades_used,
+                       images_classified=result.images_classified)
+
+
+def build_result_set(result: "QueryResult",
+                     plan: QueryPlan | None) -> "ResultSet":
+    """Wrap one executor result according to its plan.
+
+    Aggregate plans finalize the executor's partial aggregates into an
+    :class:`AggregateResultSet`; row plans get ORDER BY / projection /
+    post-sort LIMIT applied and come back as a plain :class:`ResultSet`.
+    """
+    if plan is not None and plan.is_aggregate:
+        return AggregateResultSet(result.partials, plan,
+                                  cascades_used=result.cascades_used,
+                                  images_classified=result.images_classified)
+    return ResultSet(_shape_rows(result, plan), plan)
+
+
+class AggregateResultSet(ResultSet):
+    """Groups produced by an aggregate query (aggregates and/or GROUP BY).
+
+    Rows are *group tuples* — the GROUP BY columns plus one column per
+    aggregate, named by its SQL spelling (``count(*)``, ``avg(speed)``).
+    The full cursor API of :class:`ResultSet` works over the groups; ORDER
+    BY, the SELECT projection and LIMIT have already been applied.  For a
+    fan-out query (:meth:`from_fanout`) the groups are the coordinator-side
+    merge of every shard's partial aggregates — COUNT/SUM/MIN/MAX merge
+    associatively and AVG merges exactly via (sum, count) — and
+    ``cascades_used`` / ``images_classified`` / ``plans`` are per shard, as
+    on :class:`FanoutResultSet`.
+    """
+
+    def __init__(self, partials: GroupedPartials, plan: QueryPlan, *,
+                 cascades_used: dict, images_classified: dict,
+                 plans: Mapping[str, QueryPlan] | None = None) -> None:
+        from repro.query.processor import QueryResult
+
+        if partials is None:
+            raise ValueError("aggregate plan executed without partials; "
+                             "the executor did not aggregate")
+        relation = partials.finalize()
+        if plan.order_by:
+            permutation = _sorted_permutation(relation, plan.order_by)
+            relation = relation.take(permutation)
+        if plan.limit is not None:
+            relation = relation.take(np.arange(min(plan.limit,
+                                                   len(relation))))
+        if plan.select is not None:
+            relation = _project(relation,
+                                [select_label(item) for item in plan.select])
+        result = QueryResult(relation=relation,
+                             selected_indices=np.arange(len(relation)),
+                             cascades_used=cascades_used,
+                             images_classified=images_classified)
+        super().__init__(result, plan)
+        self.partials = partials
+        self.plans = dict(plans) if plans is not None else None
+
+    @classmethod
+    def from_fanout(cls, results: "Mapping[str, QueryResult]",
+                    plans: Mapping[str, QueryPlan]) -> "AggregateResultSet":
+        """Merge per-shard partial aggregates at the coordinator.
+
+        Shards ship group tuples, never selected rows; the reference plan
+        (they differ only in per-shard cascade choices) supplies the
+        ORDER BY / projection / LIMIT tail applied to the merged groups.
+        """
+        if not results:
+            raise ValueError("a fan-out needs at least one table")
+        merged = None
+        for result in results.values():
+            merged = (result.partials if merged is None
+                      else merge_partials(merged, result.partials))
+        reference = next(iter(plans.values()))
+        return cls(merged, reference,
+                   cascades_used={table: dict(result.cascades_used)
+                                  for table, result in results.items()},
+                   images_classified={table: dict(result.images_classified)
+                                      for table, result in results.items()},
+                   plans=plans)
+
+    @property
+    def image_ids(self) -> np.ndarray:
+        raise QueryError("aggregate results are groups, not images; "
+                         "image ids are not defined")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"AggregateResultSet(groups={len(self)}, "
+                f"columns={self.columns})")
 
 
 def _fill_column(dtype: np.dtype, n: int) -> np.ndarray:
@@ -223,7 +376,11 @@ class FanoutResultSet(ResultSet):
     A ``LIMIT n`` query caps the *merged* rows at ``n`` (corpus order within
     a shard, attachment order across shards); per-shard statistics still
     report the work each shard actually did, and :meth:`per_table` views are
-    consistent with the merged rows.
+    consistent with the merged rows.  Under ``ORDER BY`` the merged rows are
+    instead sorted *globally* before the limit and projection apply, and
+    :meth:`per_table` then exposes each shard's full selected rows as the
+    executor produced them — unsorted, unprojected and uncapped — since no
+    per-shard subset can reflect a global sort.
     """
 
     def __init__(self, results: "Mapping[str, QueryResult]",
@@ -232,11 +389,13 @@ class FanoutResultSet(ResultSet):
 
         if not results:
             raise ValueError("a fan-out needs at least one table")
-        # Per-shard plans carry LIMIT n as an upper bound (each shard's
-        # chunked early stop), so the union can hold up to n x shards rows;
-        # the merged result still honours the query's LIMIT.
-        limit = next(iter(plans.values())).limit if plans else None
-        results = _apply_limit(results, limit)
+        reference = next(iter(plans.values())) if plans else None
+        limit = reference.limit if reference is not None else None
+        if reference is None or not reference.order_by:
+            # Per-shard plans carry LIMIT n as an upper bound (each shard's
+            # chunked early stop), so the union can hold up to n x shards
+            # rows; the merged result still honours the query's LIMIT.
+            results = _apply_limit(results, limit)
         merged = QueryResult(
             relation=_merge_relations(results),
             selected_indices=np.concatenate(
@@ -245,6 +404,11 @@ class FanoutResultSet(ResultSet):
                            for table, result in results.items()},
             images_classified={table: dict(result.images_classified)
                                for table, result in results.items()})
+        # Under ORDER BY the merged rows are sorted globally before the
+        # LIMIT applies (shards could not early-stop), and the projection
+        # keeps the provenance column.
+        merged = _shape_rows(merged, reference,
+                             extra_columns=(TABLE_COLUMN,))
         super().__init__(merged, plan=None)
         self._per_table = dict(results)
         self.plans = dict(plans)

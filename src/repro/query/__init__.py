@@ -13,10 +13,13 @@ This package provides that surface:
   reuse by later queries.
 """
 
+from repro.query.ast import (Aggregate, AndExpr, BooleanExpr, NotExpr,
+                             OrderItem, OrExpr, PredicateExpr, QueryError,
+                             SqlParseError, tokenize)
 from repro.query.predicates import ContainsObject, MetadataPredicate
 from repro.query.processor import Query, QueryProcessor, QueryResult
 from repro.query.relation import Relation
-from repro.query.sql import SqlParseError, parse_query
+from repro.query.sql import parse_query
 
 __all__ = [
     "Relation",
@@ -26,5 +29,14 @@ __all__ = [
     "QueryResult",
     "QueryProcessor",
     "parse_query",
+    "tokenize",
     "SqlParseError",
+    "QueryError",
+    "BooleanExpr",
+    "PredicateExpr",
+    "AndExpr",
+    "OrExpr",
+    "NotExpr",
+    "Aggregate",
+    "OrderItem",
 ]

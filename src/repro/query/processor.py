@@ -11,6 +11,7 @@ As of the :mod:`repro.db` redesign this module holds the query *model*
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -19,8 +20,13 @@ from repro.core.optimizer import TahomaOptimizer
 from repro.core.selector import UserConstraints
 from repro.costs.profiler import CostProfiler
 from repro.data.corpus import ImageCorpus
+from repro.query.ast import (Aggregate, AndExpr, BooleanExpr, OrderItem,
+                             PredicateExpr, SelectItem, iter_predicates)
 from repro.query.predicates import ContainsObject, MetadataPredicate
 from repro.query.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.db.aggregates import GroupedPartials
 
 __all__ = ["Query", "QueryResult", "QueryProcessor", "DEFAULT_TABLE"]
 
@@ -32,13 +38,23 @@ DEFAULT_TABLE = "images"
 
 @dataclass(frozen=True)
 class Query:
-    """A conjunctive SELECT query over one table of the catalog.
+    """One SELECT query over one table of the catalog.
 
-    All predicates are ANDed, mirroring the paper's decomposition of queries
-    into metadata predicates plus binary ``contains_object`` predicates.
-    ``limit`` caps the number of returned rows (SQL ``LIMIT n``); ``table``
-    is the ``FROM`` target — a catalog table name, or the virtual
-    ``all_cameras`` table that fans the query out across every shard.
+    The WHERE clause is the :class:`~repro.query.ast.BooleanExpr` tree in
+    ``where`` (``None`` for a bare scan).  The flat ``metadata_predicates``
+    / ``content_predicates`` tuples are the paper's conjunctive
+    decomposition and are kept in sync with the tree: constructing a query
+    from the flat tuples (the original API) synthesizes a conjunction, and
+    constructing one from a ``where`` tree derives the tuples from its
+    leaves (syntactic order) so cascade selection and training hooks keep
+    working unchanged.
+
+    ``select`` lists the projected columns and aggregates (``None`` means
+    ``*``), ``group_by``/``order_by`` carry the grouping and sort keys, and
+    ``limit`` caps the number of returned rows (result *groups* for an
+    aggregate query).  ``table`` is the ``FROM`` target — a catalog table
+    name, or the virtual ``all_cameras`` table that fans the query out
+    across every shard.
     """
 
     metadata_predicates: tuple[MetadataPredicate, ...] = ()
@@ -46,22 +62,58 @@ class Query:
     constraints: UserConstraints = field(default_factory=UserConstraints)
     limit: int | None = None
     table: str = DEFAULT_TABLE
+    where: BooleanExpr | None = None
+    select: tuple[SelectItem, ...] | None = None
+    group_by: tuple[str, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
 
     def __post_init__(self) -> None:
-        if not self.metadata_predicates and not self.content_predicates:
-            raise ValueError("a query needs at least one predicate")
+        if self.where is None:
+            leaves = tuple(PredicateExpr(predicate) for predicate in
+                           self.metadata_predicates + self.content_predicates)
+            if len(leaves) == 1:
+                object.__setattr__(self, "where", leaves[0])
+            elif leaves:
+                object.__setattr__(self, "where", AndExpr(leaves))
+        elif not self.metadata_predicates and not self.content_predicates:
+            predicates = list(iter_predicates(self.where))
+            object.__setattr__(self, "metadata_predicates", tuple(
+                p for p in predicates if isinstance(p, MetadataPredicate)))
+            object.__setattr__(self, "content_predicates", tuple(
+                p for p in predicates if isinstance(p, ContainsObject)))
         if self.limit is not None and self.limit < 0:
             raise ValueError("limit must be non-negative")
+        if self.select is not None and not self.select:
+            raise ValueError("select must name at least one item (or be None "
+                             "for SELECT *)")
+
+    @property
+    def aggregates(self) -> tuple[Aggregate, ...]:
+        """The aggregate items of the SELECT list, in SELECT order."""
+        return tuple(item for item in (self.select or ())
+                     if isinstance(item, Aggregate))
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether results are groups (aggregates / GROUP BY), not rows."""
+        return bool(self.aggregates) or bool(self.group_by)
 
 
 @dataclass
 class QueryResult:
-    """Rows selected by a query plus bookkeeping about how they were produced."""
+    """Rows selected by a query plus bookkeeping about how they were produced.
+
+    For an aggregate query the executor additionally attaches ``partials`` —
+    the per-shard partial aggregate states
+    (:class:`~repro.db.aggregates.GroupedPartials`) a fan-out coordinator
+    merges, so a grouped count over N cameras ships group tuples, not rows.
+    """
 
     relation: Relation
     selected_indices: np.ndarray
     cascades_used: dict[str, CascadeEvaluation]
     images_classified: dict[str, int]
+    partials: "GroupedPartials | None" = None
 
     def __len__(self) -> int:
         return int(self.selected_indices.size)

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Relation"]
+__all__ = ["Relation", "to_python"]
+
+
+def to_python(value):
+    """NumPy scalars become plain Python values (row dicts, group keys)."""
+    return value.item() if isinstance(value, np.generic) else value
 
 
 class Relation:
@@ -61,6 +66,12 @@ class Relation:
         if mask.shape[0] != len(self):
             raise ValueError("mask length does not match relation length")
         return Relation({name: values[mask]
+                         for name, values in self._columns.items()})
+
+    def take(self, indices: np.ndarray) -> "Relation":
+        """A new relation with rows reordered/selected by integer indices."""
+        indices = np.asarray(indices)
+        return Relation({name: values[indices]
                          for name, values in self._columns.items()})
 
     def project(self, names: list[str]) -> "Relation":

@@ -1,16 +1,25 @@
-"""A tiny SQL-ish front end for the query processor.
+"""The SQL front end: a tokenizer + recursive-descent parser for TAHOMA queries.
 
 The paper frames TAHOMA's workload as queries of the form::
 
     SELECT * FROM images WHERE location = 'detroit' AND contains_object(bicycle)
 
-This module parses that restricted dialect into a
-:class:`~repro.query.processor.Query`.  Supported grammar (case-insensitive
-keywords)::
+This module parses the dialect into a :class:`~repro.query.processor.Query`
+via the AST node types of :mod:`repro.query.ast`.  Supported grammar
+(case-insensitive keywords)::
 
-    SELECT * FROM <table>
-    [WHERE <predicate> [AND <predicate>]*]
-    [LIMIT <n>]
+    query      := SELECT select_list FROM <table>
+                  [WHERE expr]
+                  [GROUP BY column [, column]*]
+                  [ORDER BY order_key [ASC|DESC] [, order_key [ASC|DESC]]*]
+                  [LIMIT n] [;]
+    select_list := '*' | select_item [, select_item]*
+    select_item := column | COUNT '(' ('*' | column) ')'
+                 | (SUM|AVG|MIN|MAX) '(' column ')'
+    order_key  := column | aggregate
+    expr       := and_expr [OR and_expr]*
+    and_expr   := not_expr [AND not_expr]*
+    not_expr   := NOT not_expr | '(' expr ')' | predicate
 
 where a predicate is one of
 
@@ -18,195 +27,331 @@ where a predicate is one of
 * ``<column> <op> <literal>`` with ``op`` one of ``=``, ``!=``, ``<``, ``<=``,
   ``>``, ``>=`` and a literal that is a quoted string (doubled quotes escape
   a quote character, as in ``'rock ''n'' roll'``) or a number, or
-* ``<column> IN (<literal> [, <literal>]*)`` — a metadata membership test.
+* ``<column> [NOT] IN (<literal> [, <literal>]*)`` — a metadata membership
+  test.
 
-Only conjunctions are supported, mirroring the paper's decomposition of
-queries into metadata predicates plus binary content predicates.
+Boolean structure is preserved as a tree (AND/OR/NOT with parentheses); the
+planner orders and short-circuits it at execution time.  A WHERE clause is
+optional — ``SELECT * FROM images LIMIT 5`` is a plain scan/preview.  In an
+aggregate query every non-aggregate SELECT item must appear in GROUP BY, and
+ORDER BY keys must be group columns or aggregates from the SELECT list.
 """
 
 from __future__ import annotations
 
-import re
 from typing import Iterable
 
 from repro.core.selector import UserConstraints
+from repro.query.ast import (AGGREGATE_FUNCTIONS, Aggregate, AndExpr,
+                             BooleanExpr, NotExpr, OrderItem, OrExpr,
+                             PredicateExpr, SelectItem, SqlParseError, Token,
+                             select_label, tokenize)
 from repro.query.predicates import ContainsObject, MetadataPredicate
 from repro.query.processor import Query
 
 __all__ = ["parse_query", "SqlParseError"]
 
-
-class SqlParseError(ValueError):
-    """Raised when a query string does not match the supported dialect."""
-
-
-_SELECT_RE = re.compile(
-    r"^\s*select\s+\*\s+from\s+(?P<table>[a-zA-Z_][\w]*)(?P<rest>\s.*)?$",
-    re.IGNORECASE | re.DOTALL)
-
-_WHERE_RE = re.compile(r"^where\s+(?P<where>.+)$", re.IGNORECASE | re.DOTALL)
-
-_CONTAINS_RE = re.compile(
-    r"^contains_object\(\s*'?(?P<category>[\w-]+)'?\s*\)$", re.IGNORECASE)
-
-_COMPARISON_RE = re.compile(
-    r"^(?P<column>[a-zA-Z_][\w]*)\s*(?P<op>=|!=|<=|>=|<|>)\s*(?P<value>.+)$")
-
-_IN_RE = re.compile(
-    r"^(?P<column>[a-zA-Z_][\w]*)\s+in\s*\((?P<values>.*)\)$",
-    re.IGNORECASE | re.DOTALL)
-
-_AND_RE = re.compile(r"\s+(and)\s+", re.IGNORECASE)
-
-_LIMIT_KEYWORD_RE = re.compile(r"\blimit\b", re.IGNORECASE)
-
 #: SQL comparison spellings mapped to MetadataPredicate operators.
 _OP_MAP = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 
 
-def _quoted_mask(text: str) -> bytearray:
-    """Per-character flags marking positions inside quoted string literals.
+class _Parser:
+    """Recursive-descent parser over the token stream of one query."""
 
-    A doubled quote inside a literal (``'rock ''n'' roll'``) is the SQL
-    escape for one quote character: both characters stay inside the literal
-    rather than closing and reopening it.
-    """
-    mask = bytearray(len(text))
-    quote = None
-    index = 0
-    while index < len(text):
-        char = text[index]
-        if quote is not None:
-            mask[index] = 1
-            if char == quote:
-                if index + 1 < len(text) and text[index + 1] == quote:
-                    mask[index + 1] = 1
-                    index += 2
-                    continue
-                quote = None
-        elif char in "'\"":
-            quote = char
-            mask[index] = 1
-        index += 1
-    return mask
+    def __init__(self, sql: str) -> None:
+        self._sql = sql
+        self._tokens = tokenize(sql)
+        self._position = 0
 
+    # -- token plumbing -------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token | None:
+        index = self._position + ahead
+        return self._tokens[index] if index < len(self._tokens) else None
 
-def _split_conjuncts(where: str) -> list[str]:
-    """Split a WHERE clause on top-level ANDs (no parentheses supported).
+    def _next(self) -> Token | None:
+        token = self._peek()
+        if token is not None:
+            self._position += 1
+        return token
 
-    ANDs inside quoted string literals (``'rock and roll'``) are not split
-    points.
-    """
-    mask = _quoted_mask(where)
-    parts, start = [], 0
-    for match in _AND_RE.finditer(where):
-        if mask[match.start(1)]:
-            continue
-        parts.append(where[start:match.start()])
-        start = match.end()
-    parts.append(where[start:])
-    conjuncts = [part.strip() for part in parts if part.strip()]
-    if not conjuncts:
-        raise SqlParseError("empty WHERE clause")
-    return conjuncts
+    def _error(self, message: str, token: Token | None = None) -> SqlParseError:
+        token = token if token is not None else self._peek()
+        if token is None:
+            return SqlParseError(message, offset=len(self._sql), token=None)
+        return SqlParseError(message, offset=token.offset, token=token.text)
 
+    def _at_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        return token is not None and token.keyword() in keywords
 
-def _parse_literal(text: str):
-    text = text.strip()
-    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
-        quote = text[0]
-        # Collapse the SQL doubled-quote escape: '' inside a single-quoted
-        # literal (or "" inside a double-quoted one) means one quote char.
-        return text[1:-1].replace(quote * 2, quote)
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        raise SqlParseError(f"cannot parse literal {text!r}; "
-                            "use quotes for strings") from None
+    def _accept_keyword(self, *keywords: str) -> Token | None:
+        if self._at_keyword(*keywords):
+            return self._next()
+        return None
 
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._accept_keyword(keyword)
+        if token is None:
+            raise self._error(f"expected {keyword}")
+        return token
 
-def _split_in_list(text: str) -> list[str]:
-    """Split an IN value list on commas outside quoted string literals."""
-    mask = _quoted_mask(text)
-    parts, start = [], 0
-    for index, char in enumerate(text):
-        if char == "," and not mask[index]:
-            parts.append(text[start:index])
-            start = index + 1
-    parts.append(text[start:])
-    return parts
+    def _accept(self, token_type: str) -> Token | None:
+        token = self._peek()
+        if token is not None and token.type == token_type:
+            return self._next()
+        return None
 
+    def _expect(self, token_type: str, what: str) -> Token:
+        token = self._accept(token_type)
+        if token is None:
+            raise self._error(f"expected {what}")
+        return token
 
-def _parse_in_values(text: str) -> tuple:
-    if not text.strip():
-        raise SqlParseError("IN requires at least one value")
-    values = []
-    for part in _split_in_list(text):
-        if not part.strip():
-            raise SqlParseError(f"malformed IN value list: ({text})")
-        values.append(_parse_literal(part))
-    return tuple(values)
+    def _expect_ident(self, what: str) -> Token:
+        return self._expect("IDENT", what)
 
+    # -- grammar --------------------------------------------------------------
+    def parse(self) -> dict:
+        self._expect_keyword("SELECT")
+        select = self._parse_select_list()
+        self._expect_keyword("FROM")
+        table = self._expect_ident("a table name").text
 
-def _parse_limit(text: str) -> int:
-    try:
-        limit = int(text)
-    except ValueError:
-        raise SqlParseError(
-            f"LIMIT must be a non-negative integer, got {text!r}") from None
-    if limit < 0:
-        raise SqlParseError(f"LIMIT must be non-negative, got {limit}")
-    return limit
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_or()
 
+        group_by: tuple[str, ...] = ()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = self._parse_column_list("a GROUP BY column")
 
-def _split_limit(rest: str) -> tuple[str, int | None]:
-    """Split the clause text after the table into (where part, LIMIT value).
+        order_by: tuple[OrderItem, ...] = ()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = self._parse_order_list()
 
-    The LIMIT keyword is recognised only outside quoted string literals, so
-    ``WHERE note = 'speed limit 55'`` parses as a predicate, not a LIMIT.
-    """
-    mask = _quoted_mask(rest)
-    matches = [match for match in _LIMIT_KEYWORD_RE.finditer(rest)
-               if not mask[match.start()]]
-    if not matches:
-        return rest, None
-    last = matches[-1]
-    tail = rest[last.end():].strip()
-    if not tail or re.search(r"\s", tail):
-        raise SqlParseError(
-            f"malformed LIMIT clause: {rest[last.start():].strip()!r}")
-    return rest[:last.start()], _parse_limit(tail)
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._parse_limit()
 
+        self._accept("SEMI")
+        trailing = self._peek()
+        if trailing is not None:
+            raise self._error("unexpected trailing input", trailing)
 
-def _parse_predicate(text: str) -> MetadataPredicate | ContainsObject:
-    contains = _CONTAINS_RE.match(text)
-    if contains:
-        return ContainsObject(contains.group("category"))
-    membership = _IN_RE.match(text)
-    if membership:
-        values = _parse_in_values(membership.group("values"))
-        return MetadataPredicate(membership.group("column"), "in", values)
-    comparison = _COMPARISON_RE.match(text)
-    if comparison:
-        operator = _OP_MAP[comparison.group("op")]
-        value = _parse_literal(comparison.group("value"))
-        return MetadataPredicate(comparison.group("column"), operator, value)
-    raise SqlParseError(f"unsupported predicate: {text!r}")
+        self._validate(select, group_by, order_by)
+        return {"select": select, "table": table, "where": where,
+                "group_by": group_by, "order_by": order_by, "limit": limit}
+
+    def _parse_select_list(self) -> tuple[SelectItem, ...] | None:
+        if self._accept("STAR"):
+            return None
+        items: list[SelectItem] = [self._parse_select_item()]
+        while self._accept("COMMA"):
+            items.append(self._parse_select_item())
+        return tuple(items)
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._expect_ident("a column name or aggregate")
+        keyword = token.keyword().lower()
+        next_token = self._peek()
+        if (keyword in AGGREGATE_FUNCTIONS and next_token is not None
+                and next_token.type == "LPAREN"):
+            return self._parse_aggregate_call(token)
+        return token.text
+
+    def _parse_aggregate_call(self, func_token: Token) -> Aggregate:
+        func = func_token.keyword().lower()
+        self._expect("LPAREN", "'('")
+        if self._accept("STAR"):
+            if func != "count":
+                raise self._error(f"{func.upper()}(*) is not defined; only "
+                                  "COUNT accepts *", func_token)
+            argument = None
+        else:
+            argument = self._expect_ident(
+                f"a column name inside {func.upper()}(...)").text
+        self._expect("RPAREN", "')'")
+        return Aggregate(func, argument)
+
+    def _parse_column_list(self, what: str) -> tuple[str, ...]:
+        columns = [self._expect_ident(what).text]
+        while self._accept("COMMA"):
+            columns.append(self._expect_ident(what).text)
+        return tuple(columns)
+
+    def _parse_order_list(self) -> tuple[OrderItem, ...]:
+        items = [self._parse_order_item()]
+        while self._accept("COMMA"):
+            items.append(self._parse_order_item())
+        return tuple(items)
+
+    def _parse_order_item(self) -> OrderItem:
+        key = self._parse_select_item()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(key, ascending)
+
+    def _parse_limit(self) -> int:
+        token = self._peek()
+        if token is None or token.type != "NUMBER":
+            raise self._error("LIMIT must be a non-negative integer")
+        try:
+            limit = int(token.text)
+        except ValueError:
+            raise self._error("LIMIT must be a non-negative integer") from None
+        if limit < 0:
+            raise self._error(f"LIMIT must be non-negative, got {limit}")
+        self._next()
+        return limit
+
+    # -- WHERE expressions ----------------------------------------------------
+    def _parse_or(self) -> BooleanExpr:
+        children = [self._parse_and()]
+        while self._accept_keyword("OR"):
+            children.append(self._parse_and())
+        if len(children) == 1:
+            return children[0]
+        return OrExpr(tuple(self._flatten(children, OrExpr)))
+
+    def _parse_and(self) -> BooleanExpr:
+        children = [self._parse_not()]
+        while self._accept_keyword("AND"):
+            children.append(self._parse_not())
+        if len(children) == 1:
+            return children[0]
+        return AndExpr(tuple(self._flatten(children, AndExpr)))
+
+    @staticmethod
+    def _flatten(children: list[BooleanExpr], node_type) -> list[BooleanExpr]:
+        """Fold nested same-type nodes: (a AND b) AND c -> AND(a, b, c)."""
+        flat: list[BooleanExpr] = []
+        for child in children:
+            if isinstance(child, node_type):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        return flat
+
+    def _parse_not(self) -> BooleanExpr:
+        if self._accept_keyword("NOT"):
+            return NotExpr(self._parse_not())
+        if self._accept("LPAREN"):
+            expr = self._parse_or()
+            self._expect("RPAREN", "')'")
+            return expr
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> BooleanExpr:
+        token = self._expect_ident("a predicate")
+        next_token = self._peek()
+        if (token.keyword() == "CONTAINS_OBJECT" and next_token is not None
+                and next_token.type == "LPAREN"):
+            return PredicateExpr(self._parse_contains(token))
+        column = token.text
+        if self._at_keyword("IN"):
+            self._next()
+            return PredicateExpr(self._parse_in(column))
+        if self._at_keyword("NOT") and self._peek(1) is not None \
+                and self._peek(1).keyword() == "IN":
+            self._next()
+            self._next()
+            return NotExpr(PredicateExpr(self._parse_in(column)))
+        operator = self._accept("OP")
+        if operator is None:
+            raise self._error("expected a comparison operator or IN after "
+                              f"column {column!r}")
+        value = self._parse_literal()
+        return PredicateExpr(
+            MetadataPredicate(column, _OP_MAP[operator.text], value))
+
+    def _parse_contains(self, func_token: Token) -> ContainsObject:
+        self._expect("LPAREN", "'('")
+        if self._peek() is not None and self._peek().type == "STRING":
+            category = self._next().value
+        else:
+            # A bare category is one word of IDENT/NUMBER/DASH tokens with
+            # no whitespace between them (``traffic-light``); a gap means a
+            # typo, not a longer category.
+            parts: list[str] = []
+            end = None
+            while True:
+                token = self._peek()
+                if token is None:
+                    raise self._error("unterminated contains_object(...)")
+                if token.type not in ("IDENT", "NUMBER", "DASH"):
+                    break
+                if end is not None and token.offset != end:
+                    raise self._error(
+                        "expected ')' closing contains_object(...)", token)
+                parts.append(token.text)
+                end = token.offset + len(token.text)
+                self._next()
+            category = "".join(parts)
+        self._expect("RPAREN", "')' closing contains_object(...)")
+        if not category:
+            raise self._error("contains_object needs a category", func_token)
+        return ContainsObject(category)
+
+    def _parse_in(self, column: str) -> MetadataPredicate:
+        self._expect("LPAREN", "'(' after IN")
+        values = [self._parse_literal()]
+        while self._accept("COMMA"):
+            values.append(self._parse_literal())
+        self._expect("RPAREN", "')' closing the IN list")
+        return MetadataPredicate(column, "in", tuple(values))
+
+    def _parse_literal(self):
+        token = self._peek()
+        if token is not None and token.type in ("STRING", "NUMBER"):
+            self._next()
+            return token.value
+        raise self._error("expected a literal (quote strings)")
+
+    # -- semantic validation --------------------------------------------------
+    def _validate(self, select: tuple[SelectItem, ...] | None,
+                  group_by: tuple[str, ...],
+                  order_by: tuple[OrderItem, ...]) -> None:
+        aggregates = tuple(item for item in (select or ())
+                           if isinstance(item, Aggregate))
+        is_aggregate = bool(aggregates) or bool(group_by)
+        if select is None and group_by:
+            raise SqlParseError(
+                "SELECT * cannot be combined with GROUP BY; name the group "
+                "columns and aggregates explicitly")
+        if is_aggregate:
+            for item in (select or ()):
+                if isinstance(item, str) and item not in group_by:
+                    raise SqlParseError(
+                        f"column {item!r} must appear in GROUP BY to be "
+                        "selected alongside aggregates")
+            labels = {select_label(item) for item in (select or ())}
+            for item in order_by:
+                if item.label not in labels and item.label not in group_by:
+                    raise SqlParseError(
+                        f"ORDER BY key {item.label!r} must be a GROUP BY "
+                        "column or an aggregate from the SELECT list")
+        else:
+            for item in order_by:
+                if isinstance(item.key, Aggregate):
+                    raise SqlParseError(
+                        f"ORDER BY {item.label} requires an aggregate query "
+                        "(add it to the SELECT list with GROUP BY)")
 
 
 def parse_query(sql: str,
                 constraints: UserConstraints | None = None,
                 known_tables: "Iterable[str] | None" = None) -> Query:
-    """Parse a ``SELECT * FROM <table> WHERE ...`` string into a :class:`Query`.
+    """Parse one SELECT statement into a :class:`Query`.
 
     Parameters
     ----------
     sql:
-        The query text.
+        The query text (see the module docstring for the grammar).
     constraints:
         Optional accuracy/throughput constraints attached to the query (the
         paper has users supply these alongside the query, in the spirit of
@@ -216,46 +361,24 @@ def parse_query(sql: str,
         passes its table names plus the virtual fan-out table); an unknown
         table raises :class:`SqlParseError` listing the known tables instead
         of silently answering from a default corpus.
+
+    Parse errors report the offending token and its character offset.
     """
     if not sql or not sql.strip():
         raise SqlParseError("empty query")
-    text = sql.strip()
-    if text.endswith(";") and not _quoted_mask(text)[-1]:
-        text = text[:-1]
-    match = _SELECT_RE.match(text)
-    if not match:
-        raise SqlParseError(
-            "only 'SELECT * FROM <table> [WHERE ...]' queries are supported")
+    parsed = _Parser(sql).parse()
 
-    table = match.group("table")
+    table = parsed["table"]
     if known_tables is not None:
         known = sorted(known_tables)
         if table not in known:
             raise SqlParseError(
                 f"unknown table {table!r}; known tables: {known}")
 
-    where_part, limit = _split_limit(match.group("rest") or "")
-    where = None
-    if where_part.strip():
-        where_match = _WHERE_RE.match(where_part.strip())
-        if not where_match:
-            raise SqlParseError(
-                "only 'SELECT * FROM <table> [WHERE ...]' queries are supported")
-        where = where_match.group("where")
-    metadata: list[MetadataPredicate] = []
-    content: list[ContainsObject] = []
-    if where:
-        for conjunct in _split_conjuncts(where):
-            predicate = _parse_predicate(conjunct)
-            if isinstance(predicate, ContainsObject):
-                content.append(predicate)
-            else:
-                metadata.append(predicate)
-    if not metadata and not content:
-        raise SqlParseError("a query needs at least one predicate")
-
-    return Query(metadata_predicates=tuple(metadata),
-                 content_predicates=tuple(content),
-                 constraints=constraints or UserConstraints(),
-                 limit=limit,
-                 table=table)
+    return Query(constraints=constraints or UserConstraints(),
+                 limit=parsed["limit"],
+                 table=table,
+                 where=parsed["where"],
+                 select=parsed["select"],
+                 group_by=parsed["group_by"],
+                 order_by=parsed["order_by"])

@@ -1,0 +1,186 @@
+"""Tests for distributed partial aggregates: compute, merge, finalize."""
+
+import numpy as np
+import pytest
+
+from repro.db.aggregates import compute_partials, merge_partials
+from repro.query.ast import Aggregate, QueryError
+from repro.query.relation import Relation
+
+
+def _relation(**columns):
+    return Relation({name: np.asarray(values)
+                     for name, values in columns.items()})
+
+
+COUNT = Aggregate("count", None)
+
+
+class TestComputePartials:
+    def test_global_count(self):
+        partials = compute_partials(_relation(x=[1, 2, 3]), (COUNT,), ())
+        assert partials.groups == {(): (3,)}
+
+    def test_global_aggregate_over_zero_rows_is_one_group(self):
+        partials = compute_partials(
+            _relation(x=np.array([], dtype=np.int64)),
+            (COUNT, Aggregate("sum", "x")), ())
+        assert partials.groups[()][0] == 0
+        relation = partials.finalize()
+        assert len(relation) == 1
+        assert relation["count(*)"][0] == 0
+        assert np.isnan(relation["sum(x)"][0])
+
+    def test_grouped_counts(self):
+        partials = compute_partials(
+            _relation(location=["a", "b", "a"], x=[1, 2, 3]),
+            (COUNT,), ("location",))
+        assert partials.groups == {("a",): (2,), ("b",): (1,)}
+
+    def test_grouped_zero_rows_has_zero_groups(self):
+        partials = compute_partials(
+            _relation(location=np.array([], dtype="U4")),
+            (COUNT,), ("location",))
+        assert partials.groups == {}
+        assert len(partials.finalize()) == 0
+
+    def test_avg_state_is_sum_and_count(self):
+        partials = compute_partials(
+            _relation(x=[1.0, 2.0, 4.0]), (Aggregate("avg", "x"),), ())
+        assert partials.groups[()][0] == (7.0, 3)
+
+    def test_min_max(self):
+        partials = compute_partials(
+            _relation(x=[3, 1, 2]),
+            (Aggregate("min", "x"), Aggregate("max", "x")), ())
+        assert partials.groups[()] == (1, 3)
+
+    def test_min_max_over_strings_is_lexicographic(self):
+        partials = compute_partials(
+            _relation(x=["seattle", "austin", "detroit"]),
+            (Aggregate("min", "x"), Aggregate("max", "x")), ())
+        assert partials.groups[()] == ("austin", "seattle")
+
+    def test_count_column_skips_nan(self):
+        partials = compute_partials(
+            _relation(x=[1.0, np.nan, 3.0]), (Aggregate("count", "x"),), ())
+        assert partials.groups[()][0] == 2
+
+    def test_all_aggregates_treat_nan_as_null(self):
+        # NaN is the relation's NULL: every aggregate skips it, so a single
+        # bad sensor reading cannot poison a group.
+        partials = compute_partials(
+            _relation(x=[1.0, 2.0, np.nan]),
+            (Aggregate("sum", "x"), Aggregate("avg", "x"),
+             Aggregate("min", "x"), Aggregate("max", "x")), ())
+        relation = partials.finalize()
+        assert relation["sum(x)"][0] == 3.0
+        assert relation["avg(x)"][0] == 1.5
+        assert relation["min(x)"][0] == 1.0
+        assert relation["max(x)"][0] == 2.0
+
+    def test_all_nan_column_finalizes_to_nan(self):
+        partials = compute_partials(
+            _relation(x=[np.nan, np.nan]),
+            (Aggregate("count", "x"), Aggregate("sum", "x"),
+             Aggregate("min", "x")), ())
+        relation = partials.finalize()
+        assert relation["count(x)"][0] == 0
+        assert np.isnan(relation["sum(x)"][0])
+        assert np.isnan(relation["min(x)"][0])
+
+    def test_high_cardinality_group_by(self):
+        n = 5000
+        partials = compute_partials(
+            _relation(key=np.arange(n), x=np.ones(n)),
+            (COUNT, Aggregate("sum", "x")), ("key",))
+        assert len(partials.groups) == n
+        assert partials.groups[(7,)] == (1, (1.0, 1))
+
+    def test_sum_non_numeric_rejected(self):
+        with pytest.raises(QueryError, match="non-numeric"):
+            compute_partials(_relation(x=["a", "b"]),
+                             (Aggregate("sum", "x"),), ())
+
+    def test_unknown_aggregate_column_rejected(self):
+        with pytest.raises(QueryError, match="unknown column"):
+            compute_partials(_relation(x=[1]), (Aggregate("sum", "y"),), ())
+
+    def test_unknown_group_column_rejected(self):
+        with pytest.raises(QueryError, match="GROUP BY"):
+            compute_partials(_relation(x=[1]), (COUNT,), ("nope",))
+
+    def test_multi_column_group_keys(self):
+        partials = compute_partials(
+            _relation(a=["x", "x", "y"], b=[1, 2, 1], v=[10, 20, 30]),
+            (Aggregate("sum", "v"),), ("a", "b"))
+        assert partials.groups[("x", 1)] == ((10.0, 1),)
+        assert partials.groups[("x", 2)] == ((20.0, 1),)
+        assert partials.groups[("y", 1)] == ((30.0, 1),)
+
+
+class TestMergeAndFinalize:
+    def _shard(self, locations, values):
+        return compute_partials(
+            _relation(location=locations, x=values),
+            (COUNT, Aggregate("sum", "x"), Aggregate("avg", "x"),
+             Aggregate("min", "x"), Aggregate("max", "x")),
+            ("location",))
+
+    def test_merge_matches_single_pass(self):
+        left = self._shard(["a", "b"], [1.0, 2.0])
+        right = self._shard(["a", "c"], [3.0, 4.0])
+        merged = merge_partials(left, right)
+        reference = self._shard(["a", "b", "a", "c"], [1.0, 2.0, 3.0, 4.0])
+        assert merged.groups == reference.groups
+
+    def test_avg_merge_is_exact_not_average_of_averages(self):
+        # Shard sizes differ: avg of shard-avgs would be (1 + 5)/2 = 3.
+        left = self._shard(["a"], [1.0])
+        right = self._shard(["a", "a", "a"], [4.0, 5.0, 6.0])
+        merged = merge_partials(left, right)
+        relation = merged.finalize()
+        assert relation["avg(x)"][0] == pytest.approx(16.0 / 4)
+
+    def test_merge_is_associative(self):
+        shards = [self._shard(["a"], [float(i)]) for i in range(4)]
+        left_fold = merge_partials(merge_partials(shards[0], shards[1]),
+                                   merge_partials(shards[2], shards[3]))
+        right_fold = merge_partials(
+            shards[0], merge_partials(shards[1],
+                                      merge_partials(shards[2], shards[3])))
+        assert left_fold.groups == right_fold.groups
+
+    def test_disjoint_groups_union(self):
+        merged = merge_partials(self._shard(["a"], [1.0]),
+                                self._shard(["b"], [2.0]))
+        assert set(merged.groups) == {("a",), ("b",)}
+
+    def test_mismatched_specs_rejected(self):
+        left = compute_partials(_relation(x=[1]), (COUNT,), ())
+        right = compute_partials(_relation(x=[1]),
+                                 (Aggregate("sum", "x"),), ())
+        with pytest.raises(ValueError):
+            merge_partials(left, right)
+
+    def test_finalize_sorts_groups_by_key(self):
+        merged = merge_partials(self._shard(["b"], [1.0]),
+                                self._shard(["a"], [2.0]))
+        relation = merged.finalize()
+        np.testing.assert_array_equal(relation["location"], ["a", "b"])
+
+    def test_finalize_row_wise_reference(self):
+        rng = np.random.default_rng(5)
+        locations = rng.choice(["x", "y", "z"], size=40)
+        values = rng.normal(size=40)
+        half = 20
+        merged = merge_partials(self._shard(locations[:half], values[:half]),
+                                self._shard(locations[half:], values[half:]))
+        relation = merged.finalize()
+        for i, location in enumerate(relation["location"]):
+            rows = values[locations == location]
+            assert relation["count(*)"][i] == rows.size
+            assert relation["sum(x)"][i] == pytest.approx(rows.sum())
+            assert relation["avg(x)"][i] == pytest.approx(rows.mean())
+            assert relation["min(x)"][i] == pytest.approx(rows.min())
+            assert relation["max(x)"][i] == pytest.approx(rows.max())

@@ -219,6 +219,206 @@ class TestRegisterPredicate:
         assert results.images_classified["komondor"] == len(corpus)
 
 
+class TestNewDialect:
+    """Projection, boolean trees, aggregates, ORDER BY through the facade."""
+
+    def test_bare_scan_with_limit(self, db, corpus):
+        results = db.execute("SELECT * FROM images LIMIT 5")
+        assert len(results) == 5
+        np.testing.assert_array_equal(results.image_ids, np.arange(5))
+        # Nothing was classified for a pure scan.
+        assert results.images_classified == {}
+
+    def test_projection_restricts_columns(self, db):
+        results = db.execute("SELECT image_id, location FROM images LIMIT 3")
+        assert results.columns == ["image_id", "location"]
+        assert set(results.row(0)) == {"image_id", "location"}
+
+    def test_unknown_projection_column_raises_query_error(self, db):
+        from repro.db import QueryError
+
+        with pytest.raises(QueryError, match="nope"):
+            db.execute("SELECT nope FROM images LIMIT 1")
+
+    def test_type_mismatch_comparison_raises_query_error(self, db):
+        from repro.db import QueryError
+
+        with pytest.raises(QueryError, match="location"):
+            db.execute("SELECT * FROM images WHERE location = 5")
+        with pytest.raises(QueryError, match="camera_id"):
+            db.execute("SELECT * FROM images WHERE camera_id = 'five'")
+
+    def test_or_classifies_only_undecided_rows(self, db, corpus):
+        # The cheap disjunct decides its rows; the cascade must only
+        # classify the rows the metadata predicate left undecided.
+        results = db.execute("SELECT * FROM images "
+                             "WHERE location = 'detroit' "
+                             "OR contains_object(komondor)")
+        n_detroit = int((corpus.metadata["location"] == "detroit").sum())
+        assert results.images_classified["komondor"] == len(corpus) - n_detroit
+        # Every Detroit row is selected regardless of its label.
+        detroit_ids = np.where(corpus.metadata["location"] == "detroit")[0]
+        assert set(detroit_ids) <= set(results.image_ids)
+
+    def test_or_matches_row_wise_reference(self, db, corpus):
+        results = db.execute("SELECT * FROM images "
+                             "WHERE location = 'detroit' "
+                             "OR contains_object(komondor)")
+        # Reference: evaluate the full column with the conjunctive path,
+        # then OR row-wise.
+        labels = db.execute("SELECT * FROM images "
+                            "WHERE contains_object(komondor)")
+        positive = set(labels.image_ids)
+        expected = [i for i in range(len(corpus))
+                    if corpus.metadata["location"][i] == "detroit"
+                    or i in positive]
+        np.testing.assert_array_equal(np.sort(results.image_ids), expected)
+
+    def test_not_inverts_content_predicate(self, db, corpus):
+        selected = db.execute(
+            "SELECT * FROM images WHERE contains_object(komondor)")
+        inverted = db.execute(
+            "SELECT * FROM images WHERE NOT contains_object(komondor)")
+        assert (set(selected.image_ids) | set(inverted.image_ids)
+                == set(range(len(corpus))))
+        assert not set(selected.image_ids) & set(inverted.image_ids)
+
+    def test_order_by_metadata_desc(self, db, corpus):
+        results = db.execute("SELECT * FROM images ORDER BY timestamp DESC "
+                             "LIMIT 4")
+        timestamps = [row["timestamp"] for row in results]
+        assert timestamps == sorted(timestamps, reverse=True)
+        assert timestamps[0] == corpus.metadata["timestamp"].max()
+
+    def test_order_by_disables_early_stop(self, db, corpus):
+        # LIMIT under ORDER BY must consider every candidate: the last row
+        # in corpus order has the largest timestamp, so an early-stopped
+        # scan could never return it.
+        results = db.execute("SELECT * FROM images ORDER BY timestamp DESC "
+                             "LIMIT 1")
+        assert results.row(0)["timestamp"] == corpus.metadata["timestamp"].max()
+
+    def test_global_count(self, db, corpus):
+        results = db.execute("SELECT COUNT(*) FROM images")
+        assert len(results) == 1
+        assert results.row(0) == {"count(*)": len(corpus)}
+
+    def test_grouped_count_matches_row_wise(self, db, corpus):
+        results = db.execute("SELECT location, COUNT(*) FROM images "
+                             "WHERE contains_object(komondor) "
+                             "GROUP BY location")
+        rows = db.execute("SELECT * FROM images "
+                          "WHERE contains_object(komondor)")
+        reference = {}
+        for row in rows:
+            reference[row["location"]] = reference.get(row["location"], 0) + 1
+        assert {row["location"]: row["count(*)"]
+                for row in results} == reference
+
+    def test_aggregate_result_has_no_image_ids(self, db):
+        from repro.db import QueryError
+
+        results = db.execute("SELECT COUNT(*) FROM images")
+        with pytest.raises(QueryError):
+            results.image_ids
+
+    def test_explain_renders_new_stages(self, db):
+        plan = db.explain("SELECT location, COUNT(*) FROM images "
+                          "WHERE location = 'detroit' "
+                          "OR contains_object(komondor) "
+                          "GROUP BY location ORDER BY COUNT(*) DESC LIMIT 3")
+        text = str(plan)
+        assert "OR" in text
+        assert "aggregate count(*) group by location" in text
+        assert "order by count(*) DESC" in text
+        assert "limit    3" in text
+        assert not plan.allow_early_stop
+
+
+class TestFanoutAggregates:
+    @pytest.fixture()
+    def multi_db(self, tiny_optimizer, tiny_device):
+        # Different sizes and positive rates per shard so per-shard averages
+        # differ (an average-of-averages bug would be visible).
+        shards = {
+            f"cam_{index}": generate_corpus(
+                (get_category("komondor"),), n_images=12 + 8 * index,
+                image_size=TINY_SIZE, rng=np.random.default_rng(40 + index),
+                positive_rate=0.3 + 0.2 * index)
+            for index in range(3)
+        }
+        database = connect(shards, device=tiny_device, scenario=CAMERA,
+                           calibrate_target_fps=None,
+                           default_constraints=CONSTRAINED)
+        database.register_optimizer("komondor", tiny_optimizer,
+                                    reference_params=REFERENCE_PARAMS)
+        database.register_optimizer("komondor2", tiny_optimizer,
+                                    reference_params=REFERENCE_PARAMS)
+        return database
+
+    def test_acceptance_grouped_count_over_fanout(self, multi_db):
+        """The ISSUE acceptance query: per-shard partials whose merge equals
+        the row-wise reference."""
+        results = multi_db.execute(
+            "SELECT location, COUNT(*) FROM all_cameras "
+            "WHERE contains_object(komondor) OR contains_object(komondor2) "
+            "GROUP BY location ORDER BY COUNT(*) DESC LIMIT 3")
+        # Row-wise reference through the conjunctive (seed) path: komondor2
+        # is the same optimizer, so the disjunction selects exactly the
+        # komondor-positive rows of every shard.
+        reference: dict[str, int] = {}
+        for table in multi_db.tables():
+            rows = multi_db.execute(f"SELECT * FROM {table} "
+                                    "WHERE contains_object(komondor)")
+            for row in rows:
+                reference[row["location"]] = reference.get(row["location"],
+                                                           0) + 1
+        expected = sorted(reference.items(), key=lambda kv: -kv[1])[:3]
+        got = [(row["location"], row["count(*)"]) for row in results]
+        assert sorted(got, key=lambda kv: (-kv[1], kv[0])) == sorted(
+            expected, key=lambda kv: (-kv[1], kv[0]))
+        counts = [count for _, count in got]
+        assert counts == sorted(counts, reverse=True)
+        # Per-shard provenance came along with the merged groups.
+        assert set(results.plans) == set(multi_db.tables())
+        assert set(results.images_classified) == set(multi_db.tables())
+
+    def test_fanout_avg_is_exact_sum_count_merge(self, multi_db):
+        results = multi_db.execute("SELECT AVG(timestamp) FROM all_cameras")
+        merged = np.concatenate(
+            [multi_db.corpus_for(table).metadata["timestamp"]
+             for table in multi_db.tables()])
+        assert results.row(0)["avg(timestamp)"] == pytest.approx(
+            merged.mean())
+        # The wrong merge (average of per-shard averages) differs here.
+        shard_means = [multi_db.corpus_for(t).metadata["timestamp"].mean()
+                       for t in multi_db.tables()]
+        assert np.mean(shard_means) != pytest.approx(merged.mean(), rel=1e-12)
+
+    def test_fanout_min_max_count(self, multi_db):
+        results = multi_db.execute(
+            "SELECT COUNT(*), MIN(timestamp), MAX(timestamp) "
+            "FROM all_cameras")
+        merged = np.concatenate(
+            [multi_db.corpus_for(table).metadata["timestamp"]
+             for table in multi_db.tables()])
+        row = results.row(0)
+        assert row["count(*)"] == merged.size
+        assert row["min(timestamp)"] == pytest.approx(merged.min())
+        assert row["max(timestamp)"] == pytest.approx(merged.max())
+
+    def test_fanout_order_by_sorts_merged_rows(self, multi_db):
+        results = multi_db.execute(
+            "SELECT * FROM all_cameras ORDER BY timestamp DESC LIMIT 5")
+        timestamps = [row["timestamp"] for row in results]
+        assert len(results) == 5
+        assert timestamps == sorted(timestamps, reverse=True)
+        merged = np.concatenate(
+            [multi_db.corpus_for(table).metadata["timestamp"]
+             for table in multi_db.tables()])
+        assert timestamps[0] == merged.max()
+
+
 class TestPersistence:
     def test_save_load_roundtrip_identical_results(self, db, tmp_path):
         before = db.execute(SQL)

@@ -270,6 +270,190 @@ class TestScenarioSwitchKeying:
                                       first.selected_indices)
 
 
+class TestBareScan:
+    def test_no_predicates_returns_all_rows(self, corpus, planner):
+        executor = QueryExecutor(corpus)
+        result = executor.execute(planner.plan(Query()))
+        assert len(result) == len(corpus)
+        np.testing.assert_array_equal(result.selected_indices,
+                                      np.arange(len(corpus)))
+
+    def test_scan_with_limit(self, corpus, planner):
+        executor = QueryExecutor(corpus)
+        result = executor.execute(planner.plan(Query(limit=3)))
+        np.testing.assert_array_equal(result.selected_indices, [0, 1, 2])
+
+
+class TestBooleanTrees:
+    def _tree_query(self, *, where, **kwargs):
+        return Query(where=where, constraints=CONSTRAINED, **kwargs)
+
+    def test_or_classifies_only_undecided_rows(self, corpus, planner):
+        from repro.query.ast import OrExpr, PredicateExpr
+
+        executor = QueryExecutor(corpus)
+        where = OrExpr((
+            PredicateExpr(MetadataPredicate("location", "==", "detroit")),
+            PredicateExpr(ContainsObject("komondor"))))
+        plan = planner.plan(self._tree_query(where=where))
+        assert plan.predicate_tree is not None
+        result = executor.execute(plan)
+        n_detroit = int((corpus.metadata["location"] == "detroit").sum())
+        # The metadata disjunct costs nothing, so it runs first and decides
+        # its rows; the cascade touches only the rest.
+        assert result.images_classified["komondor"] == len(corpus) - n_detroit
+
+    def test_or_result_matches_row_wise_reference(self, corpus, planner):
+        from repro.query.ast import OrExpr, PredicateExpr
+
+        executor = QueryExecutor(corpus)
+        conjunctive = planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED))
+        positive = set(executor.execute(conjunctive).selected_indices)
+        where = OrExpr((
+            PredicateExpr(MetadataPredicate("location", "==", "detroit")),
+            PredicateExpr(ContainsObject("komondor"))))
+        result = QueryExecutor(corpus).execute(
+            planner.plan(self._tree_query(where=where)))
+        expected = [i for i in range(len(corpus))
+                    if corpus.metadata["location"][i] == "detroit"
+                    or i in positive]
+        np.testing.assert_array_equal(np.sort(result.selected_indices),
+                                      expected)
+
+    def test_not_complements_selection(self, corpus, planner):
+        from repro.query.ast import NotExpr, PredicateExpr
+
+        executor = QueryExecutor(corpus)
+        selected = executor.execute(planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED))).selected_indices
+        inverted = executor.execute(planner.plan(self._tree_query(
+            where=NotExpr(PredicateExpr(ContainsObject("komondor")))))
+        ).selected_indices
+        assert set(selected) | set(inverted) == set(range(len(corpus)))
+        assert not set(selected) & set(inverted)
+
+    def test_and_inside_or_short_circuits(self, corpus, planner):
+        from repro.query.ast import AndExpr, OrExpr, PredicateExpr
+
+        executor = QueryExecutor(corpus)
+        # (location = detroit AND contains) OR (location = seattle): the
+        # cascade only ever sees Detroit rows — seattle rows are decided by
+        # the cheap branch and the rest fail both.
+        where = OrExpr((
+            PredicateExpr(MetadataPredicate("location", "==", "seattle")),
+            AndExpr((
+                PredicateExpr(MetadataPredicate("location", "==", "detroit")),
+                PredicateExpr(ContainsObject("komondor"))))))
+        result = executor.execute(planner.plan(self._tree_query(where=where)))
+        n_detroit = int((corpus.metadata["location"] == "detroit").sum())
+        assert result.images_classified["komondor"] <= n_detroit
+
+    def test_tree_limit_early_stop_matches_prefix(self, corpus, planner):
+        from repro.query.ast import OrExpr, PredicateExpr
+
+        where = OrExpr((
+            PredicateExpr(MetadataPredicate("location", "==", "detroit")),
+            PredicateExpr(ContainsObject("komondor"))))
+        unlimited = QueryExecutor(corpus).execute(
+            planner.plan(self._tree_query(where=where)))
+        limited = QueryExecutor(corpus, min_limit_chunk=4).execute(
+            planner.plan(self._tree_query(where=where, limit=2)))
+        np.testing.assert_array_equal(limited.selected_indices,
+                                      unlimited.selected_indices[:2])
+
+    def test_top_level_and_metadata_prefilters_tree_chunks(self, corpus,
+                                                           planner):
+        from repro.query.ast import AndExpr, NotExpr, PredicateExpr
+
+        # location = detroit AND NOT contains: non-conjunctive (the NOT),
+        # but the top-level metadata child must still prefilter, so the
+        # cascade only ever touches Detroit rows.
+        where = AndExpr((
+            PredicateExpr(MetadataPredicate("location", "==", "detroit")),
+            NotExpr(PredicateExpr(ContainsObject("komondor")))))
+        result = QueryExecutor(corpus).execute(
+            planner.plan(self._tree_query(where=where)))
+        n_detroit = int((corpus.metadata["location"] == "detroit").sum())
+        assert result.images_classified["komondor"] == n_detroit
+
+    def test_short_circuited_rows_report_unknown_labels(self, corpus,
+                                                        planner):
+        from repro.query.ast import OrExpr, PredicateExpr
+
+        where = OrExpr((
+            PredicateExpr(MetadataPredicate("location", "==", "detroit")),
+            PredicateExpr(ContainsObject("komondor"))))
+        result = QueryExecutor(corpus).execute(
+            planner.plan(self._tree_query(where=where)))
+        labels = result.relation["contains_komondor"]
+        # Selected rows are either truly classified (0/1) or explicitly
+        # unknown (-1) — never a silent placeholder 0.
+        assert set(np.unique(labels)) <= {-1, 0, 1}
+        selected_positions = result.selected_indices
+        unknown = selected_positions[labels == -1]
+        # Every unknown row was decided by the cheap disjunct.
+        assert all(corpus.metadata["location"][unknown] == "detroit")
+
+    def test_consumed_content_column_forces_classification(self, corpus,
+                                                           planner):
+        from repro.db.aggregates import compute_partials  # noqa: F401
+        from repro.query.ast import Aggregate, OrExpr, PredicateExpr
+
+        # SUM over the contains column must classify every selected row,
+        # even the ones the cheap OR disjunct decided.
+        where = OrExpr((
+            PredicateExpr(MetadataPredicate("location", "==", "detroit")),
+            PredicateExpr(ContainsObject("komondor"))))
+        query = self._tree_query(
+            where=where, select=(Aggregate("sum", "contains_komondor"),))
+        result = QueryExecutor(corpus).execute(planner.plan(query))
+        # Reference: the true summed labels over the selected rows, from a
+        # full classification on a fresh executor.
+        full = QueryExecutor(corpus).execute(planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED)))
+        reference_labels = np.zeros(len(corpus), dtype=np.int64)
+        reference_labels[full.selected_indices] = 1
+        expected = int(reference_labels[result.selected_indices].sum())
+        total, count = result.partials.groups[()][0]
+        assert total == expected
+        assert count == len(result)
+        # And no -1 leaked into the aggregated column.
+        assert set(np.unique(result.relation["contains_komondor"])) <= {0, 1}
+
+    def test_limit_zero_with_order_by_classifies_nothing(self, corpus,
+                                                         planner):
+        from repro.query.ast import OrderItem
+
+        result = QueryExecutor(corpus).execute(planner.plan(Query(
+            content_predicates=(ContainsObject("komondor"),),
+            constraints=CONSTRAINED, limit=0,
+            order_by=(OrderItem("timestamp"),))))
+        assert len(result) == 0
+        assert result.images_classified["komondor"] == 0
+
+    def test_type_mismatch_raises_query_error(self, corpus, planner):
+        from repro.query.ast import QueryError
+
+        executor = QueryExecutor(corpus)
+        plan = planner.plan(Query(metadata_predicates=(
+            MetadataPredicate("location", "==", 5),)))
+        with pytest.raises(QueryError, match="location"):
+            executor.execute(plan)
+
+    def test_type_mismatch_in_membership_raises(self, corpus, planner):
+        from repro.query.ast import QueryError
+
+        executor = QueryExecutor(corpus)
+        plan = planner.plan(Query(metadata_predicates=(
+            MetadataPredicate("camera_id", "in", ("one", "two")),)))
+        with pytest.raises(QueryError, match="camera_id"):
+            executor.execute(plan)
+
+
 class TestConstruction:
     def test_empty_corpus_rejected(self):
         from repro.data.corpus import ImageCorpus

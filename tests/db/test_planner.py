@@ -121,6 +121,93 @@ class TestEstimateSelectivity:
             assert estimate_selectivity(bare) == DEFAULT_SELECTIVITY
 
 
+class TestTreeLowering:
+    def _planner(self):
+        return QueryPlanner(
+            {"cheap": _StubOptimizer(cost_s=0.001, selectivity=0.5),
+             "pricey": _StubOptimizer(cost_s=0.1, selectivity=0.5)},
+            _STUB_PROFILER)
+
+    def test_conjunctive_query_has_no_tree(self):
+        plan = self._planner().plan(Query(
+            metadata_predicates=(MetadataPredicate("a", "==", 1),),
+            content_predicates=(ContainsObject("cheap"),)))
+        assert plan.predicate_tree is None
+        assert plan.allow_early_stop
+
+    def test_or_query_lowers_to_tree_with_metadata_first(self):
+        from repro.db.planner import PlanOr, MetadataStep as MS
+        from repro.query.ast import OrExpr, PredicateExpr
+
+        where = OrExpr((PredicateExpr(ContainsObject("pricey")),
+                        PredicateExpr(MetadataPredicate("a", "==", 1))))
+        plan = self._planner().plan(Query(where=where))
+        assert isinstance(plan.predicate_tree, PlanOr)
+        # The free metadata disjunct is ordered before the cascade.
+        assert isinstance(plan.predicate_tree.children[0], MS)
+
+    def test_or_children_ordered_cheap_first(self):
+        from repro.db.planner import PlanOr
+        from repro.query.ast import OrExpr, PredicateExpr
+
+        where = OrExpr((PredicateExpr(ContainsObject("pricey")),
+                        PredicateExpr(ContainsObject("cheap"))))
+        plan = self._planner().plan(Query(where=where))
+        assert isinstance(plan.predicate_tree, PlanOr)
+        assert [child.category for child in plan.predicate_tree.children] == [
+            "cheap", "pricey"]
+
+    def test_tree_plan_still_lists_content_steps_for_provenance(self):
+        from repro.query.ast import OrExpr, PredicateExpr
+
+        where = OrExpr((PredicateExpr(ContainsObject("pricey")),
+                        PredicateExpr(ContainsObject("cheap"))))
+        plan = self._planner().plan(Query(where=where))
+        assert set(plan.categories) == {"cheap", "pricey"}
+        ranks = [step.rank for step in plan.content_steps]
+        assert ranks == sorted(ranks)
+
+    def test_cascade_selected_once_per_category(self):
+        from repro.query.ast import AndExpr, OrExpr, PredicateExpr
+
+        # The same category twice in one tree: one ContentStep, not two.
+        where = OrExpr((
+            AndExpr((PredicateExpr(MetadataPredicate("a", "==", 1)),
+                     PredicateExpr(ContainsObject("cheap")))),
+            AndExpr((PredicateExpr(MetadataPredicate("a", "==", 2)),
+                     PredicateExpr(ContainsObject("cheap"))))))
+        plan = self._planner().plan(Query(where=where))
+        assert plan.categories == ("cheap",)
+
+
+class TestEarlyStopGating:
+    def _plan(self, **kwargs):
+        planner = QueryPlanner({"a": _StubOptimizer(0.01, 0.5)},
+                               _STUB_PROFILER)
+        return planner.plan(Query(
+            content_predicates=(ContainsObject("a"),), **kwargs))
+
+    def test_plain_limit_allows_early_stop(self):
+        assert self._plan(limit=5).allow_early_stop
+
+    def test_order_by_disables_early_stop(self):
+        from repro.query.ast import OrderItem
+
+        plan = self._plan(limit=5, order_by=(OrderItem("timestamp"),))
+        assert not plan.allow_early_stop
+
+    def test_aggregates_disable_early_stop(self):
+        from repro.query.ast import Aggregate
+
+        plan = self._plan(limit=5, select=(Aggregate("count", None),))
+        assert not plan.allow_early_stop
+        assert plan.is_aggregate
+
+    def test_group_by_disables_early_stop(self):
+        plan = self._plan(select=("location",), group_by=("location",))
+        assert not plan.allow_early_stop
+
+
 class TestSelectivityHook:
     def test_hook_overrides_estimate(self):
         observed = {"a": 0.125}

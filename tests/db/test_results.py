@@ -169,6 +169,178 @@ class TestMergeMixedSchemas:
         np.testing.assert_array_equal(merged["location"], ["x", "y"])
 
 
+class TestShapedRows:
+    """ORDER BY / projection / post-sort LIMIT applied by build_result_set."""
+
+    def _result(self):
+        relation = Relation({
+            "image_id": np.arange(4),
+            "speed": np.array([2.0, 9.0, 4.0, 9.0]),
+            "location": np.array(["b", "a", "a", "c"]),
+        })
+        return QueryResult(relation=relation,
+                           selected_indices=np.arange(4),
+                           cascades_used={}, images_classified={})
+
+    def test_order_by_desc_then_limit(self):
+        from repro.db.results import build_result_set
+        from repro.query.ast import OrderItem
+
+        plan = QueryPlan(metadata_steps=(), content_steps=(), limit=2,
+                         order_by=(OrderItem("speed", ascending=False),))
+        results = build_result_set(self._result(), plan)
+        assert [row["speed"] for row in results] == [9.0, 9.0]
+        # image_ids follow the sort permutation.
+        np.testing.assert_array_equal(results.image_ids, [1, 3])
+
+    def test_multi_key_sort(self):
+        from repro.db.results import build_result_set
+        from repro.query.ast import OrderItem
+
+        plan = QueryPlan(metadata_steps=(), content_steps=(),
+                         order_by=(OrderItem("location"),
+                                   OrderItem("speed", ascending=False)))
+        results = build_result_set(self._result(), plan)
+        assert [(row["location"], row["speed"]) for row in results] == [
+            ("a", 9.0), ("a", 4.0), ("b", 2.0), ("c", 9.0)]
+
+    def test_projection(self):
+        from repro.db.results import build_result_set
+
+        plan = QueryPlan(metadata_steps=(), content_steps=(),
+                         select=("speed", "image_id"))
+        results = build_result_set(self._result(), plan)
+        assert results.columns == ["image_id", "speed"]
+
+    def test_unknown_projection_column(self):
+        from repro.db.results import build_result_set
+        from repro.query.ast import QueryError
+
+        plan = QueryPlan(metadata_steps=(), content_steps=(),
+                         select=("nope",))
+        with pytest.raises(QueryError, match="nope"):
+            build_result_set(self._result(), plan)
+
+    def test_unknown_order_column(self):
+        from repro.db.results import build_result_set
+        from repro.query.ast import OrderItem, QueryError
+
+        plan = QueryPlan(metadata_steps=(), content_steps=(),
+                         order_by=(OrderItem("nope"),))
+        with pytest.raises(QueryError, match="ORDER BY"):
+            build_result_set(self._result(), plan)
+
+
+class TestAggregateResultSet:
+    def _result(self):
+        relation = Relation({
+            "location": np.array(["a", "b", "a"]),
+            "speed": np.array([1.0, 2.0, 3.0]),
+        })
+        return QueryResult(relation=relation,
+                           selected_indices=np.arange(3),
+                           cascades_used={}, images_classified={})
+
+    def _build(self, select, group_by=(), order_by=(), limit=None):
+        from repro.db.aggregates import compute_partials
+        from repro.db.results import build_result_set
+
+        plan = QueryPlan(metadata_steps=(), content_steps=(), limit=limit,
+                         select=select, group_by=group_by, order_by=order_by)
+        result = self._result()
+        result.partials = compute_partials(result.relation, plan.aggregates,
+                                           group_by)
+        return build_result_set(result, plan)
+
+    def test_global_count_row(self):
+        from repro.query.ast import Aggregate
+
+        results = self._build((Aggregate("count", None),))
+        assert len(results) == 1
+        assert results.row(0) == {"count(*)": 3}
+
+    def test_grouped_rows_and_projection(self):
+        from repro.query.ast import Aggregate
+
+        results = self._build(("location", Aggregate("avg", "speed")),
+                              group_by=("location",))
+        assert results.columns == ["avg(speed)", "location"]
+        rows = {row["location"]: row["avg(speed)"] for row in results}
+        assert rows == {"a": 2.0, "b": 2.0}
+
+    def test_order_by_aggregate_desc_with_limit(self):
+        from repro.query.ast import Aggregate, OrderItem
+
+        results = self._build(("location", Aggregate("count", None)),
+                              group_by=("location",),
+                              order_by=(OrderItem(Aggregate("count", None),
+                                                  ascending=False),),
+                              limit=1)
+        assert len(results) == 1
+        assert results.row(0) == {"location": "a", "count(*)": 2}
+
+    def test_image_ids_not_defined(self):
+        from repro.query.ast import Aggregate, QueryError
+
+        results = self._build((Aggregate("count", None),))
+        with pytest.raises(QueryError):
+            results.image_ids
+
+    def test_from_fanout_merges_partials(self):
+        from repro.db.aggregates import compute_partials
+        from repro.db.results import AggregateResultSet
+        from repro.query.ast import Aggregate
+
+        select = ("location", Aggregate("count", None),
+                  Aggregate("avg", "speed"))
+        plan = QueryPlan(metadata_steps=(), content_steps=(),
+                         select=select, group_by=("location",))
+        shards = {}
+        for name, locations, speeds in [
+                ("cam_a", ["x", "y"], [1.0, 5.0]),
+                ("cam_b", ["x", "x"], [3.0, 5.0])]:
+            relation = Relation({"location": np.array(locations),
+                                 "speed": np.array(speeds)})
+            result = QueryResult(relation=relation,
+                                 selected_indices=np.arange(len(locations)),
+                                 cascades_used={},
+                                 images_classified={"k": len(locations)})
+            result.partials = compute_partials(relation, plan.aggregates,
+                                               plan.group_by)
+            shards[name] = result
+        merged = AggregateResultSet.from_fanout(
+            shards, {name: plan for name in shards})
+        rows = {row["location"]: row for row in merged}
+        assert rows["x"]["count(*)"] == 3
+        assert rows["x"]["avg(speed)"] == pytest.approx(3.0)
+        assert rows["y"]["count(*)"] == 1
+        # Per-shard statistics survive the merge.
+        assert merged.images_classified == {"cam_a": {"k": 2},
+                                            "cam_b": {"k": 2}}
+
+
+class TestFanoutOrderBy:
+    def test_merged_rows_sorted_before_limit(self):
+        from repro.db.results import FanoutResultSet
+        from repro.query.ast import OrderItem
+
+        results = {
+            "cam_a": _shard_result([0, 1], {"image_id": np.array([0, 1]),
+                                            "speed": np.array([1.0, 9.0])}),
+            "cam_b": _shard_result([5], {"image_id": np.array([5]),
+                                         "speed": np.array([4.0])}),
+        }
+        plans = {table: QueryPlan(
+            metadata_steps=(), content_steps=(), limit=2, table=table,
+            order_by=(OrderItem("speed", ascending=False),))
+            for table in results}
+        merged = FanoutResultSet(results, plans)
+        assert [row["speed"] for row in merged] == [9.0, 4.0]
+        # The top rows come from different shards: a per-shard pre-cap
+        # would have returned cam_a's 1.0 instead of cam_b's 4.0.
+        assert [row["__table__"] for row in merged] == ["cam_a", "cam_b"]
+
+
 class TestFanoutLimit:
     def _fanout(self, limit):
         from repro.db.results import FanoutResultSet

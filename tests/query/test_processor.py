@@ -24,9 +24,43 @@ def processor(corpus, tiny_optimizer, camera_profiler):
 
 
 class TestQueryValidation:
-    def test_query_needs_predicates(self):
+    def test_bare_query_is_a_scan(self):
+        query = Query()
+        assert query.where is None
+        assert query.metadata_predicates == ()
+
+    def test_negative_limit_rejected(self):
         with pytest.raises(ValueError):
-            Query()
+            Query(limit=-1)
+
+    def test_predicates_synthesize_conjunctive_where(self):
+        from repro.query.ast import conjunctive_predicates
+
+        query = Query(
+            metadata_predicates=(MetadataPredicate("location", "==", "x"),),
+            content_predicates=(ContainsObject("dog"),))
+        assert conjunctive_predicates(query.where) == [
+            MetadataPredicate("location", "==", "x"), ContainsObject("dog")]
+
+    def test_where_tree_derives_flat_predicates(self):
+        from repro.query.ast import OrExpr, PredicateExpr
+
+        tree = OrExpr((PredicateExpr(MetadataPredicate("a", "==", 1)),
+                       PredicateExpr(ContainsObject("dog"))))
+        query = Query(where=tree)
+        assert query.metadata_predicates == (MetadataPredicate("a", "==", 1),)
+        assert query.content_predicates == (ContainsObject("dog"),)
+
+
+class TestBareScanExecution:
+    def test_scan_returns_every_row(self, processor, corpus):
+        result = processor.execute(Query())
+        assert len(result) == len(corpus)
+        assert result.cascades_used == {}
+
+    def test_scan_with_limit(self, processor):
+        result = processor.execute(Query(limit=5))
+        assert len(result) == 5
 
 
 class TestMetadataOnlyQueries:
