@@ -30,6 +30,9 @@ Package map
 ``repro.db``          the database facade: connect(), the table catalog,
                       planner/executor split, result sets and
                       whole-database persistence
+``repro.server``      network serving layer: NDJSON wire protocol, sessions
+                      with server-side cursors, admission control, plan
+                      cache, and the matching connect() client
 ``repro.experiments`` harness regenerating every table and figure
 """
 

@@ -168,6 +168,15 @@ class VisualDatabase:
         oldest rows are dropped at the end of every :meth:`ingest` (and on
         demand via :meth:`retain`), with image ids stable across drops.
         ``None`` keeps every table unbounded.
+    plan_cache:
+        Cache physical plans keyed by normalized query shape (literals
+        stripped — see :class:`~repro.server.plan_cache.PlanCache`), so a
+        repeated dashboard query skips parse + cascade selection.  ``True``
+        enables a default-capacity cache, an ``int`` sets the capacity,
+        ``False`` (the default) plans every query from scratch.  The cache
+        is invalidated on scenario switches, attach/detach and retention
+        changes; :meth:`enable_plan_cache` turns it on after construction
+        (the network server does this for the database it serves).
     """
 
     def __init__(self,
@@ -181,8 +190,11 @@ class VisualDatabase:
                  default_constraints: UserConstraints | None = None,
                  store_budget: int | None = None,
                  retention: RetentionPolicy
-                 | Mapping[str, RetentionPolicy] | None = None) -> None:
+                 | Mapping[str, RetentionPolicy] | None = None,
+                 plan_cache: bool | int = False) -> None:
         self._device = device
+        self._closed = False
+        self._plan_cache = None
         self._device_calibrated = False
         self._scenario: Scenario = INFER_ONLY
         self._profiler_override: CostProfiler | None = None
@@ -216,6 +228,10 @@ class VisualDatabase:
                 raise ValueError(f"retention names unknown tables {unknown}; "
                                  f"attached: {self.tables()}")
         self.use_scenario(scenario)
+        if plan_cache:
+            self.enable_plan_cache(plan_cache if isinstance(plan_cache, int)
+                                   and not isinstance(plan_cache, bool)
+                                   else 128)
 
     @staticmethod
     def _policy_for(retention, name: str) -> RetentionPolicy | None:
@@ -225,6 +241,72 @@ class VisualDatabase:
         if isinstance(retention, RetentionPolicy):
             return retention
         return retention.get(name)
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("database is closed")
+
+    def close(self) -> None:
+        """Release the database's state deterministically (idempotent).
+
+        Detaches every table — dropping executors, materialized virtual
+        columns and each shard's store namespace — clears the shared
+        representation store and the plan cache, and marks the database
+        closed: queries, ingest and catalog changes afterwards raise
+        :class:`RuntimeError`.  The server closes the database it serves on
+        shutdown; tests use the context-manager form::
+
+            with repro.db.connect(corpus) as db:
+                db.execute("SELECT * FROM images LIMIT 5")
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for name in self.tables():
+            self._catalog.detach(name)
+        self._catalog.store.clear()
+        if self._plan_cache is not None:
+            self._plan_cache.invalidate()
+
+    def __enter__(self) -> "VisualDatabase":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- plan cache ------------------------------------------------------------
+    @property
+    def plan_cache(self):
+        """The :class:`~repro.server.plan_cache.PlanCache` (``None`` = off)."""
+        return self._plan_cache
+
+    def enable_plan_cache(self, capacity: int = 128):
+        """Turn on plan caching (idempotent); returns the cache.
+
+        Plans are keyed by normalized query shape — literals stripped — so a
+        dashboard query re-run with a fresh timestamp reuses its cascade
+        selections instead of repeating the Pareto analysis, and an exact
+        repeat skips parse + plan entirely.  The cache is invalidated on
+        scenario switches, attach/detach/replace and retention changes;
+        cached selectivities otherwise go stale at the pace of ingest, which
+        only affects predicate *ordering*, never correctness.
+        """
+        if self._plan_cache is None:
+            from repro.server.plan_cache import PlanCache
+
+            self._plan_cache = PlanCache(capacity=capacity)
+        return self._plan_cache
+
+    def _invalidate_plans(self) -> None:
+        if self._plan_cache is not None:
+            self._plan_cache.invalidate()
 
     # -- catalog ---------------------------------------------------------------
     @property
@@ -236,7 +318,9 @@ class VisualDatabase:
                         name: str = DEFAULT_TABLE,
                         retention: RetentionPolicy | None = None) -> None:
         """Attach (or replace) ``name``; that table's caches start fresh."""
+        self._check_open()
         self._catalog.replace(name, corpus, retention=retention)
+        self._invalidate_plans()
 
     def attach(self, name: str, corpus: ImageCorpus,
                retention: RetentionPolicy | None = None) -> None:
@@ -245,11 +329,14 @@ class VisualDatabase:
         Predicates are shared across tables: train once, query any shard.
         ``retention`` makes the new table a sliding window over its feed.
         """
+        self._check_open()
         self._catalog.attach(name, corpus, retention=retention)
+        self._invalidate_plans()
 
     def detach(self, name: str) -> None:
         """Drop table ``name`` with its materialized labels and store namespace."""
         self._catalog.detach(name)
+        self._invalidate_plans()
 
     def tables(self) -> list[str]:
         """Attached table names, in attachment order."""
@@ -264,6 +351,7 @@ class VisualDatabase:
         or immediately via :meth:`retain`.
         """
         self._catalog.set_retention(table, policy)
+        self._invalidate_plans()
 
     def retention_for(self, table: str) -> RetentionPolicy | None:
         """One table's retention policy (``None`` when unbounded)."""
@@ -305,6 +393,7 @@ class VisualDatabase:
 
         Returns the new rows' (stable) image ids (within that table).
         """
+        self._check_open()
         if materialize is None:
             materialize = self._scenario.materializes_on_ingest
         executor = (self.executor if table is None
@@ -453,6 +542,7 @@ class VisualDatabase:
         serves another cascade's labels, while switching back to a previous
         scenario reuses its materialized columns.
         """
+        self._invalidate_plans()
         if isinstance(scenario, CostProfiler):
             self._profiler_override = scenario
             self._scenario = scenario.scenario
@@ -560,15 +650,73 @@ class VisualDatabase:
                            f"attached: {self.tables()}")
         return targets
 
-    def _plan_per_table(self, query: Query,
-                        targets: list[str]) -> dict[str, QueryPlan]:
+    def _plan_per_table(self, query: Query, targets: list[str],
+                        cached=None) -> dict[str, QueryPlan]:
         """Plan once per shard, with that shard's observed selectivity."""
-        return {table: self._planner_for(table).plan(query, table=table)
+        return {table: self._planner_for(table).plan(
+                    query, table=table,
+                    selections=self._selections_from(cached, table))
                 for table in targets}
+
+    @staticmethod
+    def _selections_from(cached, table: str | None):
+        """Per-category cascade choices of a cached plan, for rebinding.
+
+        ``cached`` is the previous plan built for the same query shape — a
+        single :class:`QueryPlan` or a fan-out ``{table: plan}`` mapping —
+        and supplies the already-selected :class:`ContentStep` per category
+        so re-planning with new literals skips cascade selection.
+        """
+        if cached is None:
+            return None
+        plan = cached.get(table) if isinstance(cached, dict) else cached
+        if plan is None:
+            return None
+        return {step.category: step for step in plan.content_steps}
+
+    def _plan_query(self, query: Query, tables: Iterable[str] | None,
+                    cached=None) -> QueryPlan | dict[str, QueryPlan]:
+        """Lower one parsed query to its plan(s); dict means fan-out."""
+        if tables is not None or query.table == FANOUT_TABLE:
+            targets = self._fanout_targets(query, tables)
+            return self._plan_per_table(query, targets, cached=cached)
+        table = self._resolve_single_table(query)
+        return self._planner_for(table).plan(
+            query, table=table,
+            selections=self._selections_from(cached, table))
+
+    def _plan_for(self, sql: str, constraints: UserConstraints | None,
+                  tables: Iterable[str] | None
+                  ) -> QueryPlan | dict[str, QueryPlan]:
+        """Resolve ``sql`` to its plan(s), through the plan cache when on.
+
+        Cache policy: queries with an explicit ``tables=[...]`` shard list
+        bypass the cache (the list is not part of the SQL text); otherwise
+        the key is the normalized query shape plus constraints and scenario.
+        An exact repeat (same literals) returns the cached plan without
+        parsing; a shape hit with different literals re-parses (cheap) and
+        re-plans with the cached cascade selections seeded, skipping the
+        expensive Pareto analysis; a miss plans from scratch and populates
+        the cache.
+        """
+        cache = self._plan_cache
+        if cache is None or tables is not None:
+            return self._plan_query(self._parse(sql, constraints), tables)
+        effective = constraints or self.default_constraints
+        key, literals = cache.key_for(sql, effective, self._scenario.name)
+        status, entry = cache.lookup(key, literals)
+        if status == "hit":
+            return entry.plans
+        cached = entry.plans if status == "rebind" else None
+        plans = self._plan_query(self._parse(sql, constraints), None,
+                                 cached=cached)
+        cache.store(key, literals, plans)
+        return plans
 
     def execute(self, sql: str,
                 constraints: UserConstraints | None = None, *,
-                tables: Iterable[str] | None = None
+                tables: Iterable[str] | None = None,
+                cancel=None
                 ) -> ResultSet | FanoutResultSet | AggregateResultSet:
         """Parse, plan and run one SELECT query, returning a :class:`ResultSet`.
 
@@ -587,18 +735,21 @@ class VisualDatabase:
         ``__table__`` provenance column plus per-shard ``cascades_used`` and
         ``images_classified``.  A fan-out aggregate merges per-shard
         *partial aggregates* at the coordinator instead of shipping rows.
-        """
-        query = self._parse(sql, constraints)
-        if tables is not None or query.table == FANOUT_TABLE:
-            targets = self._fanout_targets(query, tables)
-            plans = self._plan_per_table(query, targets)
-            return self._execute_fanout(plans)
-        table = self._resolve_single_table(query)
-        plan = self._planner_for(table).plan(query, table=table)
-        return build_result_set(self._catalog.executor(table).execute(plan),
-                                plan)
 
-    def _execute_fanout(self, plans: dict[str, QueryPlan]
+        ``cancel`` is an optional zero-argument callable checked at chunk
+        boundaries during execution; raising from it aborts the query (see
+        :meth:`~repro.db.executor.QueryExecutor.execute`).  The network
+        server's per-query timeouts are built on it.
+        """
+        self._check_open()
+        plans = self._plan_for(sql, constraints, tables)
+        if isinstance(plans, dict):
+            return self._execute_fanout(plans, cancel=cancel)
+        executor = self._catalog.executor(plans.table)
+        return build_result_set(executor.execute(plans, cancel=cancel),
+                                plans)
+
+    def _execute_fanout(self, plans: dict[str, QueryPlan], cancel=None
                         ) -> FanoutResultSet | AggregateResultSet:
         """Run per-shard plans concurrently and merge with provenance.
 
@@ -615,7 +766,7 @@ class VisualDatabase:
         workers = min(len(plans), os.cpu_count() or 1)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = {table: pool.submit(self._catalog.executor(table).execute,
-                                          plan)
+                                          plan, cancel)
                        for table, plan in plans.items()}
             results = {table: future.result()
                        for table, future in futures.items()}
@@ -633,13 +784,12 @@ class VisualDatabase:
         returns the per-shard plans as a ``{table: QueryPlan}`` mapping —
         shards can pick different cascade orderings when their observed
         selectivities differ.
+
+        Plans serialize via :meth:`~repro.db.planner.QueryPlan.to_dict` —
+        the wire protocol's ``explain`` command ships that JSON form.
         """
-        query = self._parse(sql, constraints)
-        if tables is not None or query.table == FANOUT_TABLE:
-            return self._plan_per_table(query,
-                                        self._fanout_targets(query, tables))
-        table = self._resolve_single_table(query)
-        return self._planner_for(table).plan(query, table=table)
+        self._check_open()
+        return self._plan_for(sql, constraints, tables)
 
     # -- persistence -----------------------------------------------------------
     def save(self, path: str | Path, include_corpus: bool = True,

@@ -19,7 +19,7 @@ chooses cascades or orders predicates itself.
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -258,7 +258,8 @@ class QueryExecutor:
         self._materialized.clear()
         self.store.clear()
 
-    def execute(self, plan: QueryPlan) -> "QueryResult":
+    def execute(self, plan: QueryPlan,
+                cancel: "Callable[[], None] | None" = None) -> "QueryResult":
         """Run the plan: metadata filters, then cost-ordered content steps.
 
         With a ``LIMIT``, candidate rows are classified in chunks (in corpus
@@ -274,14 +275,28 @@ class QueryExecutor:
         only classifies rows the earlier (cheaper) children left undecided.
         For an aggregate plan the result additionally carries per-shard
         partial aggregates (:class:`~repro.db.aggregates.GroupedPartials`).
+
+        ``cancel``, when given, is called once before execution starts and
+        again before every candidate chunk; raising from it aborts the query
+        between chunks (the serving layer's per-query timeout).  A
+        cancellable query is always chunked — even without a ``LIMIT`` —
+        so unbounded scans still hit cancellation points; chunk boundaries
+        are the abort granularity, so a single in-flight chunk always runs
+        to completion.
         """
         with self._lock:
-            return self._execute_locked(plan)
+            return self._execute_locked(plan, cancel)
 
-    def _execute_locked(self, plan: QueryPlan) -> "QueryResult":
+    def _execute_locked(self, plan: QueryPlan,
+                        cancel: "Callable[[], None] | None" = None,
+                        ) -> "QueryResult":
         from repro.db.aggregates import compute_partials
         from repro.query.processor import QueryResult
 
+        if cancel is not None:
+            # A query that sat in the admission queue past its deadline (or
+            # waited on this shard's lock) aborts before any work happens.
+            cancel()
         n = len(self.corpus)
         # Under aggregates/ORDER BY the limit caps the *final* output, not
         # the scan: every candidate row must be evaluated first.
@@ -312,10 +327,13 @@ class QueryExecutor:
         # so never pay for a scan or a single classification.
         if plan.limit == 0:
             chunks = []
-        elif limit is None or not plan.content_steps:
+        elif not plan.content_steps or (limit is None and cancel is None):
             chunks = [candidates]
         else:
-            size = max(self.min_limit_chunk, 4 * limit)
+            # A cancellable query chunks even without a LIMIT, so unbounded
+            # scans reach cancellation points between chunks.
+            size = (max(self.min_limit_chunk, 4 * limit)
+                    if limit is not None else self.min_limit_chunk)
             chunks = [candidates[start:start + size]
                       for start in range(0, candidates.size, size)]
 
@@ -325,6 +343,8 @@ class QueryExecutor:
         survivors: list[np.ndarray] = []
         n_selected = 0
         for chunk in chunks:
+            if cancel is not None:
+                cancel()
             chunk_mask = np.zeros(n, dtype=bool)
             chunk_mask[chunk] = True
             if plan.predicate_tree is None:

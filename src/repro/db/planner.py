@@ -180,6 +180,41 @@ def _or_rank(node) -> float:
     return (1.0 - selectivity) * cost
 
 
+def _json_value(value):
+    """A JSON-safe copy of one predicate literal (tuples become lists)."""
+    if isinstance(value, tuple):
+        return [_json_value(item) for item in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _node_dict(node) -> dict:
+    """Serialize one predicate-tree node for :meth:`QueryPlan.to_dict`."""
+    if isinstance(node, MetadataStep):
+        return {"op": "filter",
+                "column": node.predicate.column,
+                "operator": node.predicate.operator,
+                "value": _json_value(node.predicate.value)}
+    if isinstance(node, ContentStep):
+        return {"op": "cascade", **_content_step_dict(node)}
+    if isinstance(node, PlanNot):
+        return {"op": "not", "child": _node_dict(node.child)}
+    label = "and" if isinstance(node, PlanAnd) else "or"
+    return {"op": label,
+            "children": [_node_dict(child) for child in node.children]}
+
+
+def _content_step_dict(step: ContentStep) -> dict:
+    return {"category": step.category,
+            "cascade": step.evaluation.name,
+            "depth": step.evaluation.depth,
+            "selectivity": float(step.selectivity),
+            "cost_per_image_s": float(step.cost_per_image_s),
+            "expected_accuracy": float(step.evaluation.accuracy),
+            "throughput_fps": float(step.evaluation.throughput)}
+
+
 def _describe_node(node, indent: str = "") -> str:
     """Render one predicate-tree node for ``QueryPlan.describe()``."""
     if isinstance(node, MetadataStep):
@@ -323,6 +358,35 @@ class QueryPlan:
                          f"{self.expected_cost_per_candidate_s() * 1e3:.3f} ms")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable form of the plan (``EXPLAIN`` over the wire).
+
+        Carries the same information as :meth:`describe` — predicate tree
+        (or the flat conjunctive steps), selected cascades with estimated
+        selectivity/cost, projection, grouping, sort and limit stages, and
+        the expected content cost per candidate — as plain dicts and lists,
+        so clients can inspect plans without the repro package installed.
+        """
+        return {
+            "scenario": self.scenario_name,
+            "table": self.table,
+            "limit": self.limit,
+            "select": (None if self.select is None
+                       else [select_label(item) for item in self.select]),
+            "group_by": list(self.group_by),
+            "order_by": [{"key": item.label, "ascending": item.ascending}
+                         for item in self.order_by],
+            "is_aggregate": self.is_aggregate,
+            "metadata_steps": [_node_dict(step)
+                               for step in self.metadata_steps],
+            "content_steps": [_content_step_dict(step)
+                              for step in self.content_steps],
+            "predicate_tree": (None if self.predicate_tree is None
+                               else _node_dict(self.predicate_tree)),
+            "expected_cost_per_candidate_s":
+                self.expected_cost_per_candidate_s(),
+        }
+
     def __str__(self) -> str:
         return self.describe()
 
@@ -408,7 +472,8 @@ class QueryPlanner:
             return PlanOr(tuple(children))
         raise TypeError(f"not a BooleanExpr node: {expr!r}")
 
-    def plan(self, query: "Query", table: str | None = None) -> QueryPlan:
+    def plan(self, query: "Query", table: str | None = None,
+             selections: "dict[str, ContentStep] | None" = None) -> QueryPlan:
         """Select cascades, estimate selectivities and order the predicates.
 
         A conjunctive query (the original dialect) lowers to the seed's flat
@@ -421,8 +486,17 @@ class QueryPlanner:
         plans once per shard, and each shard's plan names the shard it was
         priced for (its ``selectivity_hook`` observes that shard's labels),
         not the virtual fan-out table.
+
+        ``selections`` seeds the per-query cascade cache with already-made
+        :class:`ContentStep` choices, keyed by category.  A plan cache uses
+        this to *rebind* a cached plan to new literals: cascade selection
+        (the expensive Pareto analysis) is skipped for seeded categories,
+        while parsing-cheap structure (ordering, projection, limit) is
+        rebuilt from the fresh query.
         """
-        cache: dict[str, ContentStep] = {}
+        cache: dict[str, ContentStep] = dict(selections) if selections else {}
+        wanted = {predicate.category
+                  for predicate in query.content_predicates}
         conjuncts = conjunctive_predicates(query.where)
         predicate_tree = None
         if conjuncts is not None:
@@ -436,7 +510,9 @@ class QueryPlanner:
             predicate_tree = self._lower(query.where, query.constraints, cache)
             metadata_steps = tuple(MetadataStep(predicate)
                                    for predicate in query.metadata_predicates)
-            content_steps = sorted(cache.values(), key=lambda step: step.rank)
+            content_steps = sorted(
+                (step for step in cache.values() if step.category in wanted),
+                key=lambda step: step.rank)
 
         return QueryPlan(metadata_steps=metadata_steps,
                          content_steps=tuple(content_steps),

@@ -119,6 +119,16 @@ class ResultSet:
         """All remaining rows, advancing the cursor to the end."""
         return self.fetchmany(len(self) - self._cursor)
 
+    @property
+    def remaining(self) -> int:
+        """Rows the fetch cursor has not yet consumed.
+
+        The serving layer's cursor paging is built on this: a server-side
+        cursor reports ``remaining`` after every ``fetch`` so clients know
+        when to stop paging without an extra empty round trip.
+        """
+        return len(self) - self._cursor
+
     def rewind(self) -> None:
         """Reset the fetch cursor to the first row."""
         self._cursor = 0

@@ -27,7 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.query.predicates import ContainsObject, MetadataPredicate
 
 __all__ = [
-    "SqlParseError", "QueryError",
+    "SqlParseError", "QueryError", "QueryTimeoutError",
     "Token", "tokenize",
     "BooleanExpr", "PredicateExpr", "AndExpr", "OrExpr", "NotExpr",
     "iter_predicates", "conjunctive_predicates",
@@ -47,11 +47,23 @@ class SqlParseError(ValueError):
                  token: str | None = None) -> None:
         self.offset = offset
         self.token = token
+        self.message = message
         if offset is not None:
             where = (f"at {token!r} (offset {offset})" if token is not None
                      else f"at end of input (offset {offset})")
             message = f"{message} {where}"
         super().__init__(message)
+
+    def to_dict(self) -> dict:
+        """A machine-readable payload (wire protocol / structured logging).
+
+        ``message`` is the bare error text — ``offset``/``token`` carry the
+        location separately, so a client can reconstruct the exception
+        exactly: ``SqlParseError(d["message"], offset=d["offset"],
+        token=d["token"])``.
+        """
+        return {"type": "SqlParseError", "message": self.message,
+                "token": self.token, "offset": self.offset}
 
 
 class QueryError(ValueError):
@@ -60,6 +72,20 @@ class QueryError(ValueError):
     Parse-time problems raise :class:`SqlParseError`; this is the
     evaluation-time counterpart — an unknown projection column, a
     type-mismatched comparison, an aggregate over a non-numeric column.
+    """
+
+    def to_dict(self) -> dict:
+        """A machine-readable payload: the concrete error type and message."""
+        return {"type": type(self).__name__, "message": str(self)}
+
+
+class QueryTimeoutError(QueryError):
+    """Raised when a query exceeds its deadline and is aborted.
+
+    The executor checks a cancellation hook at chunk boundaries
+    (:meth:`~repro.db.executor.QueryExecutor.execute`); a serving layer's
+    hook raises this once the per-query deadline passes, so long-running
+    classification work stops between chunks instead of hanging a worker.
     """
 
 

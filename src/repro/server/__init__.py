@@ -1,0 +1,87 @@
+"""The network serving layer: SQL over a newline-delimited JSON wire protocol.
+
+:class:`~repro.db.database.VisualDatabase` is an in-process engine; this
+package turns it into a multi-client system.  A stdlib-only
+:class:`~repro.server.server.VisualDatabaseServer` (``socketserver`` + a
+bounded worker pool) accepts TCP connections, each holding a *session* with
+server-side cursors, and speaks the :mod:`repro.query.sql` dialect over the
+wire::
+
+    db = repro.db.connect({"cam_north": north, "cam_south": south})
+    server = repro.server.serve(db, port=7432)
+
+    with repro.server.connect(port=7432) as conn:
+        cursor = conn.execute("SELECT * FROM all_cameras "
+                              "WHERE contains_object(bicycle) LIMIT 10")
+        for row in cursor:
+            print(row["__table__"], row["image_id"])
+
+Run ``python -m repro.server --demo`` for a self-contained server.
+
+Wire protocol grammar
+---------------------
+
+One request per line, one response per line, both JSON objects (UTF-8,
+``\\n``-terminated — the *NDJSON* framing).  Mirroring the SQL-grammar
+docstring convention of :mod:`repro.query.sql`::
+
+    request    := '{' '"cmd"' ':' command [',' '"id"' ':' any]
+                      (command-specific keys)* '}' '\\n'
+    response   := '{' '"ok"' ':' bool [',' '"id"' ':' any]
+                      (',' '"result"' ':' object
+                      |',' '"error"'  ':' error) '}' '\\n'
+    error      := '{' '"type"' ':' string ',' '"message"' ':' string
+                      (error-specific keys: "offset", "token", ...)* '}'
+
+    command    := "execute" | "fetch" | "close_cursor" | "explain"
+                | "stats" | "tables" | "ping" | "quit"
+
+    execute    keys: "sql" (required), "timeout" (seconds, optional),
+                     "tables" (shard list, optional), "constraints"
+                     (optional: {"max_accuracy_loss", "min_throughput"})
+               result: {"cursor", "rowcount", "columns", "remaining"}
+    fetch      keys: "cursor" (required), "n" (optional, default 64)
+               result: {"rows": [row...], "remaining": int}
+    close_cursor keys: "cursor"           result: {"closed": bool}
+    explain    keys: "sql", "tables", "constraints" (as execute)
+               result: {"plan": plan} | {"plans": {table: plan}}
+                       (plan is :meth:`repro.db.planner.QueryPlan.to_dict`)
+    stats      result: {"scenario", "tables", "predicates", "sessions",
+                        "admission": {...}, "plan_cache": {...},
+                        "queries": {"completed", "failed", "timeouts",
+                                    "rejected"}}
+    tables     result: {"tables": [name...]}
+    ping       result: {"pong": true}
+    quit       result: {"bye": true}; the server then closes the connection
+
+An ``id`` key, when present, is echoed verbatim in the response so clients
+can match pipelined requests.  Error ``type`` names the Python exception
+class on the server (``SqlParseError`` carries ``offset``/``token``,
+``BackpressureError`` means the admission queue was full — resubmit later,
+``QueryTimeoutError`` means the per-query deadline passed and the query was
+aborted at a chunk boundary).  Sessions survive every error: a failed query
+never tears down the connection.
+
+The serving pieces:
+
+* :mod:`repro.server.protocol` — framing, serializable error payloads;
+* :mod:`repro.server.session` — per-connection sessions and cursor paging
+  built on :meth:`repro.db.results.ResultSet.fetchmany`;
+* :mod:`repro.server.admission` — bounded query queue + worker pool with
+  immediate backpressure rejection and cooperative per-query timeouts;
+* :mod:`repro.server.plan_cache` — plans keyed by normalized query shape
+  (literals stripped) with hit/miss/rebind counters;
+* :mod:`repro.server.server` — the TCP server and graceful shutdown;
+* :mod:`repro.server.client` — the matching ``connect()`` client.
+"""
+
+from repro.server.admission import AdmissionController
+from repro.server.client import connect
+from repro.server.plan_cache import PlanCache
+from repro.server.protocol import BackpressureError, ProtocolError, ServerError
+from repro.server.server import VisualDatabaseServer, serve
+from repro.server.session import Session
+
+__all__ = ["VisualDatabaseServer", "serve", "connect", "Session",
+           "AdmissionController", "PlanCache",
+           "BackpressureError", "ProtocolError", "ServerError"]

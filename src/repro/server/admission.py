@@ -1,0 +1,204 @@
+"""Admission control: a bounded query queue feeding a worker pool.
+
+The serving layer's load story: every query a session accepts is *submitted*
+here rather than run on the connection thread.  The queue is bounded — when
+``max_queue`` queries are already waiting, a new submission raises
+:class:`~repro.server.protocol.BackpressureError` *immediately* (never
+blocks), so an overloaded server answers with a structured rejection the
+client can back off on instead of hanging the connection.  ``max_workers``
+threads drain the queue; per-shard executor locks make it safe for several
+workers to race queries, ingest and retention on one database.
+
+Per-query timeouts are cooperative: :meth:`AdmissionController.cancel_for`
+builds the cancellation hook a worker passes down to
+:meth:`~repro.db.database.VisualDatabase.execute` — it raises
+:class:`~repro.query.ast.QueryTimeoutError` once the deadline passes, which
+the executor observes at chunk boundaries.  A timed-out query therefore
+aborts between chunks (bounded overshoot: one chunk), frees its worker, and
+the session that submitted it stays usable.
+
+Shutdown drains: :meth:`shutdown` first flips the controller into a
+rejecting state (submissions get a backpressure error naming the shutdown),
+then waits for queued and in-flight queries to finish before returning —
+the server's graceful-stop path.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from time import monotonic
+from typing import Callable
+
+from repro.query.ast import QueryTimeoutError
+from repro.server.protocol import BackpressureError
+
+__all__ = ["AdmissionController"]
+
+_SENTINEL = object()
+
+
+class AdmissionController:
+    """Bounded admission queue + worker pool for one server.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker threads executing admitted queries concurrently.
+    max_queue:
+        Queries allowed to *wait* beyond the ones in flight; a submission
+        finding the queue full is rejected immediately with
+        :class:`~repro.server.protocol.BackpressureError`.
+    name:
+        Thread-name prefix (diagnostics).
+    """
+
+    def __init__(self, max_workers: int = 4, max_queue: int = 16,
+                 name: str = "repro-server") -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        self.max_workers = max_workers
+        self.max_queue = max_queue
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._lock = threading.Lock()
+        self._closing = False
+        self._in_flight = 0
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self._workers = [
+            threading.Thread(target=self._work, name=f"{name}-worker-{i}",
+                             daemon=True)
+            for i in range(max_workers)]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, fn: Callable[[], object]) -> Future:
+        """Admit one query; returns the Future its worker will resolve.
+
+        Raises :class:`~repro.server.protocol.BackpressureError` without
+        blocking when the queue is full or the controller is shutting down.
+        """
+        with self._lock:
+            if self._closing:
+                raise BackpressureError(
+                    "server is shutting down; query rejected",
+                    queue_depth=self._queue.qsize(),
+                    max_queue=self.max_queue)
+        future: Future = Future()
+        try:
+            self._queue.put_nowait((fn, future))
+        except queue.Full:
+            with self._lock:
+                self.rejected += 1
+            raise BackpressureError(
+                f"admission queue full ({self.max_queue} queries waiting); "
+                "retry after a backoff",
+                queue_depth=self.max_queue,
+                max_queue=self.max_queue) from None
+        with self._lock:
+            self.submitted += 1
+        return future
+
+    def cancel_for(self, timeout_s: float | None,
+                   started: float | None = None) -> Callable[[], None] | None:
+        """The chunk-boundary cancellation hook for one query's deadline.
+
+        ``None`` timeout means no hook (the query runs to completion).  The
+        deadline clock starts at submission (``started``, default now), so
+        time spent *waiting in the queue* counts against the budget — an
+        overloaded server times out stale work instead of running it.
+        """
+        if timeout_s is None:
+            return None
+        deadline = (started if started is not None else monotonic()) \
+            + timeout_s
+
+        def cancel() -> None:
+            if monotonic() > deadline:
+                raise QueryTimeoutError(
+                    f"query exceeded its {timeout_s:g}s timeout and was "
+                    "aborted at a chunk boundary")
+
+        return cancel
+
+    # -- workers --------------------------------------------------------------
+    def _work(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                self._queue.task_done()
+                return
+            fn, future = item
+            if not future.set_running_or_notify_cancel():
+                self._queue.task_done()
+                continue
+            with self._lock:
+                self._in_flight += 1
+            try:
+                result = fn()
+            except BaseException as exc:  # noqa: BLE001 - forwarded to waiter
+                future.set_exception(exc)
+                with self._lock:
+                    self._in_flight -= 1
+                    self.failed += 1
+            else:
+                future.set_result(result)
+                with self._lock:
+                    self._in_flight -= 1
+                    self.completed += 1
+            finally:
+                self._queue.task_done()
+
+    # -- lifecycle ------------------------------------------------------------
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop admitting queries; with ``drain``, wait for in-flight work.
+
+        New submissions are rejected from the moment this is called.  With
+        ``drain=True`` (the graceful path) every already-admitted query
+        finishes — its session gets a real answer — before the workers
+        exit; ``drain=False`` abandons the queue (queued futures resolve
+        with a backpressure error so no waiter hangs forever).
+        """
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+        if not drain:
+            while True:
+                try:
+                    _, future = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                except (TypeError, ValueError):  # pragma: no cover - sentinel
+                    continue
+                future.set_exception(BackpressureError(
+                    "server shut down before the query ran"))
+                self._queue.task_done()
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for worker in self._workers:
+            worker.join()
+
+    @property
+    def closing(self) -> bool:
+        with self._lock:
+            return self._closing
+
+    def stats(self) -> dict:
+        """Queue/worker occupancy and lifetime counters."""
+        with self._lock:
+            return {"max_workers": self.max_workers,
+                    "max_queue": self.max_queue,
+                    "queue_depth": self._queue.qsize(),
+                    "in_flight": self._in_flight,
+                    "submitted": self.submitted,
+                    "rejected": self.rejected,
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "closing": self._closing}

@@ -1,0 +1,228 @@
+"""The matching client: ``repro.server.connect()`` and remote cursors.
+
+A thin, dependency-free driver for the NDJSON protocol.  One
+:class:`Connection` holds one socket/session; :meth:`Connection.execute`
+returns a :class:`RemoteCursor` that pages rows with server-side
+``fetch`` — iteration streams batches, the query never re-runs.  Server
+errors come back as the exceptions the server raised where a local
+counterpart exists (:class:`~repro.query.ast.SqlParseError` with its
+``offset``/``token``, :class:`~repro.query.ast.QueryTimeoutError`,
+:class:`~repro.server.protocol.BackpressureError`, ...); anything else
+surfaces as :class:`~repro.server.protocol.ServerError` carrying the raw
+payload.
+
+Requests on one connection are serialized under a lock — a
+:class:`Connection` is safe to share between threads, though each thread
+opening its own connection (its own session and cursors) is the natural
+shape.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.query.ast import QueryError, QueryTimeoutError, SqlParseError
+from repro.server.protocol import (MAX_LINE_BYTES, BackpressureError,
+                                   ProtocolError, ServerError, decode, encode)
+from repro.server.session import DEFAULT_FETCH_SIZE
+
+__all__ = ["connect", "Connection", "RemoteCursor"]
+
+
+def _rebuild_error(payload: dict) -> Exception:
+    """The server's error payload as the closest local exception."""
+    error_type = payload.get("type")
+    message = payload.get("message", "server error")
+    if error_type == "SqlParseError":
+        return SqlParseError(message, offset=payload.get("offset"),
+                             token=payload.get("token"))
+    if error_type == "QueryTimeoutError":
+        return QueryTimeoutError(message)
+    if error_type == "QueryError":
+        return QueryError(message)
+    if error_type == "BackpressureError":
+        return BackpressureError(message,
+                                 queue_depth=payload.get("queue_depth"),
+                                 max_queue=payload.get("max_queue"))
+    if error_type == "ProtocolError":
+        return ProtocolError(message)
+    return ServerError(f"{error_type}: {message}" if error_type else message,
+                       payload=payload)
+
+
+def connect(host: str = "127.0.0.1", port: int = 7432, *,
+            timeout: float | None = None) -> "Connection":
+    """Open a :class:`Connection` to a running server.
+
+    ``timeout`` is the *socket* timeout (connect and per-response receive) —
+    per-query execution deadlines are the server's ``timeout`` request key
+    (:meth:`Connection.execute`'s ``timeout=``).
+    """
+    return Connection(host, port, timeout=timeout)
+
+
+class Connection:
+    """One session with a :class:`~repro.server.server.VisualDatabaseServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7432, *,
+                 timeout: float | None = None) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self.closed = False
+
+    # -- wire ------------------------------------------------------------------
+    def _call(self, cmd: str, **params) -> dict:
+        """One request-response round trip, returning the ``result`` object."""
+        request = {"cmd": cmd}
+        request.update((key, value) for key, value in params.items()
+                       if value is not None)
+        with self._lock:
+            if self.closed:
+                raise RuntimeError("connection is closed")
+            request["id"] = self._next_id
+            self._next_id += 1
+            self._file.write(encode(request))
+            self._file.flush()
+            line = self._file.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode(line)
+        if response.get("ok"):
+            return response.get("result", {})
+        raise _rebuild_error(response.get("error") or {})
+
+    # -- commands --------------------------------------------------------------
+    def execute(self, sql: str, *, timeout: float | None = None,
+                constraints: dict | None = None,
+                tables: list[str] | None = None) -> "RemoteCursor":
+        """Run one query server side, returning its :class:`RemoteCursor`.
+
+        ``timeout`` (seconds) bounds the query's execution — past it the
+        server aborts at a chunk boundary and this raises
+        :class:`~repro.query.ast.QueryTimeoutError`; the session stays
+        usable.  ``constraints`` takes ``{"max_accuracy_loss", ...}``;
+        ``tables`` restricts an ``all_cameras`` fan-out to named shards.
+        """
+        result = self._call("execute", sql=sql, timeout=timeout,
+                            constraints=constraints, tables=tables)
+        return RemoteCursor(self, result)
+
+    def fetch(self, cursor: int, n: int = DEFAULT_FETCH_SIZE) -> dict:
+        """Raw ``fetch``: ``{"rows": [...], "remaining": int}``."""
+        return self._call("fetch", cursor=cursor, n=n)
+
+    def close_cursor(self, cursor: int) -> bool:
+        return bool(self._call("close_cursor",
+                               cursor=cursor).get("closed"))
+
+    def explain(self, sql: str, *, constraints: dict | None = None,
+                tables: list[str] | None = None) -> dict:
+        """The serialized plan: ``{"plan": ...}`` or ``{"plans": {...}}``."""
+        return self._call("explain", sql=sql, constraints=constraints,
+                          tables=tables)
+
+    def stats(self) -> dict:
+        return self._call("stats")
+
+    def tables(self) -> list[str]:
+        return list(self._call("tables").get("tables", []))
+
+    def ping(self) -> bool:
+        return bool(self._call("ping").get("pong"))
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Say ``quit`` (best effort) and close the socket (idempotent)."""
+        if self.closed:
+            return
+        try:
+            self._call("quit")
+        except (OSError, ValueError, RuntimeError):
+            pass
+        self.closed = True
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        peer = "closed" if self.closed else "%s:%d" % self._sock.getpeername()
+        return f"Connection({peer})"
+
+
+class RemoteCursor:
+    """A server-side cursor: rows page over the wire, the query never re-runs.
+
+    Mirrors the :class:`~repro.db.results.ResultSet` cursor API —
+    ``fetchone`` / ``fetchmany`` / ``fetchall``, iteration in ``batch_size``
+    pages, ``len()`` — against a result set parked in the server session.
+    :meth:`close` frees the server-side slot (sessions cap open cursors).
+    """
+
+    def __init__(self, connection: Connection, result: dict,
+                 batch_size: int = DEFAULT_FETCH_SIZE) -> None:
+        self._connection = connection
+        self.cursor_id: int = result["cursor"]
+        self.rowcount: int = result["rowcount"]
+        self.columns: list[str] = list(result["columns"])
+        self.remaining: int = result["remaining"]
+        self.batch_size = batch_size
+        self.closed = False
+
+    def __len__(self) -> int:
+        return self.rowcount
+
+    def fetchmany(self, size: int = DEFAULT_FETCH_SIZE) -> list[dict]:
+        """The next ``size`` rows (shorter at the end, ``[]`` when done)."""
+        if self.closed or (self.remaining == 0 and size > 0):
+            return []
+        result = self._connection.fetch(self.cursor_id, n=size)
+        self.remaining = result["remaining"]
+        return result["rows"]
+
+    def fetchone(self) -> dict | None:
+        rows = self.fetchmany(1)
+        return rows[0] if rows else None
+
+    def fetchall(self) -> list[dict]:
+        rows: list[dict] = []
+        while self.remaining and not self.closed:
+            rows.extend(self.fetchmany(self.remaining))
+        return rows
+
+    def __iter__(self):
+        while True:
+            rows = self.fetchmany(self.batch_size)
+            if not rows:
+                return
+            yield from rows
+
+    def close(self) -> None:
+        """Free the server-side cursor (idempotent, best effort)."""
+        if self.closed:
+            return
+        self.closed = True
+        if not self._connection.closed:
+            try:
+                self._connection.close_cursor(self.cursor_id)
+            except (OSError, ValueError, RuntimeError):
+                pass
+
+    def __enter__(self) -> "RemoteCursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RemoteCursor(id={self.cursor_id}, rows={self.rowcount}, "
+                f"remaining={self.remaining})")

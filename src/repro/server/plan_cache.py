@@ -1,0 +1,164 @@
+"""The plan cache: physical plans keyed by normalized query shape.
+
+Dashboards re-issue the same handful of queries, often with nothing but a
+literal changed (a fresh timestamp bound, a different location).  Planning
+is not free — each ``contains_object`` predicate costs a cascade selection
+(Pareto analysis over the predicate's model pool) — so
+:class:`~repro.db.database.VisualDatabase` can route plan resolution through
+this cache (``connect(..., plan_cache=True)`` / ``enable_plan_cache()``;
+the network server enables it for the database it serves).
+
+The key is the query's *shape*: its token stream with every literal
+(string/number) replaced by ``?``, plus the effective constraints and the
+active scenario.  Three outcomes per lookup, all counted:
+
+* **hit** — same shape, same literals: the cached plan is returned with no
+  parsing and no planning at all;
+* **rebind** — same shape, different literals: the query is re-parsed
+  (cheap, recursive descent) and re-planned with the cached plan's cascade
+  selections seeded (:meth:`~repro.db.planner.QueryPlanner.plan`'s
+  ``selections=``), skipping the expensive selection step;
+* **miss** — unknown shape: planned from scratch, then cached.
+
+The cache is *invalidated* — cleared — on scenario switches, attach /
+detach / replace and retention changes (the database hooks call
+:meth:`PlanCache.invalidate`).  Ingest does not invalidate: a cached plan
+stays *correct* under ingest, its estimated selectivities merely go stale,
+which can only affect predicate ordering.  Entries are LRU-evicted beyond
+``capacity``.  All operations are thread-safe — server worker threads share
+one cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.query.ast import tokenize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.selector import UserConstraints
+    from repro.db.planner import QueryPlan
+
+__all__ = ["PlanCache", "CacheEntry", "normalize"]
+
+
+def normalize(sql: str) -> tuple[str, tuple]:
+    """One query's (shape, literals): literals stripped from the tokens.
+
+    The shape is the token stream with every STRING/NUMBER token replaced
+    by ``?`` — whitespace and literal spelling differences disappear, while
+    structure, identifiers and keywords (case-sensitively, so an exact
+    dashboard repeat always matches itself) survive.  The literals come
+    back as a tuple of Python values in token order, used to distinguish an
+    exact repeat (cache *hit*) from a shape repeat (*rebind*).
+
+    Raises :class:`~repro.query.ast.SqlParseError` on untokenizable text,
+    exactly as parsing would.
+    """
+    shape_parts: list[str] = []
+    literals: list = []
+    for token in tokenize(sql):
+        if token.type in ("STRING", "NUMBER"):
+            shape_parts.append("?")
+            literals.append(token.value)
+        else:
+            shape_parts.append(token.text)
+    return " ".join(shape_parts), tuple(literals)
+
+
+@dataclass
+class CacheEntry:
+    """One cached shape: the literals it was planned for and its plan(s).
+
+    ``plans`` is a single :class:`~repro.db.planner.QueryPlan` for a
+    single-table query or a ``{table: plan}`` mapping for a fan-out.
+    """
+
+    literals: tuple
+    plans: "QueryPlan | dict[str, QueryPlan]"
+
+
+class PlanCache:
+    """A bounded, thread-safe, LRU plan cache with hit/miss/rebind counters."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Any, CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.rebinds = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key_for(sql: str, constraints: "UserConstraints",
+                scenario: str) -> tuple[Any, tuple]:
+        """The cache key and literal bindings for one query.
+
+        Constraints and scenario are part of the key — the same SQL under a
+        tighter accuracy budget or another deployment scenario selects
+        different cascades.  (Scenario switches *also* clear the cache; the
+        key keeps entries correct even if a caller bypasses the hooks.)
+        """
+        shape, literals = normalize(sql)
+        key = (shape, constraints.max_accuracy_loss,
+               constraints.min_throughput, scenario)
+        return key, literals
+
+    def lookup(self, key, literals: tuple
+               ) -> tuple[str, CacheEntry | None]:
+        """``("hit"|"rebind"|"miss", entry)`` for one key, counting it."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return "miss", None
+            self._entries.move_to_end(key)
+            if entry.literals == literals:
+                self.hits += 1
+                return "hit", entry
+            self.rebinds += 1
+            return "rebind", entry
+
+    def store(self, key, literals: tuple, plans) -> None:
+        """Install (or refresh) one shape's plan, evicting LRU beyond capacity."""
+        with self._lock:
+            self._entries[key] = CacheEntry(literals=literals, plans=plans)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (scenario/catalog/retention changed)."""
+        with self._lock:
+            self._entries.clear()
+            self.invalidations += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counters + occupancy, as surfaced by the server's ``stats``."""
+        with self._lock:
+            lookups = self.hits + self.rebinds + self.misses
+            return {"hits": self.hits,
+                    "rebinds": self.rebinds,
+                    "misses": self.misses,
+                    "invalidations": self.invalidations,
+                    "evictions": self.evictions,
+                    "entries": len(self._entries),
+                    "capacity": self.capacity,
+                    "hit_rate": ((self.hits + self.rebinds) / lookups
+                                 if lookups else 0.0)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PlanCache(entries={len(self)}, hits={self.hits}, "
+                f"rebinds={self.rebinds}, misses={self.misses})")

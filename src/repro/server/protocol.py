@@ -1,0 +1,127 @@
+"""Wire-protocol framing and serializable errors (NDJSON).
+
+One message per line, each line one JSON object — see the grammar in the
+:mod:`repro.server` package docstring.  This module owns the mechanical
+half: encoding/decoding single lines, building the ``{"ok": ...}`` response
+envelopes, and turning exceptions into machine-readable error payloads (the
+``.to_dict()`` protocol of :class:`~repro.query.ast.SqlParseError` and
+:class:`~repro.query.ast.QueryError`, with a generic fallback for everything
+else).
+
+Float columns may contain NaN (the typed fill for absent fan-out columns);
+encoding keeps Python's ``NaN`` spelling, which the matching client parses
+back — a non-Python client should treat bare ``NaN`` tokens as null.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["PROTOCOL_VERSION", "MAX_LINE_BYTES",
+           "ProtocolError", "ServerError", "BackpressureError",
+           "encode", "decode", "ok_response", "error_response",
+           "error_payload"]
+
+#: Bumped when the wire protocol changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one encoded line; a request beyond this is a protocol
+#: error (keeps a misbehaving client from ballooning server memory).
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed wire message: bad JSON, not an object, missing keys."""
+
+    def to_dict(self) -> dict:
+        return {"type": "ProtocolError", "message": str(self)}
+
+
+class ServerError(RuntimeError):
+    """Client-side stand-in for a server error with no richer local type."""
+
+    def __init__(self, message: str, payload: dict | None = None) -> None:
+        super().__init__(message)
+        self.payload = dict(payload or {})
+
+
+class BackpressureError(RuntimeError):
+    """The admission queue is full (or draining): query rejected, not run.
+
+    Raised *immediately* at submission — a full server never hangs new
+    queries.  ``queue_depth``/``max_queue`` tell the client how loaded the
+    server was; resubmitting after a backoff is the expected reaction.
+    """
+
+    def __init__(self, message: str, *, queue_depth: int | None = None,
+                 max_queue: int | None = None) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+
+    def to_dict(self) -> dict:
+        return {"type": "BackpressureError", "message": str(self),
+                "queue_depth": self.queue_depth, "max_queue": self.max_queue}
+
+
+def encode(message: dict) -> bytes:
+    """One message as a single NDJSON line (UTF-8, newline-terminated)."""
+    return (json.dumps(message, separators=(",", ":"),
+                       ensure_ascii=False) + "\n").encode("utf-8")
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one received line into a message object.
+
+    Raises :class:`ProtocolError` for anything but a single JSON object —
+    the caller answers with the error payload instead of killing the
+    connection.
+    """
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+        line = line.decode("utf-8", errors="replace")
+    text = line.strip()
+    if not text:
+        raise ProtocolError("empty message")
+    try:
+        message = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object, got "
+                            f"{type(message).__name__}")
+    return message
+
+
+def error_payload(exc: BaseException) -> dict:
+    """A machine-readable payload for any exception.
+
+    Exceptions exposing ``to_dict()`` (:class:`~repro.query.ast
+    .SqlParseError`, :class:`~repro.query.ast.QueryError` and subclasses,
+    :class:`BackpressureError`, :class:`ProtocolError`) serialize
+    themselves; anything else falls back to type name + message, so the
+    wire never carries a bare ``str(exc)`` without its type.
+    """
+    to_dict = getattr(exc, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    return {"type": type(exc).__name__, "message": str(exc)}
+
+
+def ok_response(request: dict, result: dict) -> dict:
+    """The success envelope, echoing the request's ``id`` when present."""
+    response: dict = {"ok": True}
+    if "id" in request:
+        response["id"] = request["id"]
+    response["result"] = result
+    return response
+
+
+def error_response(request: dict, exc: BaseException) -> dict:
+    """The failure envelope, echoing the request's ``id`` when present."""
+    response: dict = {"ok": False}
+    if isinstance(request, dict) and "id" in request:
+        response["id"] = request["id"]
+    response["error"] = error_payload(exc)
+    return response

@@ -1,0 +1,218 @@
+"""The TCP server: one thread per connection, shared admission + plan cache.
+
+:class:`VisualDatabaseServer` wraps one
+:class:`~repro.db.database.VisualDatabase` in a ``socketserver``-based
+threading TCP server speaking the NDJSON protocol (grammar in the
+:mod:`repro.server` package docstring).  Connection threads only parse and
+page — every query body runs on the
+:class:`~repro.server.admission.AdmissionController` worker pool, so client
+count and query concurrency are decoupled and a full queue answers with an
+immediate backpressure error.  The served database gets its plan cache
+enabled (unless ``plan_cache=False``), so repeated dashboard shapes skip
+cascade selection; per-shard executor locks (not the server) provide the
+correctness under concurrency.
+
+Shutdown is graceful by default: :meth:`VisualDatabaseServer.close` stops
+accepting connections, lets every admitted query finish (their sessions get
+real answers), then releases the port.  The context-manager form does the
+same::
+
+    with repro.server.serve(db, port=0) as server:
+        conn = repro.server.connect(port=server.address[1])
+        ...
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+
+from repro.server.admission import AdmissionController
+from repro.server.protocol import (MAX_LINE_BYTES, ProtocolError, decode,
+                                   encode, error_response, ok_response)
+from repro.server.session import QueryCounters, Session
+
+__all__ = ["VisualDatabaseServer", "serve"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection's read-dispatch-write loop.
+
+    Every request gets exactly one response line, errors included; only
+    end-of-stream, an oversized line (framing is lost at that point) or a
+    ``quit`` ends the loop.  The session — and its cursors — lives exactly
+    as long as the loop.
+    """
+
+    def handle(self) -> None:  # pragma: no cover - exercised over sockets
+        owner: "VisualDatabaseServer" = self.server.owner
+        session = owner._open_session()
+        try:
+            while True:
+                line = self.rfile.readline(MAX_LINE_BYTES + 2)
+                if not line:
+                    break
+                if len(line) > MAX_LINE_BYTES:
+                    # The rest of the oversized message is still in flight;
+                    # framing is unrecoverable, so answer and hang up.
+                    self._reply(error_response({}, ProtocolError(
+                        f"message exceeds {MAX_LINE_BYTES} bytes")))
+                    break
+                request: dict = {}
+                try:
+                    request = decode(line)
+                    response = ok_response(request, session.handle(request))
+                except BaseException as exc:  # noqa: BLE001 - wire-reported
+                    response = error_response(request, exc)
+                self._reply(response)
+                if session.closed:
+                    break
+        finally:
+            session.close()
+            owner._close_session()
+
+    def _reply(self, response: dict) -> None:  # pragma: no cover - socket I/O
+        self.wfile.write(encode(response))
+        self.wfile.flush()
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    owner: "VisualDatabaseServer"
+
+
+class VisualDatabaseServer:
+    """Serve one :class:`~repro.db.database.VisualDatabase` over TCP.
+
+    Parameters
+    ----------
+    database:
+        The database to serve; shared by every connection (per-shard
+        executor locks make concurrent queries, ingest and retention safe).
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    max_workers, max_queue:
+        Admission control: worker threads running queries, and how many
+        queries may wait beyond them before submissions are rejected with a
+        backpressure error.
+    default_timeout:
+        Per-query timeout (seconds) for requests that carry none; ``None``
+        lets queries run to completion.
+    max_cursors:
+        Open-cursor cap per session.
+    plan_cache:
+        Enable the served database's plan cache (``True``, the default — an
+        ``int`` sets its capacity; ``False`` leaves the database as is).
+    close_database:
+        Also :meth:`~repro.db.database.VisualDatabase.close` the database
+        when the server closes (for servers that own their database, like
+        ``python -m repro.server``).
+    """
+
+    def __init__(self, database, host: str = "127.0.0.1", port: int = 0, *,
+                 max_workers: int = 4, max_queue: int = 16,
+                 default_timeout: float | None = None,
+                 max_cursors: int = 32,
+                 plan_cache: bool | int = True,
+                 close_database: bool = False) -> None:
+        self.database = database
+        self.default_timeout = default_timeout
+        self.max_cursors = max_cursors
+        self._close_database = close_database
+        if plan_cache:
+            database.enable_plan_cache(
+                plan_cache if isinstance(plan_cache, int)
+                and not isinstance(plan_cache, bool) else 128)
+        self.admission = AdmissionController(max_workers=max_workers,
+                                             max_queue=max_queue)
+        self.counters = QueryCounters()
+        self._lock = threading.Lock()
+        self._sessions = 0
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.owner = self
+
+    # -- sessions --------------------------------------------------------------
+    def _open_session(self) -> Session:
+        with self._lock:
+            self._sessions += 1
+        return Session(self.database, self.admission,
+                       default_timeout=self.default_timeout,
+                       max_cursors=self.max_cursors,
+                       counters=self.counters,
+                       stats_extra=self._stats_extra)
+
+    def _close_session(self) -> None:
+        with self._lock:
+            self._sessions -= 1
+
+    def _stats_extra(self) -> dict:
+        with self._lock:
+            return {"sessions": self._sessions,
+                    "address": list(self.address)}
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — the real port when bound with 0."""
+        return self._tcp.server_address[:2]
+
+    def start(self) -> "VisualDatabaseServer":
+        """Accept connections on a daemon thread; returns ``self``."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._tcp.serve_forever,
+                name=f"repro-server-{self.address[1]}", daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Graceful shutdown (idempotent).
+
+        Stops accepting connections, then — with ``drain`` — waits for
+        every admitted query to finish (connection threads deliver those
+        answers before their sockets go away), and finally releases the
+        port.  ``drain=False`` abandons queued queries instead (their
+        sessions receive backpressure errors).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self._tcp.shutdown()
+        self.admission.shutdown(drain=drain)
+        self._tcp.server_close()
+        if self._close_database:
+            self.database.close()
+
+    def __enter__(self) -> "VisualDatabaseServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """The ``stats`` command's view, server side (for tests/benchmarks)."""
+        cache = self.database.plan_cache
+        with self._lock:
+            sessions = self._sessions
+        return {"sessions": sessions,
+                "address": list(self.address),
+                "admission": self.admission.stats(),
+                "plan_cache": cache.stats() if cache is not None else None,
+                "queries": self.counters.snapshot()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        host, port = self.address
+        return (f"VisualDatabaseServer({host}:{port}, "
+                f"sessions={self._sessions}, closed={self._closed})")
+
+
+def serve(database, host: str = "127.0.0.1", port: int = 0,
+          **kwargs) -> VisualDatabaseServer:
+    """Build and start a :class:`VisualDatabaseServer` (keywords forwarded)."""
+    return VisualDatabaseServer(database, host, port, **kwargs).start()

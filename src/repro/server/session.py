@@ -1,0 +1,270 @@
+"""Per-connection sessions: command dispatch and server-side cursors.
+
+One :class:`Session` lives for the duration of one client connection.  It
+owns the connection's *cursors*: ``execute`` runs the query (through the
+server's admission controller) and parks the resulting
+:class:`~repro.db.results.ResultSet` under a session-local cursor id;
+``fetch`` then pages rows off it with
+:meth:`~repro.db.results.ResultSet.fetchmany` — the query is never re-run,
+and each ``fetch`` reports how many rows remain so clients stop paging
+without a final empty round trip.  Cursors are bounded per session
+(``max_cursors``); ``close_cursor`` (or cursor exhaustion handled client
+side) frees them, and closing the session frees them all.
+
+Sessions survive errors: a failed command — parse error, timeout,
+backpressure rejection — produces an error payload for that request and
+nothing else; the connection and its other cursors stay usable.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.core.selector import UserConstraints
+from repro.query.ast import QueryTimeoutError
+from repro.server.protocol import (PROTOCOL_VERSION, BackpressureError,
+                                   ProtocolError)
+
+__all__ = ["Session", "QueryCounters"]
+
+#: Default page size for ``fetch`` requests that do not name one.
+DEFAULT_FETCH_SIZE = 64
+
+_CONSTRAINT_KEYS = ("max_accuracy_loss", "min_throughput")
+
+
+class QueryCounters:
+    """Server-wide query outcome counters (shared across sessions)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.completed = 0
+        self.failed = 0
+        self.timeouts = 0
+        self.rejected = 0
+
+    def record(self, outcome: str) -> None:
+        with self._lock:
+            setattr(self, outcome, getattr(self, outcome) + 1)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"completed": self.completed, "failed": self.failed,
+                    "timeouts": self.timeouts, "rejected": self.rejected}
+
+
+class Session:
+    """One client's command dispatcher and cursor table.
+
+    Parameters
+    ----------
+    database:
+        The shared :class:`~repro.db.database.VisualDatabase` being served.
+    admission:
+        The server's :class:`~repro.server.admission.AdmissionController`;
+        every ``execute`` is submitted through it.
+    default_timeout:
+        Per-query timeout (seconds) applied when a request carries none;
+        ``None`` lets queries run to completion.
+    max_cursors:
+        Open-cursor cap per session — an ``execute`` beyond it is rejected
+        until the client closes one.
+    counters:
+        Shared :class:`QueryCounters` (the server's); a private one is made
+        when absent so sessions work standalone in tests.
+    stats_extra:
+        Optional callable contributing server-level keys (``sessions``,
+        ``address``) to the ``stats`` command's result.
+    """
+
+    def __init__(self, database, admission, *,
+                 default_timeout: float | None = None,
+                 max_cursors: int = 32,
+                 counters: QueryCounters | None = None,
+                 stats_extra: Callable[[], dict] | None = None) -> None:
+        self.database = database
+        self.admission = admission
+        self.default_timeout = default_timeout
+        self.max_cursors = max_cursors
+        self.counters = counters if counters is not None else QueryCounters()
+        self._stats_extra = stats_extra
+        self._cursors: dict[int, object] = {}
+        self._next_cursor = 1
+        self.closed = False
+
+    # -- dispatch --------------------------------------------------------------
+    def handle(self, request: dict) -> dict:
+        """Run one decoded request, returning its ``result`` object.
+
+        Raises on any failure — the connection handler turns the exception
+        into the error envelope; the session itself stays usable.
+        """
+        cmd = request.get("cmd")
+        if not isinstance(cmd, str):
+            raise ProtocolError('request needs a string "cmd" key')
+        try:
+            handler = self._COMMANDS[cmd]
+        except KeyError:
+            raise ProtocolError(
+                f"unknown command {cmd!r}; commands: "
+                f"{sorted(self._COMMANDS)}") from None
+        return handler(self, request)
+
+    # -- commands --------------------------------------------------------------
+    def _cmd_execute(self, request: dict) -> dict:
+        sql = self._require_str(request, "sql")
+        constraints = self._constraints_from(request.get("constraints"))
+        tables = self._tables_from(request.get("tables"))
+        timeout = request.get("timeout", self.default_timeout)
+        if timeout is not None and (not isinstance(timeout, (int, float))
+                                    or isinstance(timeout, bool)
+                                    or timeout <= 0):
+            raise ProtocolError(f'"timeout" must be positive seconds, '
+                                f"got {timeout!r}")
+        if len(self._cursors) >= self.max_cursors:
+            raise ProtocolError(
+                f"session has {self.max_cursors} open cursors; "
+                "close_cursor one before executing again")
+        # The deadline clock starts now — queueing time counts, so an
+        # overloaded server aborts stale queries instead of running them.
+        cancel = self.admission.cancel_for(timeout)
+        try:
+            future = self.admission.submit(
+                lambda: self.database.execute(sql, constraints,
+                                              tables=tables, cancel=cancel))
+            result_set = future.result()
+        except BackpressureError:
+            self.counters.record("rejected")
+            raise
+        except QueryTimeoutError:
+            self.counters.record("timeouts")
+            raise
+        except BaseException:
+            self.counters.record("failed")
+            raise
+        self.counters.record("completed")
+        cursor_id = self._next_cursor
+        self._next_cursor += 1
+        self._cursors[cursor_id] = result_set
+        return {"cursor": cursor_id,
+                "rowcount": len(result_set),
+                "columns": result_set.columns,
+                "remaining": result_set.remaining}
+
+    def _cmd_fetch(self, request: dict) -> dict:
+        result_set = self._cursor_for(request)
+        n = request.get("n", DEFAULT_FETCH_SIZE)
+        if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+            raise ProtocolError(f'"n" must be a non-negative integer, '
+                                f"got {n!r}")
+        rows = result_set.fetchmany(n)
+        return {"rows": rows, "remaining": result_set.remaining}
+
+    def _cmd_close_cursor(self, request: dict) -> dict:
+        cursor = request.get("cursor")
+        return {"closed": self._cursors.pop(cursor, None) is not None}
+
+    def _cmd_explain(self, request: dict) -> dict:
+        sql = self._require_str(request, "sql")
+        constraints = self._constraints_from(request.get("constraints"))
+        tables = self._tables_from(request.get("tables"))
+        plans = self.database.explain(sql, constraints, tables=tables)
+        if isinstance(plans, dict):
+            return {"plans": {table: plan.to_dict()
+                              for table, plan in plans.items()}}
+        return {"plan": plans.to_dict()}
+
+    def _cmd_stats(self, request: dict) -> dict:
+        database = self.database
+        cache = database.plan_cache
+        result = {"protocol": PROTOCOL_VERSION,
+                  "scenario": database.scenario.name,
+                  "tables": database.tables(),
+                  "predicates": database.predicates(),
+                  "open_cursors": len(self._cursors),
+                  "admission": self.admission.stats(),
+                  "plan_cache": cache.stats() if cache is not None else None,
+                  "queries": self.counters.snapshot()}
+        if self._stats_extra is not None:
+            result.update(self._stats_extra())
+        return result
+
+    def _cmd_tables(self, request: dict) -> dict:
+        return {"tables": self.database.tables()}
+
+    def _cmd_ping(self, request: dict) -> dict:
+        return {"pong": True}
+
+    def _cmd_quit(self, request: dict) -> dict:
+        self.close()
+        return {"bye": True}
+
+    _COMMANDS = {"execute": _cmd_execute,
+                 "fetch": _cmd_fetch,
+                 "close_cursor": _cmd_close_cursor,
+                 "explain": _cmd_explain,
+                 "stats": _cmd_stats,
+                 "tables": _cmd_tables,
+                 "ping": _cmd_ping,
+                 "quit": _cmd_quit}
+
+    # -- request validation ----------------------------------------------------
+    @staticmethod
+    def _require_str(request: dict, key: str) -> str:
+        value = request.get(key)
+        if not isinstance(value, str) or not value.strip():
+            raise ProtocolError(f'request needs a non-empty string '
+                                f'"{key}" key')
+        return value
+
+    def _cursor_for(self, request: dict):
+        cursor = request.get("cursor")
+        try:
+            return self._cursors[cursor]
+        except (KeyError, TypeError):
+            raise ProtocolError(
+                f"unknown cursor {cursor!r}; "
+                f"open: {sorted(self._cursors)}") from None
+
+    def _constraints_from(self, spec) -> UserConstraints | None:
+        """The request's ``constraints`` object as :class:`UserConstraints`.
+
+        Unnamed fields inherit the database's defaults, so a client tuning
+        only ``max_accuracy_loss`` keeps the configured throughput floor.
+        """
+        if spec is None:
+            return None
+        if not isinstance(spec, dict):
+            raise ProtocolError('"constraints" must be an object with '
+                                f"keys {list(_CONSTRAINT_KEYS)}")
+        unknown = sorted(set(spec) - set(_CONSTRAINT_KEYS))
+        if unknown:
+            raise ProtocolError(f"unknown constraint keys {unknown}; "
+                                f"known: {list(_CONSTRAINT_KEYS)}")
+        base = self.database.default_constraints
+        return UserConstraints(
+            max_accuracy_loss=spec.get("max_accuracy_loss",
+                                       base.max_accuracy_loss),
+            min_throughput=spec.get("min_throughput", base.min_throughput))
+
+    @staticmethod
+    def _tables_from(spec) -> list[str] | None:
+        if spec is None:
+            return None
+        if not isinstance(spec, list) or not all(
+                isinstance(name, str) for name in spec):
+            raise ProtocolError('"tables" must be a list of table names, '
+                                f"got {spec!r}")
+        return spec
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def open_cursors(self) -> list[int]:
+        """Open cursor ids, in creation order."""
+        return sorted(self._cursors)
+
+    def close(self) -> None:
+        """Drop every cursor (idempotent); the session stops serving."""
+        self._cursors.clear()
+        self.closed = True

@@ -450,3 +450,72 @@ class TestPersistence:
         assert reloaded.default_constraints == CONSTRAINED
         assert reloaded.cost_resolution == db.cost_resolution
         assert reloaded.profiler.source_resolution == db.profiler.source_resolution
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, db):
+        assert db.closed is False
+        db.close()
+        assert db.closed is True
+        db.close()
+
+    def test_queries_after_close_raise(self, db):
+        db.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            db.execute(SQL)
+        with pytest.raises(RuntimeError, match="closed"):
+            db.explain(SQL)
+
+    def test_mutations_after_close_raise(self, db, corpus):
+        db.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            db.ingest(corpus.images[:2], metadata={
+                name: column[:2]
+                for name, column in corpus.metadata.items()})
+        with pytest.raises(RuntimeError, match="closed"):
+            db.attach("late", corpus)
+
+    def test_close_detaches_tables_and_clears_store(self, db):
+        db.execute(SQL)  # materialize some state first
+        db.close()
+        assert db.tables() == []
+        assert db.catalog.store.total_bytes_stored() == 0
+
+    def test_context_manager_closes(self, corpus):
+        with connect(corpus, calibrate_target_fps=None) as database:
+            assert database.closed is False
+        assert database.closed is True
+
+    def test_entering_closed_database_raises(self, corpus):
+        database = connect(corpus, calibrate_target_fps=None)
+        database.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            with database:
+                pass
+
+
+class TestPlanSerialization:
+    def test_to_dict_is_json_ready(self, db):
+        import json
+
+        plan = db.explain(SQL)
+        payload = plan.to_dict()
+        json.dumps(payload)
+        assert payload["table"] == "images"
+        assert payload["scenario"] == "camera"
+        assert payload["metadata_steps"] == [
+            {"op": "filter", "column": "location", "operator": "==",
+             "value": "detroit"}]
+        step = payload["content_steps"][0]
+        assert step["category"] == "komondor"
+        assert step["depth"] >= 1
+        assert step["cost_per_image_s"] > 0
+
+    def test_to_dict_covers_projection_and_aggregates(self, db):
+        payload = db.explain("SELECT count(*), avg(timestamp) FROM images "
+                             "GROUP BY location ORDER BY location "
+                             "LIMIT 3").to_dict()
+        assert payload["is_aggregate"] is True
+        assert payload["group_by"] == ["location"]
+        assert payload["order_by"] == [{"key": "location", "ascending": True}]
+        assert payload["limit"] == 3

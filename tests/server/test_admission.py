@@ -1,0 +1,141 @@
+"""Admission control: bounded queue, immediate backpressure, drain, timeouts."""
+
+import threading
+import time
+
+import pytest
+
+from repro.query.ast import QueryTimeoutError
+from repro.server.admission import AdmissionController
+from repro.server.protocol import BackpressureError
+
+
+def wait_until(condition, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if condition():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+@pytest.fixture()
+def controller():
+    admission = AdmissionController(max_workers=2, max_queue=4)
+    yield admission
+    admission.shutdown(drain=False)
+
+
+class TestSubmit:
+    def test_result_round_trip(self, controller):
+        assert controller.submit(lambda: 21 * 2).result(timeout=5) == 42
+
+    def test_exceptions_forwarded(self, controller):
+        future = controller.submit(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            future.result(timeout=5)
+        assert wait_until(lambda: controller.stats()["failed"] == 1)
+
+    def test_many_tasks_all_complete(self):
+        admission = AdmissionController(max_workers=2, max_queue=32)
+        try:
+            futures = [admission.submit(lambda i=i: i * i)
+                       for i in range(20)]
+            assert [f.result(timeout=5) for f in futures] == \
+                [i * i for i in range(20)]
+            assert admission.stats()["submitted"] == 20
+        finally:
+            admission.shutdown()
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_immediately(self):
+        admission = AdmissionController(max_workers=1, max_queue=1)
+        release = threading.Event()
+        try:
+            blocker = admission.submit(release.wait)
+            assert wait_until(
+                lambda: admission.stats()["in_flight"] == 1)
+            queued = admission.submit(lambda: "queued")
+            started = time.monotonic()
+            with pytest.raises(BackpressureError) as info:
+                admission.submit(lambda: "rejected")
+            # The rejection must not have waited on the running query.
+            assert time.monotonic() - started < 1.0
+            assert info.value.max_queue == 1
+            assert info.value.to_dict()["type"] == "BackpressureError"
+            release.set()
+            assert queued.result(timeout=5) == "queued"
+            assert blocker.result(timeout=5) is True
+            assert admission.stats()["rejected"] == 1
+        finally:
+            release.set()
+            admission.shutdown()
+
+    def test_rejected_after_shutdown(self, controller):
+        controller.shutdown()
+        with pytest.raises(BackpressureError):
+            controller.submit(lambda: None)
+
+
+class TestShutdown:
+    def test_drain_completes_queued_work(self):
+        admission = AdmissionController(max_workers=1, max_queue=8)
+        gate = threading.Event()
+        first = admission.submit(gate.wait)
+        others = [admission.submit(lambda i=i: i) for i in range(4)]
+        closer = threading.Thread(target=admission.shutdown)
+        closer.start()
+        assert wait_until(lambda: admission.closing)
+        gate.set()
+        closer.join(timeout=5)
+        assert not closer.is_alive()
+        assert first.result(timeout=1) is True
+        assert [f.result(timeout=1) for f in others] == list(range(4))
+
+    def test_no_drain_fails_queued_futures(self):
+        admission = AdmissionController(max_workers=1, max_queue=8)
+        gate = threading.Event()
+        admission.submit(gate.wait)
+        assert wait_until(lambda: admission.stats()["in_flight"] == 1)
+        queued = admission.submit(lambda: "never")
+        closer = threading.Thread(
+            target=lambda: admission.shutdown(drain=False))
+        closer.start()
+        # The queued future fails during the drain, before workers join.
+        with pytest.raises(BackpressureError):
+            queued.result(timeout=5)
+        gate.set()
+        closer.join(timeout=5)
+        assert not closer.is_alive()
+
+    def test_idempotent(self, controller):
+        controller.shutdown()
+        controller.shutdown()
+
+
+class TestCancelFor:
+    def test_none_timeout_means_no_hook(self, controller):
+        assert controller.cancel_for(None) is None
+
+    def test_hook_raises_past_deadline(self, controller):
+        cancel = controller.cancel_for(1e-6)
+        time.sleep(0.01)
+        with pytest.raises(QueryTimeoutError):
+            cancel()
+
+    def test_hook_silent_before_deadline(self, controller):
+        cancel = controller.cancel_for(60.0)
+        cancel()
+
+    def test_clock_starts_at_submission(self, controller):
+        cancel = controller.cancel_for(0.05, started=time.monotonic() - 1.0)
+        with pytest.raises(QueryTimeoutError):
+            cancel()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [{"max_workers": 0}, {"max_queue": 0}])
+    def test_positive_sizes_required(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionController(**kwargs)
