@@ -1,0 +1,167 @@
+"""Storage-engine durability costs: WAL overhead, recovery time, snapshots.
+
+The segment-based storage engine makes three performance promises:
+
+* journaling is an O(batch) tax on ingest (one ``.npz`` payload + one
+  fsync'd log line per batch), not an O(corpus) one,
+* recovery time is proportional to the log tail replayed — checkpoints
+  bound it, and replay batches the relation rebuild so a long tail is
+  O(total rows), not O(records x rows),
+* queries execute against a frozen snapshot, so read latency holds steady
+  while ``ingest()`` + ``retain()`` churn the same shard.
+
+This benchmark measures all three on a metadata-only table (no predicate
+models — the numbers isolate the storage engine).  Results land in
+``benchmarks/results/wal.txt`` and, machine-readably, ``BENCH_wal.json`` at
+the repo root.
+"""
+
+import statistics
+import threading
+import time
+
+import numpy as np
+
+from _util import write_json, write_result
+from repro.data.corpus import ImageCorpus
+from repro.db import RetentionPolicy, VisualDatabase, connect
+from repro.experiments.reporting import format_table
+
+IMAGE_SIZE = 16
+BATCH_ROWS = 32
+SQL = "SELECT image_id, timestamp FROM cam"
+
+
+def _corpus(n_rows, t0=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return ImageCorpus(
+        images=rng.random((n_rows, IMAGE_SIZE, IMAGE_SIZE, 3)),
+        metadata={"timestamp": np.arange(t0, t0 + n_rows, dtype=np.float64),
+                  "location": np.array(["detroit"] * n_rows)})
+
+
+def _batch(t0, seed):
+    corpus = _corpus(BATCH_ROWS, t0=t0, seed=seed)
+    return corpus.images, dict(corpus.metadata)
+
+
+def _ingest_run(database, n_batches):
+    start = time.perf_counter()
+    clock = 1000.0
+    for index in range(n_batches):
+        database.ingest(*_batch(clock, seed=index + 1), table="cam")
+        clock += BATCH_ROWS
+    return time.perf_counter() - start
+
+
+def test_wal_storage_engine(smoke_mode, results_dir, tmp_path):
+    n_batches = 4 if smoke_mode else 16
+    recovery_lengths = (2, 4, 8) if smoke_mode else (8, 32, 64)
+    payload = {"smoke": smoke_mode, "batch_rows": BATCH_ROWS}
+
+    # -- 1. ingest throughput, WAL off vs. on -------------------------------
+    plain = connect({"cam": _corpus(BATCH_ROWS)})
+    plain_s = _ingest_run(plain, n_batches)
+    plain.close()
+
+    durable = connect({"cam": _corpus(BATCH_ROWS)})
+    durable.enable_wal(tmp_path / "ingest-vdb")
+    durable_s = _ingest_run(durable, n_batches)
+    durable.close()
+
+    rows_ingested = n_batches * BATCH_ROWS
+    ingest_rows = [
+        ["WAL off", f"{rows_ingested / plain_s:.0f}",
+         f"{plain_s / n_batches * 1e3:.2f}"],
+        ["WAL on", f"{rows_ingested / durable_s:.0f}",
+         f"{durable_s / n_batches * 1e3:.2f}"],
+    ]
+    payload["ingest"] = {
+        "batches": n_batches,
+        "rows_per_s_wal_off": rows_ingested / plain_s,
+        "rows_per_s_wal_on": rows_ingested / durable_s,
+        "overhead_ratio": durable_s / plain_s,
+    }
+
+    # -- 2. recovery time vs. log length ------------------------------------
+    recovery_rows, recovery_payload = [], []
+    for length in recovery_lengths:
+        root = tmp_path / f"recover-{length}"
+        database = connect({"cam": _corpus(BATCH_ROWS)})
+        database.enable_wal(root)
+        clock = 1000.0
+        for index in range(length):
+            database.ingest(*_batch(clock, seed=index + 1), table="cam")
+            clock += BATCH_ROWS
+        expected_rows = len(database.corpus_for("cam"))
+        # No close(): load replays the tail exactly as after a crash.
+        start = time.perf_counter()
+        recovered = VisualDatabase.load(root)
+        elapsed_s = time.perf_counter() - start
+        assert len(recovered.corpus_for("cam")) == expected_rows
+        recovered.close()
+        database.close()
+        recovery_rows.append([f"{length}", f"{expected_rows}",
+                              f"{elapsed_s * 1e3:.1f}"])
+        recovery_payload.append({"log_records": length,
+                                 "rows_recovered": expected_rows,
+                                 "recovery_s": elapsed_s})
+    payload["recovery"] = recovery_payload
+
+    # -- 3. snapshot-read latency while ingest churns ------------------------
+    def query_latencies(database, n_queries):
+        samples = []
+        for _ in range(n_queries):
+            start = time.perf_counter()
+            list(database.execute(SQL))
+            samples.append(time.perf_counter() - start)
+        return samples
+
+    n_queries = 10 if smoke_mode else 40
+    database = connect({"cam": _corpus(4 * BATCH_ROWS)},
+                       retention=RetentionPolicy(max_rows=8 * BATCH_ROWS))
+    idle = query_latencies(database, n_queries)
+
+    stop = threading.Event()
+    errors = []
+
+    def churn():
+        clock = 10_000.0
+        seed = 100
+        try:
+            while not stop.is_set():
+                database.ingest(*_batch(clock, seed=seed), table="cam")
+                database.retain()
+                clock += BATCH_ROWS
+                seed += 1
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    thread = threading.Thread(target=churn)
+    thread.start()
+    try:
+        contended = query_latencies(database, n_queries)
+    finally:
+        stop.set()
+        thread.join()
+    database.close()
+    assert errors == []
+
+    idle_ms = statistics.median(idle) * 1e3
+    contended_ms = statistics.median(contended) * 1e3
+    payload["snapshot_reads"] = {
+        "queries": n_queries,
+        "median_idle_ms": idle_ms,
+        "median_during_ingest_ms": contended_ms,
+    }
+
+    body = "\n\n".join([
+        format_table(["journal", "rows/s", "ms/batch"], ingest_rows),
+        format_table(["log records", "rows", "recovery ms"], recovery_rows),
+        format_table(["reads", "median ms"],
+                     [["idle", f"{idle_ms:.2f}"],
+                      ["during ingest+retain", f"{contended_ms:.2f}"]]),
+    ])
+    write_result(results_dir, "wal", "WAL: ingest overhead, recovery, "
+                 "snapshot reads", body)
+    write_json("wal", payload)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -12,6 +12,7 @@ from repro.data.synthesis import render_image
 __all__ = [
     "LabeledDataset",
     "PredicateDataSplits",
+    "CorpusSegment",
     "ImageCorpus",
     "build_predicate_dataset",
     "build_predicate_splits",
@@ -149,7 +150,73 @@ def build_predicate_splits(category: CategoryDef, *, n_train: int = 240,
                                eval=balanced(n_eval))
 
 
-@dataclass
+@dataclass(frozen=True)
+class CorpusSegment:
+    """One immutable run of corpus rows: images plus aligned columns.
+
+    Segments are the storage unit of the streaming engine: every
+    :meth:`ImageCorpus.append` creates one, retention drops whole ones from
+    the front (splitting only the boundary segment), and the write-ahead log
+    journals them as durable records.  A segment is never mutated after
+    construction — readers holding a reference (a query snapshot, a pending
+    WAL write) keep a consistent view while the corpus moves on.
+    """
+
+    images: np.ndarray
+    metadata: dict[str, np.ndarray]
+    content: dict[str, np.ndarray]
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @staticmethod
+    def build(images, metadata, content) -> "CorpusSegment":
+        """Coerce and validate raw arrays into a segment."""
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 4:
+            raise ValueError(f"images must be NHWC, got shape {images.shape}")
+        n = images.shape[0]
+        metadata = {key: _column(key, values, n, "metadata")
+                    for key, values in (metadata or {}).items()}
+        content = {key: _column(key, values, n, "content")
+                   for key, values in (content or {}).items()}
+        return CorpusSegment(images=images, metadata=metadata, content=content)
+
+    def tail(self, start: int) -> "CorpusSegment":
+        """A new segment holding rows ``start:`` (copied, never a view).
+
+        Copies so the dropped front rows' memory is actually released —
+        retention splitting a boundary segment must free bytes.
+        """
+        return CorpusSegment(
+            images=self.images[start:].copy(),
+            metadata={key: values[start:].copy()
+                      for key, values in self.metadata.items()},
+            content={key: values[start:].copy()
+                     for key, values in self.content.items()})
+
+    @staticmethod
+    def merge(segments: list["CorpusSegment"]) -> "CorpusSegment":
+        """Fold several adjacent segments into one (row order preserved)."""
+        if len(segments) == 1:
+            return segments[0]
+        return CorpusSegment(
+            images=np.concatenate([seg.images for seg in segments], axis=0),
+            metadata={key: np.concatenate([seg.metadata[key]
+                                           for seg in segments])
+                      for key in segments[0].metadata},
+            content={key: np.concatenate([seg.content[key]
+                                          for seg in segments])
+                     for key in segments[0].content})
+
+
+def _column(key: str, values, n: int, kind: str) -> np.ndarray:
+    array = np.asarray(values)
+    if array.shape[0] != n:
+        raise ValueError(f"{kind} column {key!r} has wrong length")
+    return array
+
+
 class ImageCorpus:
     """A queryable corpus: images plus metadata plus ground-truth content tuples.
 
@@ -157,105 +224,220 @@ class ImageCorpus:
     ``content`` maps category name to a boolean presence vector; the query
     engine never reads it (it exists to check query results in tests and
     experiments).
+
+    Internally the corpus is an ordered list of immutable
+    :class:`CorpusSegment` objects — every :meth:`append` adds one in O(batch)
+    and :meth:`drop_oldest` pops whole segments from the front, so streaming
+    ingest and retention never copy the surviving history.  The monolithic
+    ``images`` / ``metadata`` / ``content`` views the query engine consumes
+    are built lazily on first read (and the segment list collapses to the
+    consolidated form, so memory is never held twice); :meth:`compact` folds
+    segments explicitly.
     """
 
-    images: np.ndarray
-    metadata: dict[str, np.ndarray]
-    content: dict[str, np.ndarray] = field(default_factory=dict)
+    def __init__(self, images: np.ndarray,
+                 metadata: dict[str, np.ndarray] | None = None,
+                 content: dict[str, np.ndarray] | None = None, *,
+                 _segments: list[CorpusSegment] | None = None) -> None:
+        if _segments is not None:
+            if not _segments:
+                raise ValueError("corpus needs at least one segment")
+            self._segments = list(_segments)
+        else:
+            self._segments = [CorpusSegment.build(images, metadata or {},
+                                                  content or {})]
 
-    def __post_init__(self) -> None:
-        self.images = np.asarray(self.images, dtype=np.float64)
-        n = self.images.shape[0]
-        # Coerce and *store* the arrays: list-valued columns must not survive
-        # into persistence or append paths as Python lists.
-        self.metadata = {key: self._column(key, values, n, "metadata")
-                         for key, values in self.metadata.items()}
-        self.content = {key: self._column(key, values, n, "content")
-                        for key, values in self.content.items()}
+    # -- consolidated views --------------------------------------------------
+    def _consolidated(self) -> CorpusSegment:
+        """The whole corpus as one segment (collapses the segment list).
 
-    @staticmethod
-    def _column(key: str, values, n: int, kind: str) -> np.ndarray:
-        array = np.asarray(values)
-        if array.shape[0] != n:
-            raise ValueError(f"{kind} column {key!r} has wrong length")
-        return array
+        Collapsing (instead of caching alongside) keeps peak memory at one
+        copy of the corpus; the segment structure only needs to survive
+        between mutations and the next read, which is exactly when it saves
+        the O(corpus) concatenations the old grow-in-place arrays paid on
+        every append.
+        """
+        if len(self._segments) > 1:
+            self._segments = [CorpusSegment.merge(self._segments)]
+        return self._segments[0]
+
+    @property
+    def images(self) -> np.ndarray:
+        return self._consolidated().images
+
+    @property
+    def metadata(self) -> dict[str, np.ndarray]:
+        return self._consolidated().metadata
+
+    @property
+    def content(self) -> dict[str, np.ndarray]:
+        return self._consolidated().content
+
+    def metadata_arrays(self) -> dict[str, np.ndarray]:
+        """Concatenated metadata columns *without* consolidating images.
+
+        The executor rebuilds its base relation after every ingest; going
+        through this method keeps that rebuild O(rows × metadata columns)
+        instead of forcing the (much larger) image arrays to collapse —
+        images consolidate lazily when a query actually reads them.
+        """
+        if len(self._segments) == 1:
+            return self._segments[0].metadata
+        return {key: np.concatenate([segment.metadata[key]
+                                     for segment in self._segments])
+                for key in self._segments[0].metadata}
+
+    @property
+    def segments(self) -> tuple[CorpusSegment, ...]:
+        """The current segment list (newest last).  Segments are immutable."""
+        return tuple(self._segments)
+
+    def segment_rows(self) -> list[int]:
+        """Row count per segment, oldest first."""
+        return [len(segment) for segment in self._segments]
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
 
     def __len__(self) -> int:
-        return int(self.images.shape[0])
+        return sum(len(segment) for segment in self._segments)
 
     @property
     def image_size(self) -> int:
-        return int(self.images.shape[1])
+        return int(self._segments[0].images.shape[1])
 
+    def images_from(self, start: int) -> np.ndarray:
+        """The image rows ``start:`` without consolidating the corpus.
+
+        The ingest hot path extends stored representations with just the new
+        frames; reading the tail through this method touches only the
+        segments that cover it, so a long history is never concatenated to
+        transform one fresh batch.
+        """
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        parts, offset = [], 0
+        for segment in self._segments:
+            end = offset + len(segment)
+            if end > start:
+                parts.append(segment.images[max(0, start - offset):])
+            offset = end
+        if not parts:
+            return self._segments[-1].images[:0]
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts, axis=0)
+
+    # -- mutation -------------------------------------------------------------
     def append(self, images: np.ndarray,
                metadata: dict[str, np.ndarray] | None = None,
                content: dict[str, np.ndarray] | None = None) -> np.ndarray:
-        """Append new rows in place, returning the new rows' image ids.
+        """Append new rows as a fresh segment, returning the new rows' ids.
 
         This is the corpus half of streaming ingest: ``images`` is an NHWC
         batch with the same frame shape as the corpus, ``metadata`` must
         provide exactly the existing metadata columns, and ``content``
         (ground truth, optional) may provide any subset of the existing
         content columns — missing ones are padded with ``False`` for the new
-        rows, mirroring frames whose ground truth is unknown.
+        rows, mirroring frames whose ground truth is unknown.  The appended
+        batch becomes one immutable :class:`CorpusSegment`, so the cost is
+        O(batch), not O(corpus).
         """
+        segment = self._build_appended(images, metadata, content)
+        n_old = len(self)
+        self._segments.append(segment)
+        return np.arange(n_old, n_old + len(segment))
+
+    def _build_appended(self, images, metadata, content) -> CorpusSegment:
+        """Validate an append batch against the corpus schema."""
         images = np.asarray(images, dtype=np.float64)
         if images.ndim != 4:
             raise ValueError(f"images must be NHWC, got shape {images.shape}")
-        if images.shape[1:] != self.images.shape[1:]:
+        frame_shape = self._segments[0].images.shape[1:]
+        if images.shape[1:] != frame_shape:
             raise ValueError(
                 f"appended frame shape {images.shape[1:]} does not match "
-                f"corpus frame shape {self.images.shape[1:]}")
+                f"corpus frame shape {frame_shape}")
         n_new = images.shape[0]
 
+        schema = self._segments[0]
         metadata = metadata or {}
-        if set(metadata) != set(self.metadata):
+        if set(metadata) != set(schema.metadata):
             raise ValueError(
                 f"metadata columns {sorted(metadata)} do not match corpus "
-                f"columns {sorted(self.metadata)}")
-        new_metadata = {key: self._column(key, values, n_new, "metadata")
+                f"columns {sorted(schema.metadata)}")
+        new_metadata = {key: _column(key, values, n_new, "metadata")
                         for key, values in metadata.items()}
 
         content = content or {}
-        unknown = set(content) - set(self.content)
+        unknown = set(content) - set(schema.content)
         if unknown:
             raise ValueError(f"unknown content columns {sorted(unknown)}; "
-                             f"corpus has {sorted(self.content)}")
+                             f"corpus has {sorted(schema.content)}")
         new_content = {}
-        for key, existing in self.content.items():
+        for key, existing in schema.content.items():
             if key in content:
-                new_content[key] = self._column(key, content[key], n_new,
-                                                "content")
+                new_content[key] = _column(key, content[key], n_new, "content")
             else:
                 new_content[key] = np.zeros(n_new, dtype=existing.dtype)
-
-        n_old = len(self)
-        self.images = np.concatenate([self.images, images], axis=0)
-        self.metadata = {key: np.concatenate([values, new_metadata[key]])
-                         for key, values in self.metadata.items()}
-        self.content = {key: np.concatenate([values, new_content[key]])
-                        for key, values in self.content.items()}
-        return np.arange(n_old, n_old + n_new)
+        return CorpusSegment(images=images, metadata=new_metadata,
+                             content=new_content)
 
     def drop_oldest(self, n: int) -> int:
-        """Drop the ``n`` oldest (front) rows in place; returns rows dropped.
+        """Drop the ``n`` oldest (front) rows; returns rows dropped.
 
         This is the corpus half of retention windows: a streaming table is a
         sliding window over its feed, so eviction always takes the front.
-        The surviving arrays are copied, not sliced — a view would pin the
-        dropped rows' memory, defeating the point of retention.
+        Whole leading segments are dropped in O(1) each — their memory is
+        released without touching the survivors — and only a segment
+        straddling the boundary is split (the surviving tail is copied, not
+        sliced, so a view never pins the dropped rows' memory).
         """
         if n < 0:
             raise ValueError(f"n must be non-negative, got {n}")
         n = min(int(n), len(self))
         if n == 0:
             return 0
-        self.images = self.images[n:].copy()
-        self.metadata = {key: values[n:].copy()
-                         for key, values in self.metadata.items()}
-        self.content = {key: values[n:].copy()
-                        for key, values in self.content.items()}
+        remaining = n
+        while remaining > 0:
+            head = self._segments[0]
+            if remaining >= len(head) and len(self._segments) > 1:
+                self._segments.pop(0)
+                remaining -= len(head)
+            else:
+                # Boundary split — also the "corpus emptied" case, where the
+                # zero-row tail keeps the column schema alive.
+                self._segments[0] = head.tail(remaining)
+                remaining = 0
         return n
+
+    def compact(self, min_rows: int | None = None) -> int:
+        """Fold small adjacent segments together; returns segments folded away.
+
+        With ``min_rows=None`` the whole corpus collapses to one segment.
+        Otherwise only runs of adjacent segments smaller than ``min_rows``
+        are merged, so a large old segment is never rewritten just to absorb
+        a trickle of small ingest batches behind it.
+        """
+        before = len(self._segments)
+        if min_rows is None:
+            self._consolidated()
+            return before - len(self._segments)
+        merged: list[CorpusSegment] = []
+        run: list[CorpusSegment] = []
+        for segment in self._segments:
+            if len(segment) < min_rows:
+                run.append(segment)
+                continue
+            if run:
+                merged.append(CorpusSegment.merge(run))
+                run = []
+            merged.append(segment)
+        if run:
+            merged.append(CorpusSegment.merge(run))
+        self._segments = merged
+        return before - len(self._segments)
 
 
 def generate_corpus(categories: tuple[CategoryDef, ...], n_images: int,

@@ -45,6 +45,7 @@ from repro.db.aggregates import GroupedPartials, compute_partials, merge_partial
 from repro.db.results import (TABLE_COLUMN, AggregateResultSet,
                               FanoutResultSet, ResultSet, build_result_set)
 from repro.db.retention import RetentionPolicy
+from repro.db.wal import TableWal
 from repro.query.ast import QueryError, SqlParseError
 
 __all__ = [
@@ -72,4 +73,5 @@ __all__ = [
     "SqlParseError",
     "TABLE_COLUMN",
     "RetentionPolicy",
+    "TableWal",
 ]

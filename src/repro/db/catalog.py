@@ -79,9 +79,10 @@ class Catalog:
         """Set (or clear, with ``None``) table ``name``'s retention policy.
 
         The policy takes effect at the next ingest or ``retain()`` call; it
-        never drops rows by itself.
+        never drops rows by itself.  Routed through the executor so the
+        change is journaled when the shard has a write-ahead log.
         """
-        self.executor(name).retention = policy
+        self.executor(name).set_retention(policy)
 
     def retention(self, name: str) -> RetentionPolicy | None:
         """Table ``name``'s retention policy (``None`` when unbounded)."""

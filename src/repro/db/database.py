@@ -195,6 +195,8 @@ class VisualDatabase:
         self._device = device
         self._closed = False
         self._plan_cache = None
+        self._wal_root: Path | None = None
+        self._checkpoints = 0
         self._device_calibrated = False
         self._scenario: Scenario = INFER_ONLY
         self._profiler_override: CostProfiler | None = None
@@ -259,8 +261,12 @@ class VisualDatabase:
         columns and each shard's store namespace — clears the shared
         representation store and the plan cache, and marks the database
         closed: queries, ingest and catalog changes afterwards raise
-        :class:`RuntimeError`.  The server closes the database it serves on
-        shutdown; tests use the context-manager form::
+        :class:`RuntimeError`.  For a WAL-enabled database every journal
+        handle is flushed and closed *first* (without writing detach
+        tombstones — closing is not detaching; the tables come back on the
+        next load), so no buffered log bytes are lost and the log files are
+        released.  The server closes the database it serves on shutdown;
+        tests use the context-manager form::
 
             with repro.db.connect(corpus) as db:
                 db.execute("SELECT * FROM images LIMIT 5")
@@ -269,6 +275,13 @@ class VisualDatabase:
             return
         self._closed = True
         for name in self.tables():
+            executor = self._catalog.executor(name)
+            wal = executor.wal
+            if wal is not None:
+                # Detach the journal before detaching the table, so the
+                # catalog teardown below is not mistaken for a detach().
+                executor.set_wal(None)
+                wal.close()
             self._catalog.detach(name)
         self._catalog.store.clear()
         if self._plan_cache is not None:
@@ -319,7 +332,20 @@ class VisualDatabase:
                         retention: RetentionPolicy | None = None) -> None:
         """Attach (or replace) ``name``; that table's caches start fresh."""
         self._check_open()
+        old_wal = None
+        if self._wal_root is not None and name in self._catalog:
+            executor = self._catalog.executor(name)
+            old_wal = executor.wal
+            executor.set_wal(None)
         self._catalog.replace(name, corpus, retention=retention)
+        if old_wal is not None:
+            # The replaced table's journal ends with a tombstone; the new
+            # incarnation's baseline is journaled right after, in the same
+            # log, so replay reproduces the replace.
+            old_wal.log_detach()
+            old_wal.close()
+        if self._wal_root is not None:
+            self._arm_wal(name, baseline=True)
         self._invalidate_plans()
 
     def attach(self, name: str, corpus: ImageCorpus,
@@ -328,14 +354,31 @@ class VisualDatabase:
 
         Predicates are shared across tables: train once, query any shard.
         ``retention`` makes the new table a sliding window over its feed.
+        On a WAL-enabled database the new table is journaled from birth: its
+        baseline corpus lands in the log as an ``attach`` record, so a crash
+        before the next checkpoint still recovers it.
         """
         self._check_open()
         self._catalog.attach(name, corpus, retention=retention)
+        if self._wal_root is not None:
+            self._arm_wal(name, baseline=True)
         self._invalidate_plans()
 
     def detach(self, name: str) -> None:
-        """Drop table ``name`` with its materialized labels and store namespace."""
+        """Drop table ``name`` with its materialized labels and store namespace.
+
+        On a WAL-enabled database a ``detach`` tombstone is journaled, so
+        recovery from an older checkpoint drops the table again.
+        """
+        wal = None
+        if self._wal_root is not None and name in self._catalog:
+            executor = self._catalog.executor(name)
+            wal = executor.wal
+            executor.set_wal(None)
         self._catalog.detach(name)
+        if wal is not None:
+            wal.log_detach()
+            wal.close()
         self._invalidate_plans()
 
     def tables(self) -> list[str]:
@@ -791,6 +834,121 @@ class VisualDatabase:
         self._check_open()
         return self._plan_for(sql, constraints, tables)
 
+    # -- durability ------------------------------------------------------------
+    @property
+    def wal_root(self) -> Path | None:
+        """The write-ahead-log root directory (``None`` = durability off)."""
+        return self._wal_root
+
+    def enable_wal(self, root: str | Path) -> Path:
+        """Turn on write-ahead logging under ``root`` and take the first
+        checkpoint there.
+
+        After this every mutation — :meth:`ingest` segments, retention drops
+        and policy changes, :meth:`attach`/:meth:`detach` — is journaled to
+        ``root/wal/<table>/`` *as it happens*, so a process killed between
+        checkpoints loses nothing: ``VisualDatabase.load(root)`` restores
+        the last checkpoint and replays each table's log tail.  Call
+        :meth:`checkpoint` periodically to fold the log back into the
+        checkpoint image and keep replay short.
+
+        Enabling trains pending lazy predicates (via the initial checkpoint)
+        — recovery must not depend on training state.  Raises
+        :class:`RuntimeError` when a WAL is already enabled.
+        """
+        self._check_open()
+        if self._wal_root is not None:
+            raise RuntimeError(f"write-ahead log already enabled under "
+                               f"{self._wal_root}")
+        self._wal_root = Path(root)
+        try:
+            for name in self.tables():
+                # No baseline records: the initial checkpoint below captures
+                # the current corpora; the log only carries what follows.
+                self._arm_wal(name, baseline=False)
+            return self.save(self._wal_root)
+        except BaseException:
+            for name in self.tables():
+                executor = self._catalog.executor(name)
+                wal = executor.wal
+                if wal is not None:
+                    executor.set_wal(None)
+                    wal.close()
+            self._wal_root = None
+            raise
+
+    def checkpoint(self, store_bytes_cap: int | None = None) -> Path:
+        """Fold the write-ahead log into a fresh checkpoint image.
+
+        A checkpoint bounds recovery time: the log tail replayed at load
+        time only covers mutations since the last checkpoint.  Each table's
+        journal rotates at capture time and the absorbed generations are
+        pruned once the new manifest is durably on disk — killing the
+        process *during* a checkpoint is always recoverable.  Requires
+        :meth:`enable_wal` first.
+        """
+        self._check_open()
+        if self._wal_root is None:
+            raise RuntimeError("no write-ahead log; call enable_wal(root) "
+                               "before checkpoint()")
+        return self.save(self._wal_root, store_bytes_cap=store_bytes_cap)
+
+    def compact(self, table: str | None = None,
+                min_rows: int | None = None) -> dict[str, int]:
+        """Fold small corpus segments together; ``{table: segments_folded}``.
+
+        Streaming ingest leaves each table's corpus as many small immutable
+        segments; compaction merges adjacent runs smaller than ``min_rows``
+        (``None`` collapses each table to a single segment).  Purely an
+        in-memory reorganization: ids, query results and the WAL are
+        untouched.  ``table`` restricts the pass to one shard.
+        """
+        self._check_open()
+        targets = [table] if table is not None else self.tables()
+        return {name: self._catalog.executor(name).compact(min_rows)
+                for name in targets}
+
+    def storage_stats(self) -> dict:
+        """Storage-engine counters: per-table segments/WAL depth, store bytes.
+
+        The server's ``stats`` command ships this, so operators can watch
+        segment fragmentation (is a ``compact()`` due?) and WAL length (is a
+        ``checkpoint()`` due?) per shard.
+        """
+        return {
+            "wal_enabled": self._wal_root is not None,
+            "wal_root": (str(self._wal_root)
+                         if self._wal_root is not None else None),
+            "checkpoints": self._checkpoints,
+            "store_bytes": self._catalog.store.total_bytes_stored(),
+            "tables": {name: self._catalog.executor(name).stats()
+                       for name in self.tables()},
+        }
+
+    def _arm_wal(self, name: str, *, baseline: bool) -> None:
+        """Open ``name``'s journal and attach it to the executor.
+
+        ``baseline=True`` journals the table's current corpus as an
+        ``attach`` record first (a table attached *between* checkpoints
+        exists only in the log); ``baseline=False`` is for
+        :meth:`enable_wal`, where the initial checkpoint carries the
+        corpora.
+        """
+        from repro.data.corpus import CorpusSegment
+        from repro.db.wal import TableWal
+
+        executor = self._catalog.executor(name)
+        wal = TableWal(self._wal_root, name)
+        if baseline:
+            corpus = executor.corpus
+            wal.log_attach(
+                CorpusSegment.build(corpus.images, corpus.metadata,
+                                    corpus.content),
+                id_offset=executor.id_offset)
+            if executor.retention is not None:
+                wal.log_retention(executor.retention.to_dict())
+        executor.set_wal(wal)
+
     # -- persistence -----------------------------------------------------------
     def save(self, path: str | Path, include_corpus: bool = True,
              store_bytes_cap: int | None = None) -> Path:
@@ -800,6 +958,9 @@ class VisualDatabase:
         initialized.  Materialized representation arrays are saved per table
         up to ``store_bytes_cap`` (hottest first), so a reload warm-starts
         without recompute; see :mod:`repro.db.persistence` for the layout.
+        Saving a WAL-enabled database into its own WAL root is a
+        **checkpoint** (see :meth:`checkpoint`); saving anywhere else writes
+        an ordinary standalone copy.
         """
         from repro.db.persistence import save_database
 

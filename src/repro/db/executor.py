@@ -14,11 +14,24 @@ between queries:
 
 Plans come from :class:`~repro.db.planner.QueryPlanner`; the executor never
 chooses cascades or orders predicates itself.
+
+Queries run against a **snapshot**: :meth:`execute` captures a frozen view of
+the shard (consolidated corpus arrays, base relation, materialized columns,
+stored representations, id offset) under the per-shard lock, then evaluates
+the plan entirely lock-free, and finally merges what it learned (new
+materialized labels, topped-up representations) back under the lock.  Reads
+therefore no longer serialize against ``ingest()``/``retain()`` for the
+duration of classification — only for the capture and merge instants — and a
+query always sees one consistent corpus even while the shard churns.  Merge
+maps snapshot rows to current rows through the id-offset shift, so labels
+computed for rows retention dropped mid-query are discarded and surviving
+rows keep their results.
 """
 
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -32,9 +45,35 @@ from repro.db.planner import (ContentStep, MetadataStep, PlanAnd, PlanNot,
 from repro.db.retention import RetentionPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.db.wal import TableWal
     from repro.query.processor import QueryResult
+    from repro.transforms.spec import TransformSpec
 
 __all__ = ["QueryExecutor"]
+
+
+@dataclass
+class _Snapshot:
+    """A frozen view of one shard, captured under the lock.
+
+    Every array here is immutable by convention (mutators replace arrays,
+    they never write in place), so holding references is safe while the live
+    shard moves on.  ``materialized`` / ``reps`` start as shallow copies of
+    the live state; execution replaces entries it touches and records the
+    keys in ``dirty_materialized`` / ``dirty_reps`` so the merge step knows
+    what it learned.
+    """
+
+    images: np.ndarray
+    relation: Relation
+    materialized: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]]
+    id_offset: int
+    epoch: int
+    n: int
+    reps: dict[str, tuple["TransformSpec", np.ndarray]]
+    dirty_materialized: set[tuple[str, str]] = field(default_factory=set)
+    dirty_reps: set[str] = field(default_factory=set)
+    registered: list = field(default_factory=list)
 
 
 class QueryExecutor:
@@ -90,9 +129,18 @@ class QueryExecutor:
         # Rows ever dropped by retention: stable image id = offset + row
         # position.  Ids survive retention passes and are never reused.
         self._id_offset = 0
-        # One lock per table: queries, ingest and retention on the same shard
-        # serialize (fan-out stays concurrent — each shard has its own lock).
+        # One lock per table: ingest and retention on the same shard
+        # serialize; queries only take it for snapshot capture and merge
+        # (fan-out stays concurrent — each shard has its own lock).
         self._lock = threading.RLock()
+        # Bumped whenever materialized labels stop being comparable across a
+        # capture (invalidate, clear_cache, an id_offset rebase): a snapshot
+        # merge from before the bump would write back stale labels, so it
+        # aborts instead.  Ingest/retention do NOT bump — the id-offset shift
+        # maps snapshot rows onto surviving current rows exactly.
+        self._epoch = 0
+        # Write-ahead log, attached by the database when durability is on.
+        self._wal: "TableWal | None" = None
         self._rebuild_base_relation()
         # Materialized virtual columns, keyed by (category, cascade name) so
         # labels are only ever served as output of the cascade that produced
@@ -102,9 +150,12 @@ class QueryExecutor:
                                  tuple[np.ndarray, np.ndarray]] = {}
 
     def _rebuild_base_relation(self) -> None:
+        # metadata_arrays() concatenates the scalar columns without touching
+        # the image segments, so the per-ingest rebuild stays O(rows), not
+        # O(corpus bytes).
         n = len(self.corpus)
         self._base_relation = Relation(
-            {**self.corpus.metadata,
+            {**self.corpus.metadata_arrays(),
              "image_id": np.arange(self._id_offset, self._id_offset + n)})
 
     # -- public API ----------------------------------------------------------
@@ -124,7 +175,22 @@ class QueryExecutor:
             raise ValueError(f"id_offset must be non-negative, got {offset}")
         with self._lock:
             self._id_offset = int(offset)
+            self._epoch += 1
             self._rebuild_base_relation()
+
+    @property
+    def wal(self) -> "TableWal | None":
+        """The write-ahead log journaling this shard, if durability is on."""
+        return self._wal
+
+    def set_wal(self, wal: "TableWal | None") -> None:
+        """Attach (or detach, with ``None``) the shard's write-ahead log.
+
+        Every later mutation is journaled while holding the shard lock, so
+        the log order is exactly the apply order.
+        """
+        with self._lock:
+            self._wal = wal
 
     def ingest(self, images: np.ndarray,
                metadata: dict[str, np.ndarray] | None = None,
@@ -132,10 +198,12 @@ class QueryExecutor:
                materialize: bool = False) -> np.ndarray:
         """Append new frames and grow query-time state incrementally.
 
-        The corpus is extended in place, the base relation gains the new
-        rows, and every materialized virtual column is padded with
-        *unevaluated* new rows — existing rows are never re-classified, so a
-        repeated query after ingest classifies only the new frames.
+        The batch lands as one immutable corpus segment, the base relation
+        gains the new rows, and every materialized virtual column is padded
+        with *unevaluated* new rows — existing rows are never re-classified,
+        so a repeated query after ingest classifies only the new frames.
+        With a write-ahead log attached, the segment is journaled durably
+        before the call returns.
 
         With ``materialize=True`` (the ONGOING scenario) every representation
         the store has registered is brought up to full corpus length by
@@ -158,14 +226,15 @@ class QueryExecutor:
         with self._lock:
             new_ids = self.corpus.append(images, metadata=metadata,
                                          content=content)
-            n_new = new_ids.size
-            for key, (evaluated, labels) in self._materialized.items():
-                self._materialized[key] = (
-                    np.concatenate([evaluated, np.zeros(n_new, dtype=bool)]),
-                    np.concatenate([labels, np.zeros(n_new, dtype=np.int64)]))
+            # Journal after the in-memory apply succeeds (validation raised
+            # before any state changed), still under the lock so log order
+            # is apply order.
+            if self._wal is not None:
+                self._wal.log_segment(self.corpus.segments[-1])
+            self._pad_materialized(new_ids.size)
             if materialize:
                 for spec in self.store.registered_specs():
-                    self._full_representation(spec, materialize=True)
+                    self._materialize_tail(spec)
             new_ids = new_ids + self._id_offset
             # A retention drop rebuilds the base relation itself; only
             # rebuild here when nothing was dropped, so the hot streaming
@@ -173,6 +242,21 @@ class QueryExecutor:
             if self.retain() == 0:
                 self._rebuild_base_relation()
             return new_ids
+
+    def _pad_materialized(self, n_new: int) -> None:
+        """Extend every materialized column with unevaluated new rows."""
+        for key, (evaluated, labels) in self._materialized.items():
+            self._materialized[key] = (
+                np.concatenate([evaluated, np.zeros(n_new, dtype=bool)]),
+                np.concatenate([labels, np.zeros(n_new, dtype=np.int64)]))
+
+    def set_retention(self, policy: RetentionPolicy | None) -> None:
+        """Swap the shard's retention policy (journaled when a WAL is on)."""
+        with self._lock:
+            self.retention = policy
+            if self._wal is not None:
+                self._wal.log_retention(
+                    policy.to_dict() if policy is not None else None)
 
     def retain(self) -> int:
         """Enforce :attr:`retention` now; returns rows dropped (0, no policy)."""
@@ -187,25 +271,79 @@ class QueryExecutor:
     def drop_oldest(self, n: int) -> int:
         """Drop the ``n`` oldest rows from *all* per-table state coherently.
 
-        The corpus loses its front rows, the base relation is rebuilt, every
-        materialized ``(evaluated, labels)`` column is truncated, and the
-        store namespace trims its representation arrays in step (crediting
-        the freed bytes against the global budget).  Image ids stay stable:
-        the id offset advances by the rows dropped, so surviving rows keep
-        their ids (a repeated query never re-classifies them) and dropped
-        ids are never reused.  Returns the number of rows actually dropped.
+        The corpus pops whole leading segments (splitting only the boundary
+        one), the base relation is rebuilt, every materialized
+        ``(evaluated, labels)`` column is truncated, and the store namespace
+        trims its representation chunks in step (crediting the freed bytes
+        against the global budget).  Image ids stay stable: the id offset
+        advances by the rows dropped, so surviving rows keep their ids (a
+        repeated query never re-classifies them) and dropped ids are never
+        reused.  With a write-ahead log attached the drop is journaled.
+        Returns the number of rows actually dropped.
         """
         with self._lock:
-            n = self.corpus.drop_oldest(n)
-            if n == 0:
-                return 0
-            self._id_offset += n
-            self._rebuild_base_relation()
-            for key, (evaluated, labels) in self._materialized.items():
-                self._materialized[key] = (evaluated[n:].copy(),
-                                           labels[n:].copy())
-            self.store.drop_oldest_rows(n)
+            n = self._drop_rows(n)
+            if n:
+                self._rebuild_base_relation()
             return n
+
+    def _drop_rows(self, n: int) -> int:
+        """Apply a drop to corpus/materialized/store without the relation
+        rebuild (callers batch the rebuild; WAL replay applies many drops)."""
+        n = self.corpus.drop_oldest(n)
+        if n == 0:
+            return 0
+        if self._wal is not None:
+            self._wal.log_drop(n)
+        self._id_offset += n
+        for key, (evaluated, labels) in self._materialized.items():
+            self._materialized[key] = (evaluated[n:].copy(),
+                                       labels[n:].copy())
+        self.store.drop_oldest_rows(n)
+        return n
+
+    def compact(self, min_rows: int | None = None) -> int:
+        """Fold small corpus segments together; returns segments folded away.
+
+        Purely an in-memory reorganization — row order, ids, materialized
+        labels and the WAL are untouched (the log already holds the segment
+        history; replay consolidates through the same lazy collapse).
+        """
+        with self._lock:
+            return self.corpus.compact(min_rows)
+
+    def replay_wal(self, records: list[dict]) -> None:
+        """Re-apply journaled mutations after a checkpoint restore.
+
+        ``records`` come from :meth:`repro.db.wal.TableWal.records` — segment
+        appends, retention drops and policy changes, in log order.  Replay
+        mirrors the live mutation path (same id arithmetic, same truncation)
+        but batches the base-relation rebuild, so replaying a long tail is
+        O(total rows), not O(records × rows).  Journaling is suspended while
+        replaying — the log already holds these records.
+        """
+        with self._lock:
+            wal, self._wal = self._wal, None
+            try:
+                for record in records:
+                    kind = record["type"]
+                    if kind == "segment":
+                        segment = record["segment"]
+                        self.corpus.append(segment.images, segment.metadata,
+                                           segment.content)
+                        self._pad_materialized(len(segment))
+                    elif kind == "drop":
+                        self._drop_rows(int(record["rows"]))
+                    elif kind == "retention":
+                        policy = record.get("policy")
+                        self.retention = (RetentionPolicy.from_dict(policy)
+                                          if policy is not None else None)
+                    # attach/detach records are handled a level up (they
+                    # create or remove whole tables); unknown types from a
+                    # newer writer are ignored rather than fatal.
+            finally:
+                self._wal = wal
+            self._rebuild_base_relation()
 
     def materialized_categories(self) -> list[str]:
         """Categories with at least one row's virtual column materialized."""
@@ -241,13 +379,17 @@ class QueryExecutor:
         recomputed; the representation store stays warm because
         representations depend only on the corpus.  (Scenario or constraint
         switches need no invalidation — materialized labels are keyed by the
-        cascade that produced them.)
+        cascade that produced them.)  In-flight snapshot queries from before
+        the invalidation abort their merge instead of resurrecting labels.
         """
-        if category is None:
-            self._materialized.clear()
-        else:
-            for key in [key for key in self._materialized if key[0] == category]:
-                del self._materialized[key]
+        with self._lock:
+            if category is None:
+                self._materialized.clear()
+            else:
+                for key in [key for key in self._materialized
+                            if key[0] == category]:
+                    del self._materialized[key]
+            self._epoch += 1
 
     def clear_cache(self) -> None:
         """Drop materialized virtual columns and stored representations.
@@ -255,12 +397,34 @@ class QueryExecutor:
         The store's tier, byte budget and ingest-time registrations are
         kept — only the cached arrays are released.
         """
-        self._materialized.clear()
-        self.store.clear()
+        with self._lock:
+            self._materialized.clear()
+            self.store.clear()
+            self._epoch += 1
+
+    def stats(self) -> dict:
+        """Storage-engine counters for this shard (stats endpoints)."""
+        with self._lock:
+            return {
+                "rows": len(self.corpus),
+                "id_offset": self._id_offset,
+                "segments": self.corpus.segment_count,
+                "materialized_columns": len(self._materialized),
+                "store_arrays": len(self.store),
+                "wal_records": (self._wal.record_count()
+                                if self._wal is not None else None),
+            }
 
     def execute(self, plan: QueryPlan,
                 cancel: "Callable[[], None] | None" = None) -> "QueryResult":
         """Run the plan: metadata filters, then cost-ordered content steps.
+
+        Execution is snapshot-based: the shard's state is captured under the
+        lock, the plan runs lock-free against the frozen view, and new labels
+        / representations merge back under the lock afterwards (also on
+        abort, so a cancelled query keeps the work its completed chunks
+        paid for).  Concurrent ``ingest()``/``retain()`` never change what
+        this query sees or returns.
 
         With a ``LIMIT``, candidate rows are classified in chunks (in corpus
         order) and execution stops once enough rows survive, so selective
@@ -284,12 +448,79 @@ class QueryExecutor:
         are the abort granularity, so a single in-flight chunk always runs
         to completion.
         """
-        with self._lock:
-            return self._execute_locked(plan, cancel)
+        snapshot = self._capture_snapshot()
+        try:
+            return self._execute_snapshot(snapshot, plan, cancel)
+        finally:
+            self._merge_snapshot(snapshot)
 
-    def _execute_locked(self, plan: QueryPlan,
-                        cancel: "Callable[[], None] | None" = None,
-                        ) -> "QueryResult":
+    # -- snapshot lifecycle --------------------------------------------------
+    def _capture_snapshot(self) -> _Snapshot:
+        """Freeze the shard's current state for lock-free execution."""
+        with self._lock:
+            images = self.corpus.images  # consolidates segments under the lock
+            reps = {spec.name: (spec, array)
+                    for spec, array in self.store.arrays_by_recency()}
+            return _Snapshot(images=images, relation=self._base_relation,
+                             materialized=dict(self._materialized),
+                             id_offset=self._id_offset, epoch=self._epoch,
+                             n=int(images.shape[0]), reps=reps)
+
+    def _merge_snapshot(self, snap: _Snapshot) -> None:
+        """Fold what a snapshot query learned back into the live shard.
+
+        Snapshot row ``shift + j`` is current row ``j`` (``shift`` = rows
+        retention dropped since capture), so results for surviving rows are
+        kept and results for dropped rows fall away.  If the epoch moved
+        (invalidate / clear_cache / id rebase) the merge aborts: labels from
+        before the bump are no longer trustworthy.
+        """
+        with self._lock:
+            if self._epoch != snap.epoch:
+                return
+            shift = self._id_offset - snap.id_offset
+            if shift < 0:  # pragma: no cover - rebases bump the epoch
+                return
+            n_cur = len(self.corpus)
+            for key in snap.dirty_materialized:
+                snap_eval, snap_labels = snap.materialized[key]
+                usable = min(snap_eval.shape[0] - shift, n_cur)
+                if usable <= 0:
+                    continue
+                current = self._materialized.get(key)
+                if current is None:
+                    cur_eval = np.zeros(n_cur, dtype=bool)
+                    cur_labels = np.zeros(n_cur, dtype=np.int64)
+                elif current[0].shape[0] != n_cur:  # pragma: no cover
+                    continue
+                else:
+                    cur_eval, cur_labels = current
+                newly = snap_eval[shift:shift + usable] & ~cur_eval[:usable]
+                if not newly.any():
+                    continue
+                merged_eval = cur_eval.copy()
+                merged_labels = cur_labels.copy()
+                merged_eval[:usable] |= snap_eval[shift:shift + usable]
+                merged_labels[:usable] = np.where(
+                    newly, snap_labels[shift:shift + usable],
+                    cur_labels[:usable])
+                self._materialized[key] = (merged_eval, merged_labels)
+            for name in snap.dirty_reps:
+                spec, array = snap.reps[name]
+                usable = min(int(array.shape[0]) - shift, n_cur)
+                if usable <= 0:
+                    continue
+                # Only write back when the snapshot array covers more rows
+                # than the live entry — a concurrent materializing ingest may
+                # have raced ahead of this query.
+                if self.store.rows(spec) < usable:
+                    self.store.add(spec, array[shift:shift + usable])
+            for spec in snap.registered:
+                self.store.register(spec)
+
+    def _execute_snapshot(self, snap: _Snapshot, plan: QueryPlan,
+                          cancel: "Callable[[], None] | None" = None,
+                          ) -> "QueryResult":
         from repro.db.aggregates import compute_partials
         from repro.query.processor import QueryResult
 
@@ -297,7 +528,7 @@ class QueryExecutor:
             # A query that sat in the admission queue past its deadline (or
             # waited on this shard's lock) aborts before any work happens.
             cancel()
-        n = len(self.corpus)
+        n = snap.n
         # Under aggregates/ORDER BY the limit caps the *final* output, not
         # the scan: every candidate row must be evaluated first.
         limit = plan.limit if plan.allow_early_stop else None
@@ -309,7 +540,7 @@ class QueryExecutor:
         if plan.predicate_tree is None:
             mask = np.ones(n, dtype=bool)
             for step in plan.metadata_steps:
-                mask &= step.predicate.evaluate(self._base_relation)
+                mask &= step.predicate.evaluate(snap.relation)
             candidates = np.where(mask)[0]
         else:
             # Top-level AND metadata children are a conjunctive prefilter:
@@ -319,7 +550,8 @@ class QueryExecutor:
             if isinstance(plan.predicate_tree, PlanAnd):
                 for child in plan.predicate_tree.children:
                     if isinstance(child, MetadataStep):
-                        mask &= self._metadata_mask(child, metadata_masks)
+                        mask &= self._metadata_mask(snap, child,
+                                                    metadata_masks)
             candidates = np.where(mask)[0]
 
         # LIMIT 0 is unconditionally empty output — even under ORDER BY or
@@ -349,12 +581,12 @@ class QueryExecutor:
             chunk_mask[chunk] = True
             if plan.predicate_tree is None:
                 for step in plan.content_steps:
-                    labels, n_classified = self._evaluate_content(step,
+                    labels, n_classified = self._evaluate_content(snap, step,
                                                                   chunk_mask)
                     images_classified[step.category] += n_classified
                     chunk_mask &= labels.astype(bool)
             else:
-                chunk_mask = self._evaluate_tree(plan.predicate_tree,
+                chunk_mask = self._evaluate_tree(snap, plan.predicate_tree,
                                                  chunk_mask,
                                                  images_classified,
                                                  metadata_masks)
@@ -380,17 +612,18 @@ class QueryExecutor:
             referenced = plan.referenced_columns()
             for step in plan.content_steps:
                 if step.predicate.column_name in referenced:
-                    _, n_classified = self._evaluate_content(step, final_mask)
+                    _, n_classified = self._evaluate_content(snap, step,
+                                                             final_mask)
                     images_classified[step.category] += n_classified
 
         # Content columns are rebuilt from the materialized state: real
         # labels where a cascade evaluated the row (this query or an earlier
         # one), -1 where it never did — a decided OR can select rows no
         # cascade ever saw.
-        relation = self._base_relation
+        relation = snap.relation
         for step in plan.content_steps:
             key = (step.category, step.evaluation.cascade.name)
-            entry = self._materialized.get(key)
+            entry = snap.materialized.get(key)
             if entry is None:
                 column = np.full(n, -1, dtype=np.int64)
             else:
@@ -406,21 +639,21 @@ class QueryExecutor:
         # Selected indices are *stable* image ids (offset + row position),
         # matching the relation's image_id column across retention passes.
         return QueryResult(relation=selected_relation,
-                           selected_indices=selected + self._id_offset,
+                           selected_indices=selected + snap.id_offset,
                            cascades_used=cascades_used,
                            images_classified=images_classified,
                            partials=partials)
 
-    def _metadata_mask(self, step: MetadataStep,
+    def _metadata_mask(self, snap: _Snapshot, step: MetadataStep,
                        cache: dict[int, np.ndarray]) -> np.ndarray:
         """One metadata leaf's full-corpus mask, evaluated once per query."""
         mask = cache.get(id(step))
         if mask is None:
-            mask = step.predicate.evaluate(self._base_relation)
+            mask = step.predicate.evaluate(snap.relation)
             cache[id(step)] = mask
         return mask
 
-    def _evaluate_tree(self, node, mask: np.ndarray,
+    def _evaluate_tree(self, snap: _Snapshot, node, mask: np.ndarray,
                        images_classified: dict[str, int],
                        metadata_masks: dict[int, np.ndarray]) -> np.ndarray:
         """Short-circuit one predicate-tree node over the rows in ``mask``.
@@ -432,17 +665,17 @@ class QueryExecutor:
         exactly the rows the cheap side left undecided.
         """
         if isinstance(node, MetadataStep):
-            return mask & self._metadata_mask(node, metadata_masks)
+            return mask & self._metadata_mask(snap, node, metadata_masks)
         if isinstance(node, ContentStep):
             if not mask.any():
                 return mask
-            labels, n_classified = self._evaluate_content(node, mask)
+            labels, n_classified = self._evaluate_content(snap, node, mask)
             images_classified[node.category] += n_classified
             return mask & labels.astype(bool)
         if isinstance(node, PlanAnd):
             accepted = mask
             for child in node.children:
-                accepted = self._evaluate_tree(child, accepted,
+                accepted = self._evaluate_tree(snap, child, accepted,
                                                images_classified,
                                                metadata_masks)
                 if not accepted.any():
@@ -452,7 +685,7 @@ class QueryExecutor:
             decided = np.zeros_like(mask)
             undecided = mask.copy()
             for child in node.children:
-                child_mask = self._evaluate_tree(child, undecided,
+                child_mask = self._evaluate_tree(snap, child, undecided,
                                                  images_classified,
                                                  metadata_masks)
                 decided |= child_mask
@@ -461,7 +694,7 @@ class QueryExecutor:
                     break
             return decided
         if isinstance(node, PlanNot):
-            return mask & ~self._evaluate_tree(node.child, mask,
+            return mask & ~self._evaluate_tree(snap, node.child, mask,
                                                images_classified,
                                                metadata_masks)
         raise TypeError(f"not a plan node: {node!r}")
@@ -472,7 +705,7 @@ class QueryExecutor:
                 f"materialized={self.materialized_categories()})")
 
     # -- internals -----------------------------------------------------------
-    def _evaluate_content(self, step: ContentStep,
+    def _evaluate_content(self, snap: _Snapshot, step: ContentStep,
                           candidate_mask: np.ndarray) -> tuple[np.ndarray, int]:
         """Populate the virtual column for one contains_object predicate.
 
@@ -481,59 +714,80 @@ class QueryExecutor:
         classified.  Keying by cascade guarantees the returned labels are
         always the output of the cascade the plan reports in
         ``cascades_used``, even across scenario or constraint changes.
+        Updates land in the snapshot; the merge step folds them into the
+        live shard.
         """
-        n = len(self.corpus)
+        n = snap.n
         key = (step.category, step.evaluation.cascade.name)
-        evaluated_mask, labels = self._materialized.get(
+        evaluated_mask, labels = snap.materialized.get(
             key, (np.zeros(n, dtype=bool), np.zeros(n, dtype=np.int64)))
 
         to_classify = candidate_mask & ~evaluated_mask
         n_classified = int(to_classify.sum())
         if n_classified > 0:
             new_labels = step.evaluation.cascade.classify(
-                self.corpus.images[to_classify],
-                store=self._subset_store(step, to_classify))
+                snap.images[to_classify],
+                store=self._subset_store(snap, step, to_classify))
             labels = labels.copy()
             labels[to_classify] = new_labels
             evaluated_mask = evaluated_mask | to_classify
-            self._materialized[key] = (evaluated_mask, labels)
+            snap.materialized[key] = (evaluated_mask, labels)
+            snap.dirty_materialized.add(key)
 
         return labels, n_classified
 
-    def _full_representation(self, spec, *, materialize: bool):
-        """The full-corpus array for ``spec``, or None when staying lazy.
+    def _materialize_tail(self, spec) -> None:
+        """Bring one registered representation up to corpus length at ingest.
 
-        Stored arrays shorter than the corpus (rows ingested since they were
-        built) are topped up by transforming just the missing tail, so the
-        cache stays warm across ingests.  Missing arrays are built corpus-wide
-        only when ``materialize`` — and then registered, so ONGOING ingest
-        keeps extending them for future frames.
-
-        The returned array is taken from local state, not re-read from the
-        store: under a byte budget the store may evict it immediately, which
-        bounds memory without affecting the current query.
+        The hot path transforms only the new frames and appends them as a
+        chunk (O(batch)); the full array is rebuilt only when the entry was
+        evicted — and on that path the spec is (re-)registered.
         """
         n = len(self.corpus)
-        # try_get, not contains+get: under a shared byte budget another
-        # shard's concurrent insert may evict this entry between the check
-        # and the read.  The top-up concatenates locally and re-adds for the
-        # same reason — the stored entry can vanish at any point.
-        array = self.store.try_get(spec)
-        if array is not None:
-            n_stored = array.shape[0]
-            if n_stored < n:
-                tail = spec.apply_batch(self.corpus.images[n_stored:])
+        stored = self.store.rows(spec)
+        if 0 < stored <= n:
+            if stored == n:
+                return
+            tail = spec.apply_batch(self.corpus.images_from(stored))
+            try:
+                self.store.append_rows(spec, tail)
+                return
+            except KeyError:
+                pass  # evicted between the check and the append — rebuild
+        self.store.add(spec, spec.apply_batch(self.corpus.images))
+        self.store.register(spec)
+
+    def _full_representation(self, snap: _Snapshot, spec, *,
+                             materialize: bool):
+        """The snapshot-length array for ``spec``, or None when staying lazy.
+
+        Captured arrays shorter than the snapshot (rows ingested since they
+        were built) are topped up by transforming just the missing tail.
+        Missing arrays are built snapshot-wide only when ``materialize`` —
+        and then registered at merge time, so ONGOING ingest keeps extending
+        them for future frames.  All updates stay in the snapshot until the
+        merge writes them back shift-adjusted; the shared store is never
+        touched mid-query.
+        """
+        entry = snap.reps.get(spec.name)
+        if entry is not None:
+            _, array = entry
+            n_stored = int(array.shape[0])
+            if n_stored < snap.n:
+                tail = spec.apply_batch(snap.images[n_stored:])
                 array = np.concatenate([array, tail])
-                self.store.add(spec, array)
+                snap.reps[spec.name] = (spec, array)
+                snap.dirty_reps.add(spec.name)
             return array
         if materialize:
-            array = spec.apply_batch(self.corpus.images)
-            self.store.add(spec, array)
-            self.store.register(spec)
+            array = spec.apply_batch(snap.images)
+            snap.reps[spec.name] = (spec, array)
+            snap.dirty_reps.add(spec.name)
+            snap.registered.append(spec)
             return array
         return None
 
-    def _subset_store(self, step: ContentStep,
+    def _subset_store(self, snap: _Snapshot, step: ContentStep,
                       to_classify: np.ndarray) -> RepresentationStore:
         """A store seeded with the candidate rows of each needed representation.
 
@@ -542,20 +796,21 @@ class QueryExecutor:
         per-call view store holding only the rows it will classify, since
         ``Cascade.classify`` indexes representations by batch position.
 
-        Already-stored representations are always sliced (topped up first if
-        ingest left them short).  Missing ones are materialized corpus-wide
-        only when the candidate set is large enough
+        Already-captured representations are always sliced (topped up first
+        if ingest left them short).  Missing ones are materialized
+        snapshot-wide only when the candidate set is large enough
         (``full_materialize_fraction``); otherwise they are left out and the
         cascade transforms just the candidate rows, lazily, for the levels it
         actually reaches.
         """
         n_candidates = int(to_classify.sum())
         materialize = (n_candidates
-                       >= self.full_materialize_fraction * len(self.corpus))
+                       >= self.full_materialize_fraction * snap.n)
         scratch = RepresentationStore(tier=self.store.tier)
         for model in step.evaluation.cascade.models:
             spec = model.transform
-            full = self._full_representation(spec, materialize=materialize)
+            full = self._full_representation(snap, spec,
+                                             materialize=materialize)
             if full is not None:
                 scratch.add(spec, full[to_classify])
         return scratch

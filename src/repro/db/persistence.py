@@ -1,12 +1,12 @@
-"""Whole-database persistence: save and restore a :class:`VisualDatabase`.
+"""Whole-database persistence: checkpoints, WAL replay, and plain saves.
 
 Built on :mod:`repro.core.persistence` (the per-predicate model repository),
 plus a database-level manifest carrying the deployment scenario, device
-profile and the table catalog.  Layout (format version 3)::
+profile and the table catalog.  Layout (format version 4)::
 
     <root>/
       database.json            # manifest: scenario, device, predicates,
-                               # store budget, per-table entries
+                               # store budget, per-table entries, WAL state
       predicates/<name>/       # one model repository per predicate
         repository.json
         weights/*.npz
@@ -14,6 +14,9 @@ profile and the table catalog.  Layout (format version 3)::
         corpus.npz             # images + metadata + content (optional)
         materialized.npz       # materialized virtual columns (optional)
         store.npz              # representation arrays (optional, size-capped)
+      wal/<table>/             # write-ahead log (WAL-enabled databases only)
+        log-<g>.jsonl          # generation g of the table's journal
+        seg-<g>-<n>.npz        # segment payloads referenced by the log
 
 A trained database therefore round-trips without retraining: all optimizers,
 the active scenario, every table's corpus (including rows added by
@@ -26,17 +29,30 @@ representation bytes instead of re-transforming the corpus.  Arrays that
 were evicted or fell over the cap are simply recomputed on demand — results
 are unaffected.
 
-Format 3 adds two per-table fields: the retention policy (a table that is a
-sliding window over its feed stays one after a reload) and the stable-id
-offset (rows ever dropped by retention), so reloaded image ids keep naming
-the same frames.  Format-2 saves, which predate retention, still load —
-tables come back unbounded with offset 0 — and format-1 single-corpus saves
-load through the v1 shim as before.
+Format 4 is the durability format: :func:`save_database` captures each
+table under its shard lock (a save taken under live server traffic is
+internally consistent), and a save into a WAL-enabled database's own root is
+a **checkpoint** — each table's journal is rotated to a fresh generation
+*before* any file is written, the manifest records the new generation, and
+only then are the absorbed generations pruned.  :func:`load_database` of a
+WAL-enabled save restores the checkpoint image and **replays** each table's
+log tail (segments ingested, retention drops, policy changes, tables
+attached or detached since the checkpoint), then re-arms journaling — so a
+process killed at an arbitrary WAL record boundary recovers to exactly the
+state the log had made durable, with stable ids and materialized labels
+intact.  The manifest itself is written atomically (temp file +
+``os.replace``); a crash mid-checkpoint leaves the previous manifest
+pointing at the previous generation floor, whose logs are still on disk.
+
+Format 3 (no WAL; retention + stable-id offsets per table), format 2
+(predates retention) and format-1 single-corpus saves all still load.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import shutil
 from pathlib import Path
 
 import numpy as np
@@ -54,7 +70,8 @@ from repro.transforms.spec import TransformSpec
 
 __all__ = ["save_database", "load_database", "DEFAULT_STORE_BYTES_CAP"]
 
-_FORMAT_VERSION = 3
+_FORMAT_VERSION = 4
+_LOADABLE_VERSIONS = (2, 3, 4)
 
 _MANIFEST_FILE = "database.json"
 _PREDICATES_DIR = "predicates"
@@ -109,13 +126,18 @@ def _spec_to_dict(spec: TransformSpec) -> dict:
             "resize_mode": spec.resize_mode}
 
 
-def _save_corpus(corpus: ImageCorpus, path: Path) -> None:
-    arrays = {"images": corpus.images}
-    for name, values in corpus.metadata.items():
+def _save_corpus_arrays(images: np.ndarray, metadata: dict, content: dict,
+                        path: Path) -> None:
+    arrays = {"images": images}
+    for name, values in metadata.items():
         arrays[f"metadata/{name}"] = np.asarray(values)
-    for name, values in corpus.content.items():
+    for name, values in content.items():
         arrays[f"content/{name}"] = np.asarray(values)
     np.savez_compressed(path, **arrays)
+
+
+def _save_corpus(corpus: ImageCorpus, path: Path) -> None:
+    _save_corpus_arrays(corpus.images, corpus.metadata, corpus.content, path)
 
 
 def _load_corpus(path: Path) -> ImageCorpus:
@@ -131,16 +153,18 @@ def _load_corpus(path: Path) -> ImageCorpus:
 
 
 # -- per-table state -------------------------------------------------------------
-def _save_materialized(executor, table_dir: Path) -> list[dict]:
-    """Persist one executor's materialized virtual columns.
+def _save_materialized(materialized: dict, table_dir: Path) -> list[dict]:
+    """Persist one table's materialized virtual columns.
 
-    Returns the manifest entries ([{category, cascade}] in array order) —
-    the labels a query materialized before the save are served unchanged
-    after a reload, so ingested-then-queried rows are never re-classified.
+    ``materialized`` is the executor's ``(category, cascade) -> (mask,
+    labels)`` mapping, captured under the shard lock.  Returns the manifest
+    entries ([{category, cascade}] in array order) — the labels a query
+    materialized before the save are served unchanged after a reload, so
+    ingested-then-queried rows are never re-classified.
     """
     entries, arrays = [], {}
     for index, ((category, cascade), (mask, labels)) in \
-            enumerate(sorted(executor._materialized.items())):
+            enumerate(sorted(materialized.items())):
         entries.append({"category": category, "cascade": cascade})
         arrays[f"mask_{index}"] = mask
         arrays[f"labels_{index}"] = labels
@@ -248,6 +272,17 @@ def save_database(db: VisualDatabase, root: str | Path,
                   store_bytes_cap: int | None = None) -> Path:
     """Persist ``db`` under ``root`` (created if needed).
 
+    Each table's state (corpus, materialized labels, retention window, id
+    offset) is captured under that shard's lock, so a save taken while
+    ``ingest()``/``retain()`` run on other threads is internally consistent;
+    serialization itself happens outside the locks.
+
+    When ``db`` has a write-ahead log and ``root`` *is* its WAL root, the
+    save is a **checkpoint**: each table's journal rotates to a fresh
+    generation at capture time (mutations racing the save land in the new
+    generation), the manifest records the generation floor, and the absorbed
+    generations are pruned once the manifest is durably in place.
+
     ``store_bytes_cap`` bounds the on-disk bytes spent on representation
     arrays across all tables (``None`` uses :data:`DEFAULT_STORE_BYTES_CAP`);
     materialized labels and corpora are always saved in full.
@@ -256,6 +291,10 @@ def save_database(db: VisualDatabase, root: str | Path,
     root.mkdir(parents=True, exist_ok=True)
     if store_bytes_cap is None:
         store_bytes_cap = DEFAULT_STORE_BYTES_CAP
+
+    wal_root = getattr(db, "_wal_root", None)
+    checkpointing = (include_corpus and wal_root is not None
+                     and Path(wal_root).resolve() == root.resolve())
 
     names = db.predicates()
     db._ensure_trained(names)  # lazy predicates are trained before saving
@@ -266,8 +305,25 @@ def save_database(db: VisualDatabase, root: str | Path,
     tables = []
     selected_arrays = (_select_store_arrays(db, store_bytes_cap)
                        if include_corpus else {})
+    pruned_generations: dict[str, int] = {}
     for table in db.tables():
         executor = db.executor_for(table)
+        # Capture a consistent image under the shard lock (fixing the save
+        # vs. concurrent ingest/retain race); the arrays are immutable by
+        # convention, so serialization below happens lock-free.
+        with executor._lock:
+            images = executor.corpus.images
+            metadata = dict(executor.corpus.metadata)
+            content = dict(executor.corpus.content)
+            materialized = dict(executor._materialized)
+            retention = executor.retention
+            id_offset = executor.id_offset
+            wal_generation = None
+            if checkpointing and executor.wal is not None:
+                # Rotate *inside* the capture: everything before this instant
+                # is in the image, everything after is in the new generation.
+                wal_generation = executor.wal.rotate()
+                pruned_generations[table] = wal_generation
         table_dir = root / _TABLES_DIR / table
         table_dir.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -277,16 +333,21 @@ def save_database(db: VisualDatabase, root: str | Path,
             "store_arrays": [],
             "registered_specs": [_spec_to_dict(spec) for spec
                                  in executor.store.registered_specs()],
-            # Format 3: the retention window and the stable-id offset (rows
+            # Format 3+: the retention window and the stable-id offset (rows
             # ever dropped), so a reloaded sliding window keeps its ids.
-            "retention": (executor.retention.to_dict()
-                          if executor.retention is not None else None),
-            "id_offset": executor.id_offset,
+            "retention": (retention.to_dict()
+                          if retention is not None else None),
+            "id_offset": id_offset,
         }
+        if wal_generation is not None:
+            # Format 4: recovery replays this table's generations >= this.
+            entry["wal_generation"] = wal_generation
         if include_corpus:
-            _save_corpus(executor.corpus, table_dir / _CORPUS_FILE)
+            _save_corpus_arrays(images, metadata, content,
+                                table_dir / _CORPUS_FILE)
             entry["corpus_file"] = f"{_TABLES_DIR}/{table}/{_CORPUS_FILE}"
-            entry["materialized"] = _save_materialized(executor, table_dir)
+            entry["materialized"] = _save_materialized(materialized,
+                                                       table_dir)
             entry["store_arrays"] = _save_store_arrays(
                 selected_arrays.get(table, []), table_dir)
         tables.append(entry)
@@ -305,8 +366,28 @@ def save_database(db: VisualDatabase, root: str | Path,
                        for name in names],
         "store": {"byte_budget": db.store_budget},
         "tables": tables,
+        "wal": {"enabled": checkpointing},
     }
-    (root / _MANIFEST_FILE).write_text(json.dumps(manifest))
+    # Atomic manifest: a crash mid-checkpoint leaves the previous manifest
+    # (whose generation floors still have their logs on disk) intact.
+    tmp_manifest = root / f".{_MANIFEST_FILE}.tmp"
+    tmp_manifest.write_text(json.dumps(manifest))
+    os.replace(tmp_manifest, root / _MANIFEST_FILE)
+
+    if checkpointing:
+        db._checkpoints = getattr(db, "_checkpoints", 0) + 1
+        # Only after the manifest is durably in place: drop the generations
+        # this checkpoint absorbed, and the logs of tables since detached.
+        for table, generation in pruned_generations.items():
+            wal = db.executor_for(table).wal
+            if wal is not None:
+                wal.prune(generation)
+        from repro.db.wal import wal_dir, wal_tables
+
+        live = set(db.tables())
+        for name in wal_tables(root):
+            if name not in live:
+                shutil.rmtree(wal_dir(root, name), ignore_errors=True)
     return root
 
 
@@ -314,11 +395,17 @@ def load_database(root: str | Path,
                   corpus: ImageCorpus | None = None) -> VisualDatabase:
     """Restore a database saved with :func:`save_database` (no retraining).
 
+    For a WAL-enabled save (a checkpoint), the checkpoint image is restored
+    first and each table's journal tail is then replayed — segments ingested
+    after the checkpoint, retention drops and policy changes, and tables
+    attached/detached since — after which journaling is re-armed, so the
+    loaded database keeps appending to the same logs.
+
     ``corpus`` replaces the stored corpus of a *single-table* save (e.g. one
-    made with ``include_corpus=False``); materialized labels and stored
-    representations are only restored when the corpus comes from the save
-    itself, never onto a caller-supplied replacement (which may coincide in
-    length).
+    made with ``include_corpus=False``); materialized labels, stored
+    representations and the WAL tail are only restored when the corpus comes
+    from the save itself, never onto a caller-supplied replacement (which
+    may coincide in length).
     """
     root = Path(root)
     manifest_path = root / _MANIFEST_FILE
@@ -327,7 +414,7 @@ def load_database(root: str | Path,
     manifest = json.loads(manifest_path.read_text())
     if manifest.get("format_version") == 1:
         manifest = _upgrade_v1_manifest(manifest)
-    elif manifest.get("format_version") not in (2, _FORMAT_VERSION):
+    elif manifest.get("format_version") not in _LOADABLE_VERSIONS:
         raise ValueError(f"unsupported database format "
                          f"{manifest.get('format_version')!r}")
 
@@ -383,4 +470,66 @@ def load_database(root: str | Path,
                                entry.get("materialized", []))
             _load_store_arrays(executor, table_dir,
                                entry.get("store_arrays", []))
+
+    if corpus is None and (manifest.get("wal") or {}).get("enabled"):
+        _recover_wal(db, root, manifest)
     return db
+
+
+# -- WAL recovery ----------------------------------------------------------------
+def _recover_wal(db: VisualDatabase, root: Path, manifest: dict) -> None:
+    """Replay every table's journal tail over the checkpoint image.
+
+    Each table replays independently (journals are per shard, and a shard's
+    log is self-contained), from its manifest generation floor onward.
+    Tables attached after the checkpoint exist only in the WAL (an
+    ``attach`` record carries their baseline corpus); tables detached after
+    it are removed again by their ``detach`` tombstone.  Journaling is
+    armed only after replay, so replay itself never re-journals.
+    """
+    from repro.db.wal import TableWal, wal_tables
+
+    generation_floor = {entry["name"]: int(entry.get("wal_generation", 0))
+                        for entry in manifest.get("tables", [])}
+    for table in wal_tables(root):
+        wal = TableWal(root, table)  # truncates any torn tail
+        floor = generation_floor.get(table, 0)
+        _replay_table(db, table, wal.records(from_generation=floor))
+        if table in db.catalog:
+            wal.prune(floor)
+            db.executor_for(table).set_wal(wal)
+        else:
+            wal.close()
+    db._wal_root = root
+
+
+def _replay_table(db: VisualDatabase, table: str,
+                  records: list[dict]) -> None:
+    """Apply one table's journal records, in log order."""
+    batch: list[dict] = []
+
+    def flush() -> None:
+        if batch and table in db.catalog:
+            db.executor_for(table).replay_wal(list(batch))
+        batch.clear()
+
+    for record in records:
+        kind = record["type"]
+        if kind == "attach":
+            flush()
+            segment = record["segment"]
+            baseline = ImageCorpus(images=segment.images,
+                                   metadata=segment.metadata,
+                                   content=segment.content)
+            if table in db.catalog:
+                db.register_corpus(baseline, name=table)  # a replace()
+            else:
+                db.attach(table, baseline)
+            db.executor_for(table).id_offset = int(record.get("id_offset", 0))
+        elif kind == "detach":
+            batch.clear()  # anything journaled before the tombstone is moot
+            if table in db.catalog:
+                db.detach(table)
+        else:
+            batch.append(record)
+    flush()

@@ -41,6 +41,12 @@ class RetentionPolicy:
         The metadata column ``max_age`` is measured against.  Rows are
         assumed to arrive in timestamp order (a feed); only the contiguous
         oldest prefix is ever dropped.
+    align_to_segments:
+        Round the drop *down* to a corpus segment boundary, so retention
+        only ever pops whole immutable segments (O(1) each, no survivor
+        copies) and never splits one.  The window may then temporarily hold
+        up to one segment of extra history; the default (``False``) keeps
+        the exact row semantics.
 
     At least one of ``max_rows`` / ``max_age`` must be set.
     """
@@ -48,6 +54,7 @@ class RetentionPolicy:
     max_rows: int | None = None
     max_age: float | None = None
     timestamp_column: str = "timestamp"
+    align_to_segments: bool = False
 
     def __post_init__(self) -> None:
         if self.max_rows is None and self.max_age is None:
@@ -67,31 +74,58 @@ class RetentionPolicy:
         if self.max_rows is not None and n > self.max_rows:
             drop = n - self.max_rows
         if self.max_age is not None:
+            # metadata_arrays() skips the image consolidation a .metadata
+            # read would force on a freshly ingested segmented corpus.
+            columns = (corpus.metadata_arrays()
+                       if hasattr(corpus, "metadata_arrays")
+                       else corpus.metadata)
             try:
-                timestamps = corpus.metadata[self.timestamp_column]
+                timestamps = columns[self.timestamp_column]
             except KeyError:
                 raise KeyError(
                     f"retention timestamp column {self.timestamp_column!r} "
                     f"not in corpus metadata "
-                    f"{sorted(corpus.metadata)}") from None
+                    f"{sorted(columns)}") from None
             timestamps = np.asarray(timestamps, dtype=np.float64)
             fresh = timestamps >= timestamps.max() - self.max_age
             # The newest row satisfies the cutoff by construction, so argmax
             # always finds a True: the leading run of False is the stale
             # prefix to drop.
             drop = max(drop, int(np.argmax(fresh)))
+        if drop and self.align_to_segments:
+            drop = self._align_down(corpus, drop)
         return drop
+
+    @staticmethod
+    def _align_down(corpus, drop: int) -> int:
+        """The largest segment-boundary drop count not exceeding ``drop``."""
+        rows = getattr(corpus, "segment_rows", None)
+        if rows is None:  # a corpus without segments: exact semantics
+            return drop
+        boundary = 0
+        for segment_rows in rows():
+            if boundary + segment_rows > drop:
+                break
+            boundary += segment_rows
+        return boundary
 
     def to_dict(self) -> dict:
         """JSON-serializable form (see :mod:`repro.db.persistence`)."""
-        return {"max_rows": self.max_rows, "max_age": self.max_age,
+        data = {"max_rows": self.max_rows, "max_age": self.max_age,
                 "timestamp_column": self.timestamp_column}
+        # Only persisted when set, so v4 saves of default policies stay
+        # byte-compatible with what v3 readers expect.
+        if self.align_to_segments:
+            data["align_to_segments"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RetentionPolicy":
         return cls(max_rows=data.get("max_rows"),
                    max_age=data.get("max_age"),
-                   timestamp_column=data.get("timestamp_column", "timestamp"))
+                   timestamp_column=data.get("timestamp_column", "timestamp"),
+                   align_to_segments=bool(data.get("align_to_segments",
+                                                   False)))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = []
@@ -100,4 +134,6 @@ class RetentionPolicy:
         if self.max_age is not None:
             parts.append(f"max_age={self.max_age}")
             parts.append(f"timestamp_column={self.timestamp_column!r}")
+        if self.align_to_segments:
+            parts.append("align_to_segments=True")
         return f"RetentionPolicy({', '.join(parts)})"

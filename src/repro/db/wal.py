@@ -1,0 +1,309 @@
+"""Per-table write-ahead log: durable segments between checkpoints.
+
+A full :func:`repro.db.persistence.save_database` is a *checkpoint* — a
+consistent image of every table whose cost grows with corpus size.  For the
+paper's ONGOING/CAMERA scenarios (long-lived streaming tables) that is the
+wrong durability unit: a crash between checkpoints would lose every
+``ingest()`` since the last one.  The write-ahead log closes that window by
+journaling each mutation as it happens:
+
+* ``ingest()`` appends a **segment** record — the freshly appended
+  :class:`~repro.data.corpus.CorpusSegment`'s arrays land in an ``.npz``
+  payload next to the log, and one JSON line references it,
+* retention appends a **drop** record (``{"type": "drop", "rows": n}``),
+* ``set_retention`` appends a **retention** record so the policy itself
+  survives a crash,
+* attaching a table after the last checkpoint appends an **attach** record
+  carrying the table's baseline corpus, and ``detach`` a **detach**
+  tombstone.
+
+Recovery = load the checkpoint, then replay each table's log tail in order.
+
+Layout (inside a format-v4 database directory)::
+
+    wal/<table>/log-<g>.jsonl       generation g: one JSON object per line
+    wal/<table>/seg-<g>-<n>.npz     arrays for segment/attach record n of g
+
+**Generations** make checkpoints crash-safe: a checkpoint :meth:`rotate`\\ s
+the log (freezing the current generation, opening the next) *before* it
+starts writing files, and the manifest records the new generation number
+only once the checkpoint is complete.  A crash mid-checkpoint therefore
+leaves the old manifest pointing at the old generation — recovery replays
+the frozen generation plus the new one and loses nothing.  Generations the
+manifest has absorbed are deleted by :meth:`prune` after the manifest is
+durably in place.
+
+Two further invariants make replay safe without fsync bookkeeping:
+
+* **payload-before-line** — the ``.npz`` payload is written to a temp file
+  and ``os.replace``-d into place *before* the JSON line referencing it is
+  appended, so a log line's existence implies its payload is complete,
+* **torn-tail tolerance** — a crash mid-append leaves at most one partial
+  final line; :meth:`TableWal.records` stops at the first unparsable line
+  and reopening the log truncates the torn bytes, so the tail never poisons
+  a later replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.corpus import CorpusSegment
+
+__all__ = ["TableWal", "wal_dir", "wal_tables"]
+
+_LOG_RE = re.compile(r"^log-(\d+)\.jsonl$")
+_PAYLOAD_RE = re.compile(r"^seg-(\d+)-(\d+)\.npz$")
+
+
+def wal_dir(root: Path | str, table: str) -> Path:
+    """The log directory for ``table`` under database root ``root``."""
+    return Path(root) / "wal" / table
+
+
+def wal_tables(root: Path | str) -> list[str]:
+    """Tables with a write-ahead log under ``root`` (sorted)."""
+    base = Path(root) / "wal"
+    if not base.is_dir():
+        return []
+    return sorted(entry.name for entry in base.iterdir() if entry.is_dir())
+
+
+def _segment_to_payload(segment: CorpusSegment) -> dict[str, np.ndarray]:
+    payload: dict[str, np.ndarray] = {"images": segment.images}
+    for key, values in segment.metadata.items():
+        payload[f"metadata/{key}"] = values
+    for key, values in segment.content.items():
+        payload[f"content/{key}"] = values
+    return payload
+
+
+def _segment_from_payload(path: Path) -> CorpusSegment:
+    with np.load(path, allow_pickle=False) as archive:
+        images = archive["images"]
+        metadata, content = {}, {}
+        for key in archive.files:
+            if key.startswith("metadata/"):
+                metadata[key[len("metadata/"):]] = archive[key]
+            elif key.startswith("content/"):
+                content[key[len("content/"):]] = archive[key]
+    return CorpusSegment(images=images, metadata=metadata, content=content)
+
+
+class TableWal:
+    """Append-only journal for one table.
+
+    The executor calls the ``log_*`` methods *while holding its shard lock*,
+    immediately after applying the mutation in memory — so the log order is
+    exactly the apply order and replaying it reproduces the in-memory state.
+    The handle keeps the active generation's log file open for append;
+    :meth:`close` flushes and releases it (idempotent).
+    """
+
+    def __init__(self, root: Path | str, table: str) -> None:
+        self.table = table
+        self.directory = wal_dir(root, table)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        generations = self.generations()
+        self._generation = generations[-1] if generations else 0
+        # A crash can only tear the latest generation's final append; older
+        # generations were frozen by a rotate and are complete.
+        self._truncate_torn_tail(self._generation)
+        self._sequence = self._count_records(self._generation)
+        self._handle = open(self._log_path(self._generation), "a",
+                            encoding="utf-8")
+        self._closed = False
+
+    def _log_path(self, generation: int) -> Path:
+        return self.directory / f"log-{generation}.jsonl"
+
+    @property
+    def generation(self) -> int:
+        """The generation currently receiving appends."""
+        return self._generation
+
+    def generations(self) -> list[int]:
+        """Generations present on disk, oldest first."""
+        found = []
+        for entry in self.directory.iterdir():
+            match = _LOG_RE.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    # -- appending ---------------------------------------------------------
+    def log_segment(self, segment: CorpusSegment) -> None:
+        """Journal one freshly ingested corpus segment (durable payload)."""
+        self._append_with_payload("segment", segment)
+
+    def log_attach(self, segment: CorpusSegment, *,
+                   id_offset: int = 0) -> None:
+        """Journal a table's baseline corpus (attach after last checkpoint)."""
+        self._append_with_payload("attach", segment,
+                                  extra={"id_offset": int(id_offset)})
+
+    def log_drop(self, rows: int) -> None:
+        """Journal a retention drop of the ``rows`` oldest rows."""
+        self._append_line({"type": "drop", "rows": int(rows)})
+
+    def log_retention(self, policy_dict: dict | None) -> None:
+        """Journal a retention-policy change (``None`` clears the policy)."""
+        self._append_line({"type": "retention", "policy": policy_dict})
+
+    def log_detach(self) -> None:
+        """Journal that this table was detached (replay drops it)."""
+        self._append_line({"type": "detach"})
+
+    def _append_with_payload(self, record_type: str, segment: CorpusSegment,
+                             extra: dict | None = None) -> None:
+        with self._lock:
+            self._ensure_open()
+            payload_name = f"seg-{self._generation}-{self._sequence}.npz"
+            final = self.directory / payload_name
+            # payload-before-line: replace() is atomic, so once the JSON line
+            # below exists the payload it names is complete.
+            tmp = self.directory / f".{payload_name}.tmp"
+            with open(tmp, "wb") as handle:
+                np.savez(handle, **_segment_to_payload(segment))
+            os.replace(tmp, final)
+            record = {"type": record_type, "payload": payload_name,
+                      "rows": len(segment)}
+            if extra:
+                record.update(extra)
+            self._write_line(record)
+            self._sequence += 1
+
+    def _append_line(self, record: dict) -> None:
+        with self._lock:
+            self._ensure_open()
+            self._write_line(record)
+            self._sequence += 1
+
+    def _write_line(self, record: dict) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"WAL for table {self.table!r} is closed")
+
+    # -- reading -----------------------------------------------------------
+    def records(self, from_generation: int = 0) -> list[dict]:
+        """Parsed records of generations >= ``from_generation``, in order.
+
+        ``segment``/``attach`` records come back with their payload loaded
+        under the ``"segment"`` key; each record also carries its
+        ``"generation"``.  Parsing a generation stops at a torn final line.
+        """
+        records = []
+        for generation in self.generations():
+            if generation < from_generation:
+                continue
+            with open(self._log_path(generation), encoding="utf-8") as handle:
+                for line in handle:
+                    record = _parse_line(line)
+                    if record is None:
+                        break  # torn tail: the crash interrupted this append
+                    if record["type"] in ("segment", "attach"):
+                        payload = self.directory / record["payload"]
+                        record["segment"] = _segment_from_payload(payload)
+                    record["generation"] = generation
+                    records.append(record)
+        return records
+
+    def record_count(self) -> int:
+        """Complete records across all live generations (tears excluded)."""
+        return sum(self._count_records(generation)
+                   for generation in self.generations())
+
+    def _count_records(self, generation: int) -> int:
+        path = self._log_path(generation)
+        if not path.exists():
+            return 0
+        count = 0
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                if _parse_line(line) is None:
+                    break
+                count += 1
+        return count
+
+    # -- lifecycle ---------------------------------------------------------
+    def rotate(self) -> int:
+        """Freeze the current generation and open the next; returns it.
+
+        Called by a checkpoint *under the shard lock, before writing any
+        file*: mutations after the rotate land in the new generation, so the
+        checkpoint image plus generations >= the returned number is always
+        the complete state — whether or not the checkpoint finishes.
+        """
+        with self._lock:
+            self._ensure_open()
+            self._handle.flush()
+            self._handle.close()
+            self._generation += 1
+            self._sequence = 0
+            self._handle = open(self._log_path(self._generation), "a",
+                                encoding="utf-8")
+            return self._generation
+
+    def prune(self, before_generation: int) -> None:
+        """Delete generations < ``before_generation`` (absorbed by a
+        checkpoint whose manifest is durably in place)."""
+        with self._lock:
+            for entry in list(self.directory.iterdir()):
+                match = _LOG_RE.match(entry.name) or \
+                    _PAYLOAD_RE.match(entry.name)
+                if match and int(match.group(1)) < before_generation:
+                    entry.unlink()
+
+    def close(self) -> None:
+        """Flush and release the log handle; safe to call twice."""
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.flush()
+            self._handle.close()
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _truncate_torn_tail(self, generation: int) -> None:
+        """Drop a partial final line left by a crash mid-append."""
+        log_path = self._log_path(generation)
+        if not log_path.exists():
+            return
+        keep = 0
+        with open(log_path, "rb") as handle:
+            for line in handle:
+                if _parse_line(line.decode("utf-8", errors="replace")) is None:
+                    break
+                keep += len(line)
+            size = handle.seek(0, os.SEEK_END)
+        if keep < size:
+            with open(log_path, "rb+") as handle:
+                handle.truncate(keep)
+
+
+def _parse_line(line: str) -> dict | None:
+    """One log line as a record dict, or ``None`` when torn/invalid."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict) or "type" not in record:
+        return None
+    return record

@@ -185,7 +185,10 @@ class Session:
                   "open_cursors": len(self._cursors),
                   "admission": self.admission.stats(),
                   "plan_cache": cache.stats() if cache is not None else None,
-                  "queries": self.counters.snapshot()}
+                  "queries": self.counters.snapshot(),
+                  # Storage-engine health per shard: segment fragmentation,
+                  # WAL depth, checkpoint count (see VisualDatabase.storage_stats).
+                  "storage": database.storage_stats()}
         if self._stats_extra is not None:
             result.update(self._stats_extra())
         return result

@@ -23,6 +23,12 @@ multi-camera database:
   eviction drains the inserting namespace's own cold entries before touching
   any other namespace, so one hot camera cannot evict every other shard's
   representations.
+
+Internally each entry is a list of row-aligned **chunks** mirroring the
+corpus's segment list: :meth:`append_rows` adds a chunk in O(batch) on the
+ingest hot path, retention drops whole leading chunks without copying the
+survivors, and readers see one consolidated array (the chunk list collapses
+on first read, so memory is never held twice).
 """
 
 from __future__ import annotations
@@ -48,12 +54,13 @@ class _StoreState:
 
     ``arrays`` insertion order doubles as recency order across *all*
     namespaces: get()/add() move the touched key to the end, so eviction pops
-    from the front.
+    from the front.  Each value is a list of row-aligned chunks; readers
+    collapse the list to one array in place.
     """
 
     tier: StorageTier
     byte_budget: int | None
-    arrays: dict[_Key, np.ndarray] = field(default_factory=dict)
+    arrays: dict[_Key, list[np.ndarray]] = field(default_factory=dict)
     specs: dict[_Key, TransformSpec] = field(default_factory=dict)
     registered: dict[_Key, TransformSpec] = field(default_factory=dict)
     evictions: int = 0
@@ -119,8 +126,8 @@ class RepresentationStore:
         """Transform ``images`` into every representation in ``specs`` and keep them.
 
         This is the ingest-time entry point, so the specs are also
-        :meth:`register`-ed: later :meth:`append` calls (new frames arriving)
-        extend these representations.
+        :meth:`register`-ed: later :meth:`append_rows` calls (new frames
+        arriving) extend these representations.
         """
         if images.ndim != 4:
             raise ValueError(f"expected NHWC batch, got shape {images.shape}")
@@ -138,18 +145,19 @@ class RepresentationStore:
         key = self._key(spec.name)
         with state.lock:
             state.arrays.pop(key, None)
-            state.arrays[key] = array
+            state.arrays[key] = [array]
             state.specs[key] = spec
             self._enforce_budget(newest=key)
 
     def extend(self, spec: TransformSpec, array: np.ndarray) -> np.ndarray:
-        """Append already-transformed rows to the stored array for ``spec``.
+        """Append already-transformed rows and return the full extended array.
 
-        This is how a growing corpus keeps full-corpus representations
-        consistent: new rows are transformed once (at ingest under ONGOING,
-        lazily at query time otherwise) and concatenated onto the stored
-        array.  Returns the extended array — under a byte budget the store
-        may evict it immediately, but the caller can still use it.
+        This is the consolidating path: the stored chunks collapse so the
+        whole-corpus array can be handed back.  When the caller does not need
+        the full array (the ingest hot path), :meth:`append_rows` does the
+        same bookkeeping in O(batch).  Returns the extended array — under a
+        byte budget the store may evict it immediately, but the caller can
+        still use it.
         """
         with self._state.lock:
             if spec not in self:
@@ -163,6 +171,31 @@ class RepresentationStore:
             extended = np.concatenate([stored, array], axis=0)
             self.add(spec, extended)
             return extended
+
+    def append_rows(self, spec: TransformSpec, array: np.ndarray) -> None:
+        """Append already-transformed rows as a new chunk, in O(batch).
+
+        The streaming-ingest counterpart of :meth:`extend`: the new rows
+        land as one more chunk (mirroring the corpus segment they describe)
+        and nothing is concatenated until a reader asks for the full array.
+        Marks the entry hot and enforces the byte budget like any insertion.
+        """
+        state = self._state
+        key = self._key(spec.name)
+        with state.lock:
+            try:
+                chunks = state.arrays.pop(key)
+            except KeyError:
+                raise KeyError(f"representation {spec.name!r} not materialized; "
+                               f"cannot extend it") from None
+            if array.shape[1:] != chunks[0].shape[1:]:
+                state.arrays[key] = chunks
+                raise ValueError(
+                    f"array shape {array.shape[1:]} does not match stored "
+                    f"shape {chunks[0].shape[1:]}")
+            chunks.append(array)
+            state.arrays[key] = chunks
+            self._enforce_budget(newest=key)
 
     def register(self, spec: TransformSpec) -> None:
         """Commit to materializing ``spec`` for new rows at ingest time.
@@ -205,10 +238,11 @@ class RepresentationStore:
         key = self._key(spec.name)
         with state.lock:
             try:
-                array = state.arrays.pop(key)
+                chunks = state.arrays.pop(key)
             except KeyError:
                 return None
-            state.arrays[key] = array
+            array = _consolidate(chunks)
+            state.arrays[key] = [array]
             return array
 
     def get_or_transform(self, spec: TransformSpec,
@@ -241,13 +275,17 @@ class RepresentationStore:
         """This namespace's (spec, array) pairs, hottest first.
 
         Used by persistence to save the most valuable arrays under a size
-        cap; reading through this method does not change recency.
+        cap; reading through this method does not change recency (chunk
+        lists are consolidated in place, which preserves insertion order).
         """
         state = self._state
         with state.lock:
             keys = [key for key in state.arrays if key[0] == self.namespace]
-            return [(state.specs[key], state.arrays[key])
-                    for key in reversed(keys)]
+            pairs = []
+            for key in reversed(keys):
+                state.arrays[key] = [_consolidate(state.arrays[key])]
+                pairs.append((state.specs[key], state.arrays[key][0]))
+            return pairs
 
     def recency_rank(self, spec: TransformSpec) -> int | None:
         """Global recency of ``spec``'s entry (higher = hotter), or ``None``.
@@ -266,8 +304,19 @@ class RepresentationStore:
 
     def rows(self, spec: TransformSpec) -> int:
         """Number of rows stored for ``spec`` (0 when not materialized)."""
-        array = self._state.arrays.get(self._key(spec.name))
-        return 0 if array is None else int(array.shape[0])
+        with self._state.lock:
+            chunks = self._state.arrays.get(self._key(spec.name))
+            if chunks is None:
+                return 0
+            return sum(int(chunk.shape[0]) for chunk in chunks)
+
+    def chunk_counts(self) -> dict[str, int]:
+        """Chunks per materialized representation (this namespace) — a
+        fragmentation gauge for stats endpoints."""
+        state = self._state
+        with state.lock:
+            return {key[1]: len(chunks) for key, chunks in state.arrays.items()
+                    if key[0] == self.namespace}
 
     def drop_oldest_rows(self, n: int) -> None:
         """Trim the first ``n`` rows from every array in this namespace.
@@ -275,10 +324,13 @@ class RepresentationStore:
         This is the store half of retention windows: when a table drops its
         oldest corpus rows, the stored representation arrays are trimmed in
         step so row ``i`` of an array keeps describing row ``i`` of the
-        corpus.  The freed bytes are credited against the global byte budget
-        automatically — accounting reads current array lengths.  Recency,
-        specs and registrations are unchanged; arrays shorter than ``n``
-        become empty (and are topped back up lazily like any stale array).
+        corpus.  Whole leading chunks are dropped without touching the
+        survivors; only a chunk straddling the boundary is copied (never
+        sliced — a view would pin the dropped rows' memory).  The freed
+        bytes are credited against the global byte budget automatically —
+        accounting reads current chunk lengths.  Recency, specs and
+        registrations are unchanged; entries shorter than ``n`` become empty
+        (and are topped back up lazily like any stale array).
         """
         if n < 0:
             raise ValueError(f"n must be non-negative, got {n}")
@@ -288,8 +340,7 @@ class RepresentationStore:
         with state.lock:
             for key in [key for key in state.arrays
                         if key[0] == self.namespace]:
-                # Copy, not slice: a view would pin the dropped rows' memory.
-                state.arrays[key] = state.arrays[key][n:].copy()
+                state.arrays[key] = _drop_chunk_rows(state.arrays[key], n)
 
     def clear(self) -> None:
         """Drop this namespace's stored arrays, keeping tier, budget and
@@ -320,10 +371,11 @@ class RepresentationStore:
         state = self._state
         with state.lock:
             total = 0
-            for key, array in state.arrays.items():
+            for key, chunks in state.arrays.items():
                 if key[0] != self.namespace:
                     continue
-                count = 1 if per_image else array.shape[0]
+                count = 1 if per_image else \
+                    sum(int(chunk.shape[0]) for chunk in chunks)
                 total += representation_bytes(state.specs[key]) * count
             return int(total)
 
@@ -348,8 +400,8 @@ class RepresentationStore:
     # -- internals ---------------------------------------------------------
     def _entry_bytes(self, key: _Key) -> int:
         state = self._state
-        return representation_bytes(state.specs[key]) * \
-            int(state.arrays[key].shape[0])
+        rows = sum(int(chunk.shape[0]) for chunk in state.arrays[key])
+        return representation_bytes(state.specs[key]) * rows
 
     def _evict(self, key: _Key) -> None:
         state = self._state
@@ -384,3 +436,31 @@ class RepresentationStore:
             key = next(iter(state.arrays))
             total -= self._entry_bytes(key)
             self._evict(key)
+
+
+def _consolidate(chunks: list[np.ndarray]) -> np.ndarray:
+    """Collapse a chunk list into one array (no copy when already one chunk)."""
+    if len(chunks) == 1:
+        return chunks[0]
+    return np.concatenate(chunks, axis=0)
+
+
+def _drop_chunk_rows(chunks: list[np.ndarray], n: int) -> list[np.ndarray]:
+    """Drop the first ``n`` rows across a chunk list, freeing whole chunks."""
+    remaining = n
+    out: list[np.ndarray] = []
+    for index, chunk in enumerate(chunks):
+        rows = int(chunk.shape[0])
+        if remaining >= rows:
+            remaining -= rows
+            continue
+        if remaining > 0:
+            # Copy, not slice: a view would pin the dropped rows' memory.
+            out.append(chunk[remaining:].copy())
+            remaining = 0
+        else:
+            out.append(chunk)
+    if not out:
+        # Keep the entry alive (schema and recency) with an empty chunk.
+        out.append(chunks[-1][:0].copy())
+    return out
