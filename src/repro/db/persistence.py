@@ -10,7 +10,7 @@ profile and the table catalog.  Layout (format version 4)::
       predicates/<name>/       # one model repository per predicate
         repository.json
         weights/*.npz
-      tables/<table>/          # one subdirectory per catalog table
+      tables/<table>/ckpt-<k>/ # table image version k (manifest-referenced)
         corpus.npz             # images + metadata + content (optional)
         materialized.npz       # materialized virtual columns (optional)
         store.npz              # representation arrays (optional, size-capped)
@@ -40,9 +40,14 @@ log tail (segments ingested, retention drops, policy changes, tables
 attached or detached since the checkpoint), then re-arms journaling — so a
 process killed at an arbitrary WAL record boundary recovers to exactly the
 state the log had made durable, with stable ids and materialized labels
-intact.  The manifest itself is written atomically (temp file +
-``os.replace``); a crash mid-checkpoint leaves the previous manifest
-pointing at the previous generation floor, whose logs are still on disk.
+intact.  Checkpoints never overwrite the previous image: each save writes
+its table files into a fresh ``tables/<table>/ckpt-<k>/`` directory (for a
+checkpoint, fsynced before the manifest moves), the manifest — itself
+written atomically (temp file + ``os.replace``) — references that version,
+and only once the new manifest is durably in place are the superseded image
+directories and absorbed WAL generations deleted.  A crash at any point
+mid-checkpoint therefore leaves the previous manifest pointing at its own
+intact image files and at a generation floor whose logs are still on disk.
 
 Format 3 (no WAL; retention + stable-id offsets per table), format 2
 (predates retention) and format-1 single-corpus saves all still load.
@@ -52,7 +57,9 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import shutil
+from collections.abc import Iterable
 from pathlib import Path
 
 import numpy as np
@@ -79,6 +86,7 @@ _TABLES_DIR = "tables"
 _CORPUS_FILE = "corpus.npz"
 _MATERIALIZED_FILE = "materialized.npz"
 _STORE_FILE = "store.npz"
+_IMAGE_DIR_RE = re.compile(r"^ckpt-(\d+)$")
 
 #: Default on-disk byte cap for persisted representation arrays, shared by
 #: the whole catalog.  Arrays beyond the cap (coldest first) are skipped and
@@ -266,6 +274,78 @@ def _upgrade_v1_manifest(manifest: dict) -> dict:
     return upgraded
 
 
+# -- versioned table images ------------------------------------------------------
+def _next_image_version(root: Path) -> int:
+    """First unused ``ckpt-<k>`` version number across every table dir.
+
+    Table files are never overwritten in place: each save writes a *new*
+    ``tables/<table>/ckpt-<k>/`` directory and the still-live previous
+    manifest keeps pointing at its own, untouched files until the new
+    manifest is durably in place.  One shared counter for the whole catalog
+    keeps a save's image directories aligned across tables.
+    """
+    version = 0
+    tables_dir = root / _TABLES_DIR
+    if tables_dir.is_dir():
+        for table_dir in tables_dir.iterdir():
+            if not table_dir.is_dir():
+                continue
+            for child in table_dir.iterdir():
+                match = _IMAGE_DIR_RE.match(child.name)
+                if match:
+                    version = max(version, int(match.group(1)) + 1)
+    return version
+
+
+def _fsync_file(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_image_dir(directory: Path) -> None:
+    """Make one table's freshly written image files durable (checkpoints
+    only): a checkpoint manifest must never reference files the page cache
+    could still lose."""
+    from repro.db.wal import fsync_dir
+
+    for child in directory.iterdir():
+        if child.is_file():
+            _fsync_file(child)
+    fsync_dir(directory)
+    fsync_dir(directory.parent)
+
+
+def _prune_stale_images(root: Path, tables: list[dict]) -> None:
+    """Delete table images the just-written manifest no longer references.
+
+    Called only *after* the new manifest is durably in place: superseded
+    ``ckpt-<k>`` directories, pre-versioning loose table files, and the
+    directories of tables absent from the manifest (detached) all go.
+    """
+    referenced = {entry["name"]: Path(entry["table_dir"]).name
+                  for entry in tables if entry.get("table_dir")}
+    tables_dir = root / _TABLES_DIR
+    if not tables_dir.is_dir():
+        return
+    for table_dir in tables_dir.iterdir():
+        if not table_dir.is_dir():
+            continue
+        keep = referenced.get(table_dir.name)
+        if keep is None:
+            shutil.rmtree(table_dir, ignore_errors=True)
+            continue
+        for child in table_dir.iterdir():
+            if child.is_dir() and _IMAGE_DIR_RE.match(child.name):
+                if child.name != keep:
+                    shutil.rmtree(child, ignore_errors=True)
+            elif child.name in (_CORPUS_FILE, _MATERIALIZED_FILE,
+                                _STORE_FILE):
+                child.unlink()  # loose files from a pre-versioning save
+
+
 # -- database save / load --------------------------------------------------------
 def save_database(db: VisualDatabase, root: str | Path,
                   include_corpus: bool = True,
@@ -281,7 +361,11 @@ def save_database(db: VisualDatabase, root: str | Path,
     save is a **checkpoint**: each table's journal rotates to a fresh
     generation at capture time (mutations racing the save land in the new
     generation), the manifest records the generation floor, and the absorbed
-    generations are pruned once the manifest is durably in place.
+    generations are pruned once the manifest is durably in place.  Table
+    files always land in a fresh ``ckpt-<k>`` image directory (fsynced, for
+    a checkpoint, before the manifest is replaced), never over the previous
+    save's files — a crash at any point leaves the old manifest's image and
+    logs untouched, so the database stays recoverable.
 
     ``store_bytes_cap`` bounds the on-disk bytes spent on representation
     arrays across all tables (``None`` uses :data:`DEFAULT_STORE_BYTES_CAP`);
@@ -305,6 +389,7 @@ def save_database(db: VisualDatabase, root: str | Path,
     tables = []
     selected_arrays = (_select_store_arrays(db, store_bytes_cap)
                        if include_corpus else {})
+    image_version = _next_image_version(root)
     pruned_generations: dict[str, int] = {}
     for table in db.tables():
         executor = db.executor_for(table)
@@ -324,8 +409,6 @@ def save_database(db: VisualDatabase, root: str | Path,
                 # is in the image, everything after is in the new generation.
                 wal_generation = executor.wal.rotate()
                 pruned_generations[table] = wal_generation
-        table_dir = root / _TABLES_DIR / table
-        table_dir.mkdir(parents=True, exist_ok=True)
         entry = {
             "name": table,
             "corpus_file": None,
@@ -343,13 +426,21 @@ def save_database(db: VisualDatabase, root: str | Path,
             # Format 4: recovery replays this table's generations >= this.
             entry["wal_generation"] = wal_generation
         if include_corpus:
+            # A fresh image directory per save: the previous manifest's
+            # files stay intact until the new manifest supersedes them.
+            relative_dir = f"{_TABLES_DIR}/{table}/ckpt-{image_version}"
+            table_dir = root / relative_dir
+            table_dir.mkdir(parents=True, exist_ok=True)
             _save_corpus_arrays(images, metadata, content,
                                 table_dir / _CORPUS_FILE)
-            entry["corpus_file"] = f"{_TABLES_DIR}/{table}/{_CORPUS_FILE}"
+            entry["table_dir"] = relative_dir
+            entry["corpus_file"] = f"{relative_dir}/{_CORPUS_FILE}"
             entry["materialized"] = _save_materialized(materialized,
                                                        table_dir)
             entry["store_arrays"] = _save_store_arrays(
                 selected_arrays.get(table, []), table_dir)
+            if checkpointing:
+                _fsync_image_dir(table_dir)
         tables.append(entry)
 
     manifest = {
@@ -369,15 +460,26 @@ def save_database(db: VisualDatabase, root: str | Path,
         "wal": {"enabled": checkpointing},
     }
     # Atomic manifest: a crash mid-checkpoint leaves the previous manifest
-    # (whose generation floors still have their logs on disk) intact.
+    # (whose image files and generation-floor logs are still on disk)
+    # intact.  For a checkpoint the manifest is fsynced through the rename,
+    # so nothing below runs before the new image is actually durable.
     tmp_manifest = root / f".{_MANIFEST_FILE}.tmp"
     tmp_manifest.write_text(json.dumps(manifest))
+    if checkpointing:
+        _fsync_file(tmp_manifest)
     os.replace(tmp_manifest, root / _MANIFEST_FILE)
+    if checkpointing:
+        from repro.db.wal import fsync_dir
 
+        fsync_dir(root)
+
+    # Only after the manifest is in place: drop whatever it superseded —
+    # previous image versions, absorbed WAL generations, and the files of
+    # tables since detached.
+    if include_corpus:
+        _prune_stale_images(root, tables)
     if checkpointing:
         db._checkpoints = getattr(db, "_checkpoints", 0) + 1
-        # Only after the manifest is durably in place: drop the generations
-        # this checkpoint absorbed, and the logs of tables since detached.
         for table, generation in pruned_generations.items():
             wal = db.executor_for(table).wal
             if wal is not None:
@@ -504,8 +606,13 @@ def _recover_wal(db: VisualDatabase, root: Path, manifest: dict) -> None:
 
 
 def _replay_table(db: VisualDatabase, table: str,
-                  records: list[dict]) -> None:
-    """Apply one table's journal records, in log order."""
+                  records: Iterable[dict]) -> None:
+    """Apply one table's journal records, in log order.
+
+    ``records`` may be (and during recovery is) a lazy stream — payloads
+    load one record at a time, so replay memory tracks the batch size, not
+    the whole log tail.
+    """
     batch: list[dict] = []
 
     def flush() -> None:

@@ -33,11 +33,13 @@ the frozen generation plus the new one and loses nothing.  Generations the
 manifest has absorbed are deleted by :meth:`prune` after the manifest is
 durably in place.
 
-Two further invariants make replay safe without fsync bookkeeping:
+Two further invariants make replay safe, even across power loss (not just
+process kills):
 
-* **payload-before-line** — the ``.npz`` payload is written to a temp file
-  and ``os.replace``-d into place *before* the JSON line referencing it is
-  appended, so a log line's existence implies its payload is complete,
+* **payload-before-line** — the ``.npz`` payload is written to a temp file,
+  fsynced, ``os.replace``-d into place, and the directory entry fsynced,
+  all *before* the JSON line referencing it is appended (itself fsynced),
+  so a durable log line implies its payload is complete and durable,
 * **torn-tail tolerance** — a crash mid-append leaves at most one partial
   final line; :meth:`TableWal.records` stops at the first unparsable line
   and reopening the log truncates the torn bytes, so the tail never poisons
@@ -50,6 +52,7 @@ import json
 import os
 import re
 import threading
+from collections.abc import Iterator
 from pathlib import Path
 
 import numpy as np
@@ -65,6 +68,18 @@ _PAYLOAD_RE = re.compile(r"^seg-(\d+)-(\d+)\.npz$")
 def wal_dir(root: Path | str, table: str) -> Path:
     """The log directory for ``table`` under database root ``root``."""
     return Path(root) / "wal" / table
+
+
+def fsync_dir(path: Path) -> None:
+    """Make ``path``'s directory entries (renames, new files) durable."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without directory fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def wal_tables(root: Path | str) -> list[str]:
@@ -116,9 +131,19 @@ class TableWal:
         # A crash can only tear the latest generation's final append; older
         # generations were frozen by a rotate and are complete.
         self._truncate_torn_tail(self._generation)
-        self._sequence = self._count_records(self._generation)
+        # Per-generation record counts, maintained in memory from here on
+        # (append/rotate/prune) so record_count() never re-reads the logs.
+        self._counts = {generation: self._count_records(generation)
+                        for generation in generations}
+        self._counts.setdefault(self._generation, 0)
+        self._sequence = self._counts[self._generation]
         self._handle = open(self._log_path(self._generation), "a",
                             encoding="utf-8")
+        # The open() above may have created the log file (and mkdir the
+        # directory); make both directory entries durable before the first
+        # fsynced line can claim durability.
+        fsync_dir(self.directory)
+        fsync_dir(self.directory.parent)
         self._closed = False
 
     def _log_path(self, generation: int) -> Path:
@@ -167,24 +192,33 @@ class TableWal:
             self._ensure_open()
             payload_name = f"seg-{self._generation}-{self._sequence}.npz"
             final = self.directory / payload_name
-            # payload-before-line: replace() is atomic, so once the JSON line
-            # below exists the payload it names is complete.
+            # payload-before-line: the payload bytes are fsynced, renamed
+            # into place atomically, and the rename made durable — so once
+            # the (fsynced) JSON line below exists, the payload it names is
+            # complete and durable even across power loss.
             tmp = self.directory / f".{payload_name}.tmp"
             with open(tmp, "wb") as handle:
                 np.savez(handle, **_segment_to_payload(segment))
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, final)
+            fsync_dir(self.directory)
             record = {"type": record_type, "payload": payload_name,
                       "rows": len(segment)}
             if extra:
                 record.update(extra)
             self._write_line(record)
-            self._sequence += 1
+            self._advance()
 
     def _append_line(self, record: dict) -> None:
         with self._lock:
             self._ensure_open()
             self._write_line(record)
-            self._sequence += 1
+            self._advance()
+
+    def _advance(self) -> None:
+        self._sequence += 1
+        self._counts[self._generation] = self._sequence
 
     def _write_line(self, record: dict) -> None:
         self._handle.write(json.dumps(record) + "\n")
@@ -196,14 +230,17 @@ class TableWal:
             raise RuntimeError(f"WAL for table {self.table!r} is closed")
 
     # -- reading -----------------------------------------------------------
-    def records(self, from_generation: int = 0) -> list[dict]:
-        """Parsed records of generations >= ``from_generation``, in order.
+    def records(self, from_generation: int = 0) -> Iterator[dict]:
+        """Yield parsed records of generations >= ``from_generation``, in
+        order.
 
         ``segment``/``attach`` records come back with their payload loaded
         under the ``"segment"`` key; each record also carries its
         ``"generation"``.  Parsing a generation stops at a torn final line.
+        Records stream lazily — payload arrays are loaded one record at a
+        time as the caller advances, so replaying a long tail never holds
+        every segment's bytes in memory at once.
         """
-        records = []
         for generation in self.generations():
             if generation < from_generation:
                 continue
@@ -216,13 +253,16 @@ class TableWal:
                         payload = self.directory / record["payload"]
                         record["segment"] = _segment_from_payload(payload)
                     record["generation"] = generation
-                    records.append(record)
-        return records
+                    yield record
 
     def record_count(self) -> int:
-        """Complete records across all live generations (tears excluded)."""
-        return sum(self._count_records(generation)
-                   for generation in self.generations())
+        """Complete records across all live generations (tears excluded).
+
+        Served from in-memory counters (maintained across append, rotate and
+        prune), so stats endpoints never re-read or re-parse the log files.
+        """
+        with self._lock:
+            return sum(self._counts.values())
 
     def _count_records(self, generation: int) -> int:
         path = self._log_path(generation)
@@ -251,8 +291,12 @@ class TableWal:
             self._handle.close()
             self._generation += 1
             self._sequence = 0
+            self._counts[self._generation] = 0
             self._handle = open(self._log_path(self._generation), "a",
                                 encoding="utf-8")
+            # Make the new generation's directory entry durable before any
+            # fsynced line lands in it.
+            fsync_dir(self.directory)
             return self._generation
 
     def prune(self, before_generation: int) -> None:
@@ -264,6 +308,9 @@ class TableWal:
                     _PAYLOAD_RE.match(entry.name)
                 if match and int(match.group(1)) < before_generation:
                     entry.unlink()
+            self._counts = {generation: count
+                            for generation, count in self._counts.items()
+                            if generation >= before_generation}
 
     def close(self) -> None:
         """Flush and release the log handle; safe to call twice."""

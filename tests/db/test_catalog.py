@@ -474,13 +474,13 @@ class TestCatalogPersistence:
         before = database.execute(sql)
         root = database.save(tmp_path / "vdb")
 
-        table_dir = root / "tables" / "images"
+        manifest = json.loads((root / "database.json").read_text())
+        [entry] = manifest.pop("tables")
+        table_dir = root / entry["table_dir"]
         shutil.move(str(table_dir / "corpus.npz"), str(root / "corpus.npz"))
         shutil.move(str(table_dir / "materialized.npz"),
                     str(root / "materialized.npz"))
         shutil.rmtree(root / "tables")
-        manifest = json.loads((root / "database.json").read_text())
-        [entry] = manifest.pop("tables")
         manifest["format_version"] = 1
         manifest["corpus_file"] = "corpus.npz"
         manifest["materialized"] = entry["materialized"]

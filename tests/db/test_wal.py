@@ -9,6 +9,7 @@ and storage_stats, and v2/v3 format compatibility of the v4 loader.
 """
 
 import json
+import os
 import shutil
 import threading
 
@@ -53,7 +54,7 @@ class TestTableWal:
         wal.log_retention(None)
         wal.close()
 
-        records = TableWal(tmp_path, "cam").records()
+        records = list(TableWal(tmp_path, "cam").records())
         assert [r["type"] for r in records] == ["segment", "drop",
                                                "retention", "retention"]
         segment = records[0]["segment"]
@@ -102,6 +103,37 @@ class TestTableWal:
         # The pruned generation's payload file went with its log.
         assert not list(wal_dir(tmp_path, "cam").glob("seg-0-*.npz"))
         wal.close()
+
+    def test_records_stream_lazily(self, tmp_path):
+        wal = TableWal(tmp_path, "cam")
+        wal.log_segment(make_segment([1.0]))
+        wal.log_segment(make_segment([2.0]))
+        wal.close()
+        stream = TableWal(tmp_path, "cam").records()
+        assert iter(stream) is stream  # a generator, not a prebuilt list
+        first = next(stream)
+        # The second segment's payload loads only when the stream reaches
+        # it: replay memory tracks one record, not the whole tail.
+        np.testing.assert_array_equal(first["segment"].metadata["timestamp"],
+                                      [1.0])
+
+    def test_record_count_tracks_append_rotate_prune(self, tmp_path):
+        wal = TableWal(tmp_path, "cam")
+        wal.log_drop(1)
+        wal.log_segment(make_segment([1.0]))
+        assert wal.record_count() == 2
+        wal.rotate()
+        wal.log_drop(2)
+        assert wal.record_count() == 3
+        wal.prune(1)
+        assert wal.record_count() == 1
+        wal.close()
+        # A reopened handle recounts from disk once, then tracks in memory.
+        reopened = TableWal(tmp_path, "cam")
+        assert reopened.record_count() == 1
+        reopened.log_drop(3)
+        assert reopened.record_count() == 2
+        reopened.close()
 
     def test_close_is_idempotent_and_appends_after_close_raise(self, tmp_path):
         wal = TableWal(tmp_path, "cam")
@@ -164,6 +196,52 @@ class TestEnableWal:
         recovered = VisualDatabase.load(tmp_path / "vdb")
         assert table_state(recovered) == table_state(database)
         assert database.storage_stats()["checkpoints"] == 2
+
+    def test_checkpoint_writes_fresh_image_and_prunes_old_one(self, tmp_path):
+        root = tmp_path / "vdb"
+        database = connect({"cam": timed_corpus([0.0, 1.0])})
+        database.enable_wal(root)
+        [entry] = json.loads((root / "database.json").read_text())["tables"]
+        old_image = root / entry["table_dir"]
+        assert (old_image / "corpus.npz").exists()
+
+        database.ingest(*_batch([2.0]), table="cam")
+        database.checkpoint()
+        [after] = json.loads((root / "database.json").read_text())["tables"]
+        # Never in place: the checkpoint landed in a new image directory,
+        # and the superseded one went only after the new manifest did.
+        assert after["table_dir"] != entry["table_dir"]
+        assert not old_image.exists()
+        assert (root / after["corpus_file"]).exists()
+
+    def test_crash_before_manifest_swap_stays_recoverable(self, tmp_path,
+                                                          monkeypatch):
+        # The high-severity review scenario: a checkpoint that dies before
+        # its manifest lands must leave the *previous* manifest's image and
+        # log generations untouched — recovery replays them, and the rows
+        # the aborted checkpoint had absorbed are not double-applied.
+        root = tmp_path / "vdb"
+        database = connect({"cam": timed_corpus([0.0, 1.0])})
+        database.enable_wal(root)
+        database.ingest(*_batch([2.0]), table="cam")
+        database.checkpoint()
+        database.ingest(*_batch([3.0]), table="cam")
+        expected = table_state(database)
+
+        real_replace = os.replace
+
+        def crash_on_manifest(src, dst, *args, **kwargs):
+            if str(dst).endswith("database.json"):
+                raise OSError("simulated crash before manifest swap")
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr(os, "replace", crash_on_manifest)
+        with pytest.raises(OSError, match="simulated crash"):
+            database.checkpoint()
+        monkeypatch.undo()
+
+        recovered = VisualDatabase.load(root)
+        assert table_state(recovered) == expected
 
     def test_attach_detach_replace_survive_recovery(self, tmp_path):
         database = connect({"cam": timed_corpus([0.0])})
@@ -251,7 +329,7 @@ class TestCrashRecoveryProperty:
 
         wal = database.executor_for("cam").wal
         generation = wal.generation
-        records = wal.records(from_generation=generation)
+        records = list(wal.records(from_generation=generation))
         assert len(records) >= 9  # segments + drops + retention markers
 
         # Model: checkpoint image (enable_wal's) + the log applied by hand.
