@@ -20,7 +20,7 @@ import time
 
 import numpy as np
 
-from _util import write_result
+from _util import write_json, write_result
 from repro.core.selector import UserConstraints
 from repro.data.categories import get_category
 from repro.data.corpus import generate_corpus
@@ -90,7 +90,8 @@ def test_server_concurrent_latency(benchmark, default_workspace, smoke_mode,
         def run_clients():
             threads = [threading.Thread(target=_client_loop,
                                         args=(server.address, seed,
-                                              latencies, errors))
+                                              latencies, errors),
+                                        name=f"bench-client-{seed}")
                        for seed in range(N_CLIENTS)]
             for thread in threads:
                 thread.start()
@@ -108,10 +109,23 @@ def test_server_concurrent_latency(benchmark, default_workspace, smoke_mode,
         return f"{seconds * 1e3:.2f}"
 
     rows = []
+    payload: dict = {
+        "clients": N_CLIENTS,
+        "rounds_per_client": ROUNDS_PER_CLIENT,
+        "latency_ms": {},
+        "plan_cache": cache_stats,
+        "admission": admission,
+        "queries": queries,
+    }
     for label, samples in latencies.items():
         data = np.array(samples)
         rows.append([label, str(len(data)), fmt(np.percentile(data, 50)),
                      fmt(np.percentile(data, 99))])
+        payload["latency_ms"][label] = {
+            "requests": len(data),
+            "p50": float(np.percentile(data, 50) * 1e3),
+            "p99": float(np.percentile(data, 99) * 1e3),
+        }
     body = format_table(["query shape", "requests", "p50 ms", "p99 ms"], rows)
     body += (f"\n\nclients: {N_CLIENTS} concurrent sessions x "
              f"{ROUNDS_PER_CLIENT} rounds over TCP; "
@@ -126,6 +140,7 @@ def test_server_concurrent_latency(benchmark, default_workspace, smoke_mode,
     write_result(results_dir, "server_latency",
                  "Serving layer: concurrent-client latency and plan cache",
                  body)
+    write_json("server", payload)
 
     # Every request completed and none were rejected at this modest load.
     total = N_CLIENTS * ROUNDS_PER_CLIENT * len(QUERIES)

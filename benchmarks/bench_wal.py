@@ -137,7 +137,7 @@ def test_wal_storage_engine(smoke_mode, results_dir, tmp_path):
         except Exception as exc:  # pragma: no cover - failure path
             errors.append(exc)
 
-    thread = threading.Thread(target=churn)
+    thread = threading.Thread(target=churn, name="bench-wal-churn")
     thread.start()
     try:
         contended = query_latencies(database, n_queries)

@@ -1,0 +1,55 @@
+"""Correctness tooling for the concurrent engine: static checks + sanitizer.
+
+This package is the repository's race detector and invariant linter.  The
+engine built up in PRs 4–7 relies on conventions — per-shard locks with
+snapshot reads, an fsync/rename durability protocol, a fixed lock order —
+that the test suite can pass while still being wrong.  Everything here
+exists to turn those conventions into enforced contracts:
+
+``guards.py``
+    The machine-readable manifest of guarded state, cross-checked against
+    ``# guarded by:`` annotations in the source so it cannot drift.
+
+``lockcheck.py``
+    AST pass flagging reads/writes of guarded attributes outside a
+    ``with <lock>:`` region (plus escape analysis for guarded mutable
+    containers returned by reference).
+
+``durability.py``
+    AST pass over ``db/wal.py`` and ``db/persistence.py`` enforcing the
+    fsync-before-rename / dirsync-after-rename / write-before-prune
+    ordering that crash-safety rests on.
+
+``sanitizer.py``
+    Runtime side: instrumented locks (installed through
+    :mod:`repro.locking`) that record per-thread acquisition order,
+    detect lock-order inversions and assert guarded-by on attribute
+    writes.  Activated over the whole test suite with ``pytest
+    --sanitize``.
+
+Run the static passes from the repo root::
+
+    PYTHONPATH=src python -m repro.analysis          # exits 1 on findings
+    PYTHONPATH=src python -m repro.analysis --list   # show what is checked
+
+Suppress a deliberate exception with ``# unguarded ok: <reason>`` (lock
+discipline) or ``# durability ok: <reason>`` (fsync ordering) on the
+offending line; a reason is mandatory.  Both the CLI and a ``--sanitize``
+test pass run as the ``analysis`` job in CI.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.durability import check_durability
+from repro.analysis.guards import CONFINED, REGISTRY, ConfinedSpec, GuardSpec
+from repro.analysis.lockcheck import Finding, check_lock_discipline
+
+__all__ = [
+    "CONFINED",
+    "REGISTRY",
+    "ConfinedSpec",
+    "Finding",
+    "GuardSpec",
+    "check_durability",
+    "check_lock_discipline",
+]

@@ -1,0 +1,137 @@
+"""Durability lint: the fsync/rename/prune ordering crash-safety rests on.
+
+The WAL and checkpoint code (:mod:`repro.db.wal`,
+:mod:`repro.db.persistence`) keep three ordering invariants, all of them
+easy to silently regress because every test passes without them — they only
+matter across a power loss:
+
+* **fsync-before-rename** — an ``os.replace`` publishing a payload or
+  manifest must be preceded, in the same function, by an fsync of the bytes
+  being published (``os.fsync`` / ``_fsync_file``); otherwise the rename
+  can become durable before the content it names.
+* **dirsync-after-rename** — after the ``os.replace``, the directory entry
+  must be fsynced (``fsync_dir``) so the rename itself survives power loss.
+* **write-after-prune** — pruning (stale checkpoint images, absorbed WAL
+  generations) must be the *last* thing a function does: any write event
+  after a prune means state was deleted before its replacement was durable.
+
+The lint is line-order within one function — deliberately simple and
+direction-correct: conditional branches (``if checkpointing:``) still
+appear in source order, which is exactly the order the protocol requires.
+A deliberate exception carries ``# durability ok: <reason>`` on the
+``os.replace`` (or write) line.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.analysis.guards import (DURABILITY_MODULES, SOURCE_ROOT,
+                                   suppressed_lines)
+from repro.analysis.lockcheck import Finding
+
+__all__ = ["check_durability"]
+
+#: Calls that make bytes reach a file: forbidden after a prune.
+_WRITE_NAMES = frozenset({"savez", "savez_compressed", "save", "dump",
+                          "write", "write_text", "write_bytes"})
+
+
+def check_durability(root: Path | None = None) -> list[Finding]:
+    """Lint every module in :data:`DURABILITY_MODULES` under ``root`` (the
+    installed ``repro`` package when omitted); returns findings sorted by
+    location."""
+    base = root if root is not None else SOURCE_ROOT
+    findings: list[Finding] = []
+    for rel in DURABILITY_MODULES:
+        source = (base / rel).read_text(encoding="utf-8")
+        suppressed = suppressed_lines(source, durability=True)
+        for fn in _functions(ast.parse(source)):
+            findings.extend(_check_function(rel, fn, suppressed))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _local_nodes(fn: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Walk ``fn`` without descending into nested function definitions
+    (their events belong to the nested function's own check)."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _call_kind(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+        is_os = isinstance(func.value, ast.Name) and func.value.id == "os"
+    elif isinstance(func, ast.Name):
+        name = func.id
+        is_os = False
+    else:
+        return None
+    if name == "replace":
+        # Only os.replace is a rename; str.replace shares the name.
+        return "replace" if is_os else None
+    if name == "fsync" and is_os or name == "_fsync_file":
+        return "fsync"
+    if name in ("fsync_dir", "_fsync_image_dir"):
+        return "dirsync"
+    if name in _WRITE_NAMES:
+        return "write"
+    if "prune" in name:
+        return "prune"
+    return None
+
+
+def _check_function(rel: str, fn: ast.FunctionDef,
+                    suppressed: set[int]) -> list[Finding]:
+    events: list[tuple[int, str]] = []
+    for node in _local_nodes(fn):
+        if isinstance(node, ast.Call):
+            kind = _call_kind(node)
+            if kind is not None:
+                events.append((node.lineno, kind))
+    if not events:
+        return []
+    fsyncs = [line for line, kind in events if kind == "fsync"]
+    dirsyncs = [line for line, kind in events if kind == "dirsync"]
+    prunes = [line for line, kind in events if kind == "prune"]
+    first_prune = min(prunes) if prunes else None
+    findings: list[Finding] = []
+    for line, kind in events:
+        if line in suppressed:
+            continue
+        if kind == "replace":
+            if not any(other < line for other in fsyncs):
+                findings.append(Finding(
+                    rel, line, "fsync-before-rename",
+                    f"os.replace in {fn.name}() has no earlier payload "
+                    f"fsync in the same function — the rename can become "
+                    f"durable before its content"))
+            if not any(other > line for other in dirsyncs):
+                findings.append(Finding(
+                    rel, line, "dirsync-after-rename",
+                    f"os.replace in {fn.name}() is not followed by a "
+                    f"directory fsync (fsync_dir) — the rename itself can "
+                    f"be lost on power failure"))
+        elif kind == "write" and first_prune is not None \
+                and line > first_prune:
+            findings.append(Finding(
+                rel, line, "write-after-prune",
+                f"write in {fn.name}() after a prune — old state must only "
+                f"be deleted once its replacement is durable"))
+    return findings

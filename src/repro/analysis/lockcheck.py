@@ -1,0 +1,330 @@
+"""Static lock-discipline checker: guarded state vs. ``with <lock>:`` regions.
+
+For every :class:`~repro.analysis.guards.GuardSpec` the checker parses the
+owning module and walks each method of the owning class, tracking which
+statements execute inside a ``with <lock>:`` region (including aliased state
+objects: ``state = self._state`` followed by ``with state.lock:``).  It
+reports:
+
+* **unguarded-write** — a guarded attribute is rebound, item-assigned or
+  deleted outside the lock;
+* **unguarded-read** — a guarded attribute is read outside the lock, in a
+  method not whitelisted as snapshot-only (``lock_free``);
+* **escape** — a guarded *mutable* container is returned by bare reference
+  (``return self._materialized``): the caller would then hold shared
+  mutable state with no lock;
+* **annotation-drift** / **missing-annotation** — the ``# guarded by:``
+  comments in the source and the manifest in ``guards.py`` disagree;
+* **confined-missing** — a :class:`~repro.analysis.guards.ConfinedSpec`
+  names an attribute the class no longer assigns.
+
+The analysis is deliberately method-local and trusting of the manifest's
+``lock_held`` list (no interprocedural analysis); ``__init__`` is treated
+as lock-held because the object is unpublished while it runs.  Nested
+functions (closures handed to other threads) do **not** inherit the
+enclosing lock region.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.guards import (CONFINED, REGISTRY, SOURCE_ROOT,
+                                   ConfinedSpec, GuardSpec, parse_annotations,
+                                   suppressed_lines)
+
+__all__ = ["Finding", "check_lock_discipline"]
+
+#: dict/list/set methods that mutate the receiver in place: calling one on a
+#: guarded attribute counts as a write, not a read.
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "move_to_end", "sort",
+})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation, formatted ``path:line: [rule] message``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def check_lock_discipline(root: Path | None = None) -> list[Finding]:
+    """Run every registered :class:`GuardSpec` over the tree at ``root``
+    (the installed ``repro`` package when omitted); returns findings sorted
+    by location."""
+    findings: list[Finding] = []
+    by_path: dict[str, list[GuardSpec]] = {}
+    for spec in REGISTRY:
+        by_path.setdefault(spec.path, []).append(spec)
+    for path, specs in by_path.items():
+        source = _read(specs[0].file(root))
+        tree = ast.parse(source)
+        suppressed = suppressed_lines(source)
+        findings.extend(_check_annotations(path, source, tree, specs))
+        for spec in specs:
+            cls = _find_class(tree, spec.cls)
+            if cls is None:
+                findings.append(Finding(path, 1, "missing-class",
+                                        f"class {spec.cls} not found"))
+                continue
+            checker = _ClassChecker(spec, path, suppressed)
+            findings.extend(checker.check(cls))
+    for confined in CONFINED:
+        findings.extend(_check_confined(confined, root))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def _read(path: Path) -> str:
+    return path.read_text(encoding="utf-8")
+
+
+def _find_class(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+# -- annotation <-> manifest cross-check ---------------------------------------
+def _check_annotations(path: str, source: str, tree: ast.Module,
+                       specs: list[GuardSpec]) -> list[Finding]:
+    """The ``# guarded by:`` comments and the manifest must agree exactly."""
+    findings: list[Finding] = []
+    annotations = parse_annotations(source)
+    manifest_attrs: dict[str, set[str]] = {}
+    for spec in specs:
+        accepted = _accepted_lock_exprs(spec)
+        for attr in spec.guarded:
+            manifest_attrs.setdefault(attr, set()).update(accepted)
+    for attr, entries in annotations.items():
+        accepted = manifest_attrs.get(attr)
+        for lock_expr, line in entries:
+            if accepted is None:
+                findings.append(Finding(
+                    path, line, "annotation-drift",
+                    f"{attr!r} is annotated 'guarded by: {lock_expr}' but "
+                    f"missing from the guards.py manifest"))
+            elif lock_expr not in accepted:
+                findings.append(Finding(
+                    path, line, "annotation-drift",
+                    f"{attr!r} is annotated 'guarded by: {lock_expr}' but "
+                    f"the manifest guards it with {sorted(accepted)}"))
+    for spec in specs:
+        cls = _find_class(tree, spec.cls)
+        for attr in sorted(spec.guarded):
+            if attr not in annotations:
+                findings.append(Finding(
+                    path, _attr_line(cls, spec, attr), "missing-annotation",
+                    f"{spec.cls}.{attr} is in the guards.py manifest but "
+                    f"carries no '# guarded by:' annotation in the source"))
+    return findings
+
+
+def _accepted_lock_exprs(spec: GuardSpec) -> set[str]:
+    if spec.state is None:
+        return {f"self.{spec.lock}"}
+    # State-object specs annotate inside the state class body, where the
+    # lock is a bare sibling field; accesses through self also qualify.
+    return {spec.lock, f"self.{spec.state}.{spec.lock}"}
+
+
+def _attr_line(cls: ast.ClassDef | None, spec: GuardSpec, attr: str) -> int:
+    """Best line to point a missing-annotation finding at: the attribute's
+    first binding, else the class statement."""
+    if cls is None:
+        return 1
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if isinstance(target, ast.Attribute) and target.attr == attr:
+                    return target.lineno
+                if isinstance(target, ast.Name) and target.id == attr:
+                    return target.lineno
+    return cls.lineno
+
+
+# -- per-class method analysis -------------------------------------------------
+class _ClassChecker:
+    """Walks one class's methods, flagging unguarded access and escapes."""
+
+    def __init__(self, spec: GuardSpec, path: str,
+                 suppressed: set[int]) -> None:
+        self.spec = spec
+        self.path = path
+        self.suppressed = suppressed
+        self.findings: list[Finding] = []
+
+    def check(self, cls: ast.ClassDef) -> list[Finding]:
+        for node in cls.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_method(node)
+        return self.findings
+
+    def _check_method(self, fn: ast.FunctionDef) -> None:
+        spec = self.spec
+        if fn.name == "__init__" or fn.name in spec.lock_held:
+            # Lock held by convention: __init__ runs on an unpublished
+            # object; lock_held helpers are called with the lock taken.
+            return
+        aliases = self._state_aliases(fn)
+        held_default = False
+        for stmt in fn.body:
+            self._scan(stmt, held_default, aliases, fn)
+
+    # Aliasing: ``state = self._state`` makes ``state.lock`` the lock and
+    # ``state.arrays`` a guarded access for the rest of the method.
+    def _state_aliases(self, fn: ast.FunctionDef) -> set[str]:
+        spec = self.spec
+        if spec.state is None:
+            return set()
+        aliases: set[str] = set()
+        for node in ast.walk(fn):
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and self._is_state_object(node.value, set())):
+                aliases.add(node.targets[0].id)
+        return aliases
+
+    def _is_state_object(self, node: ast.expr, aliases: set[str]) -> bool:
+        """``self.<state>`` (or an alias of it)."""
+        spec = self.spec
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self" and node.attr == spec.state):
+            return True
+        return isinstance(node, ast.Name) and node.id in aliases
+
+    def _is_lock_expr(self, node: ast.expr, aliases: set[str]) -> bool:
+        spec = self.spec
+        if not isinstance(node, ast.Attribute) or node.attr != spec.lock:
+            return False
+        if spec.state is None:
+            return (isinstance(node.value, ast.Name)
+                    and node.value.id == "self")
+        return self._is_state_object(node.value, aliases)
+
+    def _guarded_attr(self, node: ast.expr,
+                      aliases: set[str]) -> str | None:
+        """The guarded attribute name ``node`` accesses, or ``None``."""
+        spec = self.spec
+        if not isinstance(node, ast.Attribute) or node.attr not in spec.guarded:
+            return None
+        if spec.state is None:
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return node.attr
+            return None
+        if self._is_state_object(node.value, aliases):
+            return node.attr
+        return None
+
+    def _scan(self, node: ast.AST, held: bool, aliases: set[str],
+              fn: ast.FunctionDef) -> None:
+        if isinstance(node, ast.With):
+            takes_lock = any(self._is_lock_expr(item.context_expr, aliases)
+                             for item in node.items)
+            for item in node.items:
+                self._scan(item.context_expr, held, aliases, fn)
+            for stmt in node.body:
+                self._scan(stmt, held or takes_lock, aliases, fn)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # A closure may run on another thread after the region exits:
+            # it never inherits the enclosing lock.
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for stmt in body:
+                self._scan(stmt, False, aliases, fn)
+            return
+        if isinstance(node, ast.Return) and node.value is not None:
+            attr = self._guarded_attr(node.value, aliases)
+            if attr is not None and attr in self.spec.mutable:
+                self._report(node.lineno, "escape",
+                             f"{self.spec.cls}.{fn.name} returns guarded "
+                             f"mutable {attr!r} by reference; return a copy "
+                             f"or a frozen snapshot")
+        if isinstance(node, ast.Attribute):
+            attr = self._guarded_attr(node, aliases)
+            if attr is not None:
+                self._check_access(node, attr, held, fn)
+            node.value._lockcheck_parent = node  # type: ignore[attr-defined]
+            self._scan(node.value, held, aliases, fn)
+            return
+        for child in ast.iter_child_nodes(node):
+            # Parent pointers for write classification (subscript stores,
+            # in-place mutator calls) are attached on the way down.
+            child._lockcheck_parent = node  # type: ignore[attr-defined]
+            self._scan(child, held, aliases, fn)
+
+    def _check_access(self, node: ast.Attribute, attr: str, held: bool,
+                      fn: ast.FunctionDef) -> None:
+        if held:
+            return
+        is_write = self._is_write(node)
+        if not is_write and fn.name in self.spec.lock_free:
+            return  # whitelisted snapshot read
+        rule = "unguarded-write" if is_write else "unguarded-read"
+        verb = "written" if is_write else "read"
+        self._report(node.lineno, rule,
+                     f"{self.spec.cls}.{attr} {verb} in {fn.name}() without "
+                     f"holding {self._lock_name()}")
+
+    def _is_write(self, node: ast.Attribute) -> bool:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            return True
+        parent = getattr(node, "_lockcheck_parent", None)
+        # self._x[k] = v  /  del self._x[k]
+        if (isinstance(parent, ast.Subscript) and parent.value is node
+                and isinstance(parent.ctx, (ast.Store, ast.Del))):
+            return True
+        # self._x.clear() and friends
+        if (isinstance(parent, ast.Attribute) and parent.value is node
+                and parent.attr in _MUTATORS):
+            grand = getattr(parent, "_lockcheck_parent", None)
+            return isinstance(grand, ast.Call) and grand.func is parent
+        return False
+
+    def _lock_name(self) -> str:
+        spec = self.spec
+        if spec.state is None:
+            return f"self.{spec.lock}"
+        return f"self.{spec.state}.{spec.lock}"
+
+    def _report(self, line: int, rule: str, message: str) -> None:
+        if line in self.suppressed:
+            return
+        self.findings.append(Finding(self.path, line, rule, message))
+
+
+# -- thread-confined inventory -------------------------------------------------
+def _check_confined(confined: ConfinedSpec,
+                    root: Path | None) -> list[Finding]:
+    """Confined attributes must still exist, so the inventory stays honest."""
+    path = (root if root is not None else SOURCE_ROOT) / confined.path
+    tree = ast.parse(_read(path))
+    cls = _find_class(tree, confined.cls)
+    if cls is None:
+        return [Finding(confined.path, 1, "missing-class",
+                        f"class {confined.cls} not found")]
+    assigned = {node.attr for node in ast.walk(cls)
+                if isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Store)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"}
+    return [Finding(confined.path, cls.lineno, "confined-missing",
+                    f"{confined.cls}.{attr} is declared thread-confined but "
+                    f"never assigned")
+            for attr in sorted(confined.attrs) if attr not in assigned]

@@ -22,6 +22,7 @@ from typing import Iterator
 from repro.data.corpus import ImageCorpus
 from repro.db.executor import QueryExecutor
 from repro.db.retention import RetentionPolicy
+from repro.locking import make_rlock
 from repro.query.processor import DEFAULT_TABLE
 from repro.storage.store import RepresentationStore
 
@@ -47,7 +48,12 @@ class Catalog:
 
     def __init__(self, store_budget: int | None = None) -> None:
         self._store = RepresentationStore(byte_budget=store_budget)
-        self._executors: dict[str, QueryExecutor] = {}
+        # Reentrant: replace() detaches and re-attaches under one hold, so
+        # membership changes are atomic to concurrent readers.  The catalog
+        # lock is only ever the *outermost* lock (catalog -> executor ->
+        # wal/store); no executor or store path calls back into the catalog.
+        self._lock = make_rlock("catalog")
+        self._executors: dict[str, QueryExecutor] = {}  # guarded by: self._lock
 
     # -- membership -----------------------------------------------------------
     def attach(self, name: str, corpus: ImageCorpus,
@@ -59,20 +65,22 @@ class Catalog:
         :class:`~repro.db.retention.RetentionPolicy`).
         """
         self._validate_name(name)
-        if name in self._executors:
-            raise ValueError(f"table {name!r} already attached; "
-                             f"detach it first or use replace()")
-        executor = QueryExecutor(corpus, store=self._store.scoped(name),
-                                 table=name, retention=retention)
-        self._executors[name] = executor
-        return executor
+        with self._lock:
+            if name in self._executors:
+                raise ValueError(f"table {name!r} already attached; "
+                                 f"detach it first or use replace()")
+            executor = QueryExecutor(corpus, store=self._store.scoped(name),
+                                     table=name, retention=retention)
+            self._executors[name] = executor
+            return executor
 
     def replace(self, name: str, corpus: ImageCorpus,
                 retention: RetentionPolicy | None = None) -> QueryExecutor:
         """Attach ``corpus`` as ``name``, dropping any previous shard's state."""
-        if name in self._executors:
-            self.detach(name)
-        return self.attach(name, corpus, retention=retention)
+        with self._lock:
+            if name in self._executors:
+                self.detach(name)
+            return self.attach(name, corpus, retention=retention)
 
     def set_retention(self, name: str,
                       policy: RetentionPolicy | None) -> None:
@@ -90,22 +98,29 @@ class Catalog:
 
     def detach(self, name: str) -> None:
         """Drop table ``name``: executor state and its store namespace."""
-        executor = self._executors.pop(name, None)
-        if executor is None:
-            raise KeyError(f"no table {name!r}; attached: {self.tables()}")
+        with self._lock:
+            executor = self._executors.pop(name, None)
+            if executor is None:
+                raise KeyError(f"no table {name!r}; "
+                               f"attached: {self.tables()}")
+        # Purge outside the membership-critical section: the shard is
+        # already invisible, and the store lock is taken without holding
+        # the catalog lock on this (detach-only) path.
         executor.store.purge()
 
     # -- lookup ---------------------------------------------------------------
     def tables(self) -> list[str]:
         """Attached table names, in attachment order."""
-        return list(self._executors)
+        with self._lock:
+            return list(self._executors)
 
     def executor(self, name: str) -> QueryExecutor:
-        try:
-            return self._executors[name]
-        except KeyError:
-            raise KeyError(f"no table {name!r}; "
-                           f"attached: {self.tables()}") from None
+        with self._lock:
+            try:
+                return self._executors[name]
+            except KeyError:
+                raise KeyError(f"no table {name!r}; "
+                               f"attached: {self.tables()}") from None
 
     def default_table(self) -> str | None:
         """The table unqualified operations act on.
@@ -114,11 +129,12 @@ class Catalog:
         sole table when exactly one is attached, else ``None`` — callers must
         then name a table explicitly.
         """
-        if DEFAULT_TABLE in self._executors:
-            return DEFAULT_TABLE
-        if len(self._executors) == 1:
-            return next(iter(self._executors))
-        return None
+        with self._lock:
+            if DEFAULT_TABLE in self._executors:
+                return DEFAULT_TABLE
+            if len(self._executors) == 1:
+                return next(iter(self._executors))
+            return None
 
     @property
     def store(self) -> RepresentationStore:
@@ -126,13 +142,18 @@ class Catalog:
         return self._store
 
     def __contains__(self, name: str) -> bool:
-        return name in self._executors
+        with self._lock:
+            return name in self._executors
 
     def __len__(self) -> int:
-        return len(self._executors)
+        with self._lock:
+            return len(self._executors)
 
     def __iter__(self) -> Iterator[str]:
-        return iter(self._executors)
+        # Iterate a snapshot: handing out a live dict iterator would let
+        # concurrent attach/detach raise mid-iteration in the caller.
+        with self._lock:
+            return iter(list(self._executors))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Catalog(tables={self.tables()})"

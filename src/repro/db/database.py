@@ -807,7 +807,8 @@ class VisualDatabase:
         never cross the shard boundary.
         """
         workers = min(len(plans), os.cpu_count() or 1)
-        with ThreadPoolExecutor(max_workers=workers) as pool:
+        with ThreadPoolExecutor(max_workers=workers,
+                                thread_name_prefix="repro-fanout") as pool:
             futures = {table: pool.submit(self._catalog.executor(table).execute,
                                           plan, cancel)
                        for table, plan in plans.items()}

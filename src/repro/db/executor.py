@@ -30,13 +30,13 @@ rows keep their results.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.data.corpus import ImageCorpus
+from repro.locking import make_rlock
 from repro.query.relation import Relation
 from repro.storage.store import RepresentationStore
 
@@ -125,36 +125,41 @@ class QueryExecutor:
         self.full_materialize_fraction = full_materialize_fraction
         self.min_limit_chunk = min_limit_chunk
         self.table = table
-        self.retention = retention
-        # Rows ever dropped by retention: stable image id = offset + row
-        # position.  Ids survive retention passes and are never reused.
-        self._id_offset = 0
         # One lock per table: ingest and retention on the same shard
         # serialize; queries only take it for snapshot capture and merge
-        # (fan-out stays concurrent — each shard has its own lock).
-        self._lock = threading.RLock()
-        # Bumped whenever materialized labels stop being comparable across a
-        # capture (invalidate, clear_cache, an id_offset rebase): a snapshot
-        # merge from before the bump would write back stale labels, so it
-        # aborts instead.  Ingest/retention do NOT bump — the id-offset shift
-        # maps snapshot rows onto surviving current rows exactly.
-        self._epoch = 0
-        # Write-ahead log, attached by the database when durability is on.
-        self._wal: "TableWal | None" = None
-        self._rebuild_base_relation()
-        # Materialized virtual columns, keyed by (category, cascade name) so
-        # labels are only ever served as output of the cascade that produced
-        # them (the selected cascade changes with scenario and constraints):
-        # (category, cascade) -> (mask of rows evaluated, labels).
-        self._materialized: dict[tuple[str, str],
-                                 tuple[np.ndarray, np.ndarray]] = {}
+        # (fan-out stays concurrent — each shard has its own lock).  Created
+        # before any guarded state so even construction observes the
+        # discipline the runtime sanitizer asserts.
+        self._lock = make_rlock(f"executor:{table or 'default'}")
+        with self._lock:
+            self.retention = retention  # guarded by: self._lock
+            # Rows ever dropped by retention: stable image id = offset + row
+            # position.  Ids survive retention passes and are never reused.
+            self._id_offset = 0  # guarded by: self._lock
+            # Bumped whenever materialized labels stop being comparable
+            # across a capture (invalidate, clear_cache, an id_offset
+            # rebase): a snapshot merge from before the bump would write
+            # back stale labels, so it aborts instead.  Ingest/retention do
+            # NOT bump — the id-offset shift maps snapshot rows onto
+            # surviving current rows exactly.
+            self._epoch = 0  # guarded by: self._lock
+            # Write-ahead log, attached by the database when durability is
+            # on.
+            self._wal: "TableWal | None" = None  # guarded by: self._lock
+            self._rebuild_base_relation()
+            # Materialized virtual columns, keyed by (category, cascade
+            # name) so labels are only ever served as output of the cascade
+            # that produced them (the selected cascade changes with scenario
+            # and constraints): (category, cascade) -> (mask, labels).
+            self._materialized: dict[  # guarded by: self._lock
+                tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
 
     def _rebuild_base_relation(self) -> None:
         # metadata_arrays() concatenates the scalar columns without touching
         # the image segments, so the per-ingest rebuild stays O(rows), not
         # O(corpus bytes).
         n = len(self.corpus)
-        self._base_relation = Relation(
+        self._base_relation = Relation(  # guarded by: self._lock
             {**self.corpus.metadata_arrays(),
              "image_id": np.arange(self._id_offset, self._id_offset + n)})
 
@@ -347,7 +352,8 @@ class QueryExecutor:
 
     def materialized_categories(self) -> list[str]:
         """Categories with at least one row's virtual column materialized."""
-        return sorted({category for category, _ in self._materialized})
+        with self._lock:
+            return sorted({category for category, _ in self._materialized})
 
     def observed_positive_rate(self, category: str,
                                cascade_name: str | None = None) -> float | None:

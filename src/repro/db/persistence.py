@@ -561,7 +561,9 @@ def load_database(root: str | Path,
         # Format-2 saves carry neither field: unbounded table, offset 0.
         retention = entry.get("retention")
         if retention is not None:
-            executor.retention = RetentionPolicy.from_dict(retention)
+            # Through the setter so the shard lock is held; the WAL is not
+            # armed yet, so nothing is journaled.
+            executor.set_retention(RetentionPolicy.from_dict(retention))
         executor.id_offset = int(entry.get("id_offset", 0))
         for spec_entry in entry.get("registered_specs", []):
             executor.store.register(TransformSpec(**spec_entry))

@@ -51,13 +51,13 @@ from __future__ import annotations
 import json
 import os
 import re
-import threading
 from collections.abc import Iterator
 from pathlib import Path
 
 import numpy as np
 
 from repro.data.corpus import CorpusSegment
+from repro.locking import make_lock
 
 __all__ = ["TableWal", "wal_dir", "wal_tables"]
 
@@ -125,26 +125,26 @@ class TableWal:
         self.table = table
         self.directory = wal_dir(root, table)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self._lock = threading.Lock()
+        self._lock = make_lock(f"wal:{table}")
         generations = self.generations()
-        self._generation = generations[-1] if generations else 0
+        self._generation = generations[-1] if generations else 0  # guarded by: self._lock
         # A crash can only tear the latest generation's final append; older
         # generations were frozen by a rotate and are complete.
         self._truncate_torn_tail(self._generation)
         # Per-generation record counts, maintained in memory from here on
         # (append/rotate/prune) so record_count() never re-reads the logs.
-        self._counts = {generation: self._count_records(generation)
+        self._counts = {generation: self._count_records(generation)  # guarded by: self._lock
                         for generation in generations}
         self._counts.setdefault(self._generation, 0)
-        self._sequence = self._counts[self._generation]
-        self._handle = open(self._log_path(self._generation), "a",
+        self._sequence = self._counts[self._generation]  # guarded by: self._lock
+        self._handle = open(self._log_path(self._generation), "a",  # guarded by: self._lock
                             encoding="utf-8")
         # The open() above may have created the log file (and mkdir the
         # directory); make both directory entries durable before the first
         # fsynced line can claim durability.
         fsync_dir(self.directory)
         fsync_dir(self.directory.parent)
-        self._closed = False
+        self._closed = False  # guarded by: self._lock
 
     def _log_path(self, generation: int) -> Path:
         return self.directory / f"log-{generation}.jsonl"

@@ -31,6 +31,7 @@ from concurrent.futures import Future
 from time import monotonic
 from typing import Callable
 
+from repro.locking import make_lock
 from repro.query.ast import QueryTimeoutError
 from repro.server.protocol import BackpressureError
 
@@ -63,13 +64,13 @@ class AdmissionController:
         self.max_workers = max_workers
         self.max_queue = max_queue
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
-        self._lock = threading.Lock()
-        self._closing = False
-        self._in_flight = 0
-        self.submitted = 0
-        self.rejected = 0
-        self.completed = 0
-        self.failed = 0
+        self._lock = make_lock("admission")
+        self._closing = False  # guarded by: self._lock
+        self._in_flight = 0  # guarded by: self._lock
+        self.submitted = 0  # guarded by: self._lock
+        self.rejected = 0  # guarded by: self._lock
+        self.completed = 0  # guarded by: self._lock
+        self.failed = 0  # guarded by: self._lock
         self._workers = [
             threading.Thread(target=self._work, name=f"{name}-worker-{i}",
                              daemon=True)

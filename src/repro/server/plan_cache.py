@@ -31,11 +31,11 @@ one cache.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.locking import make_lock
 from repro.query.ast import tokenize
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -88,13 +88,13 @@ class PlanCache:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._entries: OrderedDict[Any, CacheEntry] = OrderedDict()
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.rebinds = 0
-        self.misses = 0
-        self.invalidations = 0
-        self.evictions = 0
+        self._lock = make_lock("plan-cache")
+        self._entries: OrderedDict[Any, CacheEntry] = OrderedDict()  # guarded by: self._lock
+        self.hits = 0  # guarded by: self._lock
+        self.rebinds = 0  # guarded by: self._lock
+        self.misses = 0  # guarded by: self._lock
+        self.invalidations = 0  # guarded by: self._lock
+        self.evictions = 0  # guarded by: self._lock
 
     @staticmethod
     def key_for(sql: str, constraints: "UserConstraints",

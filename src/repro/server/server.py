@@ -27,6 +27,7 @@ from __future__ import annotations
 import socketserver
 import threading
 
+from repro.locking import make_lock
 from repro.server.admission import AdmissionController
 from repro.server.protocol import (MAX_LINE_BYTES, ProtocolError, decode,
                                    encode, error_response, ok_response)
@@ -127,10 +128,10 @@ class VisualDatabaseServer:
         self.admission = AdmissionController(max_workers=max_workers,
                                              max_queue=max_queue)
         self.counters = QueryCounters()
-        self._lock = threading.Lock()
-        self._sessions = 0
-        self._closed = False
-        self._thread: threading.Thread | None = None
+        self._lock = make_lock("server")
+        self._sessions = 0  # guarded by: self._lock
+        self._closed = False  # guarded by: self._lock
+        self._thread: threading.Thread | None = None  # guarded by: self._lock
         self._tcp = _TCPServer((host, port), _Handler)
         self._tcp.owner = self
 
@@ -161,13 +162,14 @@ class VisualDatabaseServer:
 
     def start(self) -> "VisualDatabaseServer":
         """Accept connections on a daemon thread; returns ``self``."""
-        if self._closed:
-            raise RuntimeError("server is closed")
-        if self._thread is None:
-            self._thread = threading.Thread(
-                target=self._tcp.serve_forever,
-                name=f"repro-server-{self.address[1]}", daemon=True)
-            self._thread.start()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._tcp.serve_forever,
+                    name=f"repro-server-{self.address[1]}", daemon=True)
+                self._thread.start()
         return self
 
     def close(self, drain: bool = True) -> None:
@@ -179,10 +181,15 @@ class VisualDatabaseServer:
         port.  ``drain=False`` abandons queued queries instead (their
         sessions receive backpressure errors).
         """
-        if self._closed:
-            return
-        self._closed = True
-        if self._thread is not None:
+        # Flip the closed flag atomically so a concurrent close() (or a
+        # start() racing it) sees a consistent state; release the lock
+        # before the shutdown calls below, which join worker threads.
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+        if thread is not None:
             self._tcp.shutdown()
         self.admission.shutdown(drain=drain)
         self._tcp.server_close()

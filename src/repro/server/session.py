@@ -18,10 +18,10 @@ nothing else; the connection and its other cursors stay usable.
 
 from __future__ import annotations
 
-import threading
 from typing import Callable
 
 from repro.core.selector import UserConstraints
+from repro.locking import make_lock
 from repro.query.ast import QueryTimeoutError
 from repro.server.protocol import (PROTOCOL_VERSION, BackpressureError,
                                    ProtocolError)
@@ -38,11 +38,11 @@ class QueryCounters:
     """Server-wide query outcome counters (shared across sessions)."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.completed = 0
-        self.failed = 0
-        self.timeouts = 0
-        self.rejected = 0
+        self._lock = make_lock("query-counters")
+        self.completed = 0  # guarded by: self._lock
+        self.failed = 0  # guarded by: self._lock
+        self.timeouts = 0  # guarded by: self._lock
+        self.rejected = 0  # guarded by: self._lock
 
     def record(self, outcome: str) -> None:
         with self._lock:

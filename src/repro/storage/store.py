@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.locking import make_rlock
 from repro.storage.encoding import representation_bytes
 from repro.storage.tiers import SSD, StorageTier
 from repro.transforms.spec import TransformSpec
@@ -60,11 +61,13 @@ class _StoreState:
 
     tier: StorageTier
     byte_budget: int | None
-    arrays: dict[_Key, list[np.ndarray]] = field(default_factory=dict)
-    specs: dict[_Key, TransformSpec] = field(default_factory=dict)
-    registered: dict[_Key, TransformSpec] = field(default_factory=dict)
-    evictions: int = 0
-    lock: threading.RLock = field(default_factory=threading.RLock)
+    arrays: dict[_Key, list[np.ndarray]] = field(default_factory=dict)  # guarded by: lock
+    specs: dict[_Key, TransformSpec] = field(default_factory=dict)  # guarded by: lock
+    registered: dict[_Key, TransformSpec] = field(default_factory=dict)  # guarded by: lock
+    evictions: int = 0  # guarded by: lock
+    # Reentrant: public entry points hold it while calling each other
+    # (extend -> get/add) and the _enforce_budget/_evict helpers.
+    lock: threading.RLock = field(default_factory=lambda: make_rlock("store"))
 
 
 class RepresentationStore:
@@ -216,7 +219,8 @@ class RepresentationStore:
 
     # -- access --------------------------------------------------------------
     def __contains__(self, spec: TransformSpec) -> bool:
-        return self._key(spec.name) in self._state.arrays
+        with self._state.lock:
+            return self._key(spec.name) in self._state.arrays
 
     def get(self, spec: TransformSpec) -> np.ndarray:
         """The stored representation array for ``spec`` (marks it hot)."""
@@ -261,8 +265,11 @@ class RepresentationStore:
         return array
 
     def _names(self) -> list[str]:
-        return [key[1] for key in self._state.arrays
-                if key[0] == self.namespace]
+        # Reentrant lock: callers already inside the critical section
+        # (specs, error paths in get) re-acquire harmlessly.
+        with self._state.lock:
+            return [key[1] for key in self._state.arrays
+                    if key[0] == self.namespace]
 
     def specs(self) -> list[TransformSpec]:
         """The representation specs currently materialized (this namespace)."""
@@ -388,7 +395,8 @@ class RepresentationStore:
     @property
     def evictions(self) -> int:
         """Representations evicted so far (all namespaces) to stay within budget."""
-        return self._state.evictions
+        with self._state.lock:
+            return self._state.evictions
 
     def load_time(self, spec: TransformSpec) -> float:
         """Simulated seconds to load one image's representation from the tier."""

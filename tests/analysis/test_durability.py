@@ -1,0 +1,94 @@
+"""Self-tests for the durability lint.
+
+Same scratch-copy strategy as the lock-discipline self-tests: the real WAL
+and checkpoint modules must lint clean, and surgically removing one fsync,
+one directory fsync, or adding one write after a prune must each produce
+exactly the matching finding.
+"""
+
+import shutil
+
+import pytest
+
+from repro.analysis.durability import check_durability
+from repro.analysis.guards import DURABILITY_MODULES, SOURCE_ROOT
+
+
+@pytest.fixture()
+def scratch(tmp_path):
+    root = tmp_path / "repro"
+    for rel in DURABILITY_MODULES:
+        (root / rel).parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(SOURCE_ROOT / rel, root / rel)
+    return root
+
+
+def _edit(root, rel, old, new):
+    path = root / rel
+    source = path.read_text(encoding="utf-8")
+    assert old in source, f"injection anchor not found in {rel}: {old!r}"
+    path.write_text(source.replace(old, new, 1), encoding="utf-8")
+
+
+def _rules(findings):
+    return {finding.rule for finding in findings}
+
+
+class TestCleanTree:
+    def test_installed_tree_is_clean(self):
+        assert check_durability() == []
+
+    def test_scratch_copy_is_clean(self, scratch):
+        assert check_durability(scratch) == []
+
+
+class TestDetections:
+    def test_removed_payload_fsync_detected(self, scratch):
+        # The WAL's payload-before-line append: dropping the payload fsync
+        # leaves the os.replace publishing potentially-unwritten bytes.
+        _edit(scratch, "db/wal.py",
+              "                handle.flush()\n"
+              "                os.fsync(handle.fileno())\n"
+              "            os.replace(tmp, final)",
+              "                handle.flush()\n"
+              "            os.replace(tmp, final)")
+        findings = check_durability(scratch)
+        assert _rules(findings) == {"fsync-before-rename"}
+        (finding,) = findings
+        assert finding.path == "db/wal.py"
+        assert "_append_with_payload" in finding.message
+
+    def test_removed_dirsync_detected(self, scratch):
+        _edit(scratch, "db/wal.py",
+              "            os.replace(tmp, final)\n"
+              "            fsync_dir(self.directory)",
+              "            os.replace(tmp, final)")
+        findings = check_durability(scratch)
+        assert _rules(findings) == {"dirsync-after-rename"}
+        assert "directory fsync" in findings[0].message
+
+    def test_write_after_prune_detected(self, scratch):
+        _edit(scratch, "db/persistence.py",
+              "    if include_corpus:\n"
+              "        _prune_stale_images(root, tables)",
+              "    if include_corpus:\n"
+              "        _prune_stale_images(root, tables)\n"
+              "        (root / \"late.json\").write_text(\"{}\")")
+        findings = check_durability(scratch)
+        assert _rules(findings) == {"write-after-prune"}
+        assert finding_path(findings) == "db/persistence.py"
+
+    def test_suppression_comment_honored(self, scratch):
+        _edit(scratch, "db/wal.py",
+              "                handle.flush()\n"
+              "                os.fsync(handle.fileno())\n"
+              "            os.replace(tmp, final)",
+              "                handle.flush()\n"
+              "            os.replace(tmp, final)"
+              "  # durability ok: self-test fixture")
+        assert check_durability(scratch) == []
+
+
+def finding_path(findings):
+    (finding,) = findings
+    return finding.path

@@ -125,6 +125,31 @@ class TestBasics:
         assert stats["admission"]["max_workers"] == 2
 
 
+class TestThreadNames:
+    """Every long-lived thread carries a descriptive name, so thread dumps
+    of a wedged server read as a story instead of ``Thread-7``."""
+
+    def test_server_threads_are_named(self, server, conn):
+        conn.execute(CONTENT_SQL).fetchall()  # ensure workers have run
+        names = [thread.name for thread in threading.enumerate()]
+        workers = [name for name in names
+                   if name.startswith("repro-server-worker-")]
+        assert len(workers) == server.admission.max_workers
+        assert f"repro-server-{server.address[1]}" in names
+
+    def test_fanout_pool_threads_are_named(self, db):
+        seen = []
+
+        def capture():
+            seen.append(threading.current_thread().name)
+
+        results = db.execute("SELECT count(*) FROM all_cameras",
+                             cancel=capture)
+        assert len(results) >= 1
+        assert seen, "cancel hook never ran"
+        assert any(name.startswith("repro-fanout") for name in seen)
+
+
 class TestCursorPaging:
     SQL = "SELECT image_id FROM cam_a"
 
