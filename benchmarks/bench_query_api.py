@@ -12,7 +12,7 @@ import time
 
 import numpy as np
 
-from _util import write_result
+from _util import write_json, write_result
 from repro.core.selector import UserConstraints
 from repro.data.categories import get_category
 from repro.data.corpus import generate_corpus
@@ -97,6 +97,29 @@ def test_query_api_overhead(benchmark, default_workspace, smoke_mode,
              f"scenario: archive; constraints: max_accuracy_loss=0.05")
     write_result(results_dir, "query_api_overhead",
                  "repro.db facade overhead vs raw QueryProcessor", body)
+
+    def rows_per_sec(seconds):
+        return float(N_IMAGES / seconds) if seconds > 0 else 0.0
+
+    write_json("query", {
+        "corpus_rows": N_IMAGES,
+        "image_size": default_workspace.scale.image_size,
+        "sql": SQL,
+        "rows_per_sec": {
+            "raw_cold": rows_per_sec(raw_cold_s),
+            "raw_warm": rows_per_sec(raw_warm_s),
+            "facade_cold": rows_per_sec(facade_cold_s),
+            "facade_warm": rows_per_sec(facade_warm_s),
+            "facade_materialized": rows_per_sec(facade_hot_s),
+        },
+        "seconds": {
+            "raw_cold": raw_cold_s,
+            "raw_warm": raw_warm_s,
+            "facade_cold": facade_cold_s,
+            "facade_warm": facade_warm_s,
+            "facade_materialized": facade_hot_s,
+        },
+    })
 
     # The facade must not add classification work: with a warm store both
     # entry points re-classify the same rows, and the plan-only run must be

@@ -11,6 +11,12 @@ whole run — every lock created through :mod:`repro.locking` records its
 acquisition order (flagging lock-order inversions) and writes to
 runtime-checked guarded attributes assert the guarding lock is held.  An
 autouse fixture fails any test whose execution produced a violation.
+
+``--shape-check`` is the same idea for array contracts: every function in the
+:mod:`repro.analysis.shapes_spec` manifest is wrapped so its runtime argument
+and return shapes/dtypes are checked against the declared ``# shape:`` /
+``# dtype:`` contracts, and an autouse fixture fails any test whose execution
+violated one.
 """
 
 import sys
@@ -28,18 +34,28 @@ def pytest_addoption(parser):
         "--sanitize", action="store_true", default=False,
         help="enable the runtime lock-order/guarded-write sanitizer "
              "(repro.analysis.sanitizer) for the whole run")
+    parser.addoption(
+        "--shape-check", action="store_true", default=False,
+        help="check runtime array shapes/dtypes against the static "
+             "# shape: / # dtype: contracts (repro.analysis.shape_runtime)")
 
 
 def pytest_configure(config):
     if config.getoption("--sanitize"):
         from repro.analysis import sanitizer
         sanitizer.enable()
+    if config.getoption("--shape-check"):
+        from repro.analysis import shape_runtime
+        shape_runtime.enable()
 
 
 def pytest_unconfigure(config):
     if config.getoption("--sanitize"):
         from repro.analysis import sanitizer
         sanitizer.disable()
+    if config.getoption("--shape-check"):
+        from repro.analysis import shape_runtime
+        shape_runtime.disable()
 
 
 @pytest.fixture(autouse=True)
@@ -54,4 +70,19 @@ def _sanitizer_violations(request):
     violations = sanitizer.take_violations()
     if violations:
         pytest.fail("sanitizer violations:\n" +
+                    "\n".join(str(v) for v in violations))
+
+
+@pytest.fixture(autouse=True)
+def _shape_violations(request):
+    """Under ``--shape-check``, fail any test that broke a shape contract."""
+    if not request.config.getoption("--shape-check"):
+        yield
+        return
+    from repro.analysis import shape_runtime
+    shape_runtime.take_violations()  # drop anything left over from collection
+    yield
+    violations = shape_runtime.take_violations()
+    if violations:
+        pytest.fail("shape contract violations:\n" +
                     "\n".join(str(v) for v in violations))

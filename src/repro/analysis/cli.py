@@ -16,6 +16,8 @@ from pathlib import Path
 from repro.analysis.durability import check_durability
 from repro.analysis.guards import CONFINED, DURABILITY_MODULES, REGISTRY
 from repro.analysis.lockcheck import check_lock_discipline
+from repro.analysis.shapes import check_shapes
+from repro.analysis.shapes_spec import SHAPES
 
 __all__ = ["main"]
 
@@ -23,22 +25,24 @@ __all__ = ["main"]
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Static lock-discipline and durability checks over the "
-                    "repro package.")
+        description="Static lock-discipline, durability and shape/dtype "
+                    "checks over the repro package.")
     parser.add_argument(
         "--root", type=Path, default=None, metavar="DIR",
         help="package root to analyze (defaults to the installed repro "
              "package)")
     parser.add_argument(
         "--list", action="store_true",
-        help="show the guarded classes and durability modules, then exit")
+        help="show the guarded classes, durability modules and shape "
+             "contracts, then exit")
     args = parser.parse_args(argv)
 
     if args.list:
         _print_coverage()
         return 0
 
-    findings = check_lock_discipline(args.root) + check_durability(args.root)
+    findings = (check_lock_discipline(args.root) + check_durability(args.root)
+                + check_shapes(args.root))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     for finding in findings:
         print(finding)
@@ -47,21 +51,31 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(f"analysis: clean ({len(REGISTRY)} guarded classes, "
           f"{len(CONFINED)} confined, "
-          f"{len(DURABILITY_MODULES)} durability modules)")
+          f"{len(DURABILITY_MODULES)} durability modules, "
+          f"{len(SHAPES)} shape contracts)")
     return 0
 
 
 def _print_coverage() -> None:
-    print("lock discipline:")
+    print(f"lock discipline: ({len(REGISTRY)} guarded classes)")
     for spec in REGISTRY:
         lock = (f"self.{spec.lock}" if spec.state is None
                 else f"self.{spec.state}.{spec.lock}")
         print(f"  {spec.path}: {spec.cls} "
               f"[{', '.join(sorted(spec.guarded))}] guarded by {lock}")
-    print("thread-confined:")
+    print(f"thread-confined: ({len(CONFINED)} classes)")
     for confined in CONFINED:
         print(f"  {confined.path}: {confined.cls} "
               f"[{', '.join(sorted(confined.attrs))}]")
-    print("durability:")
+    print(f"durability: ({len(DURABILITY_MODULES)} modules)")
     for rel in DURABILITY_MODULES:
         print(f"  {rel}")
+    print(f"shapes: ({len(SHAPES)} contracts)")
+    for spec in SHAPES:
+        extras = []
+        if spec.dtype != "any":
+            extras.append(spec.dtype)
+        if spec.hot:
+            extras.append("hot")
+        suffix = f" [{', '.join(extras)}]" if extras else ""
+        print(f"  {spec.path}: {spec.qualname} '{spec.shape}'{suffix}")

@@ -1,0 +1,216 @@
+"""Dynamic shape/dtype contract checking behind ``pytest --shape-check``.
+
+:func:`enable` wraps every function in the :data:`~repro.analysis.
+shapes_spec.SHAPES` manifest so each real call verifies the concrete
+ndarray shapes and dtypes against the declared contract — symbols bind on
+first use and must unify across the inputs *and* output of one call, so a
+layer that silently drops the batch dimension fails the suite even when
+every individual assertion about ranks would pass.
+
+Checks never change behavior: the wrapped function runs first, exceptions
+propagate untouched, and non-ndarray arguments are skipped.  Violations are
+collected (thread-safely) rather than raised, and the pytest plugin in the
+root ``conftest.py`` drains them after every test via
+:func:`take_violations`, mirroring the ``--sanitize`` concurrency gate.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import threading
+from dataclasses import dataclass
+from functools import wraps
+
+import numpy as np
+
+from repro.analysis.shapes_spec import (SHAPES, ShapeSpec, parse_contract,
+                                        parse_dtypes)
+
+__all__ = ["enable", "disable", "is_enabled", "take_violations",
+           "ShapeViolation"]
+
+
+@dataclass(frozen=True)
+class ShapeViolation:
+    """One observed contract violation."""
+
+    qualname: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.qualname}: {self.message}"
+
+
+_lock = threading.Lock()
+_violations: list[ShapeViolation] = []
+_originals: list[tuple[object, str, object]] = []
+_enabled = False
+
+
+def take_violations() -> list[ShapeViolation]:
+    """Drain and return the violations recorded since the last call."""
+    with _lock:
+        drained = list(_violations)
+        _violations.clear()
+    return drained
+
+
+def is_enabled() -> bool:
+    """Whether the runtime checker is currently wrapping the manifest."""
+    return _enabled
+
+
+def enable(specs: tuple[ShapeSpec, ...] | None = None) -> int:
+    """Wrap every resolvable spec target; returns how many were wrapped.
+
+    Idempotent.  Class methods are authoritative (every call goes through
+    the class attribute); wrapping module-level functions is best-effort —
+    call sites that did ``from module import fn`` at import time keep the
+    original reference.
+    """
+    global _enabled
+    if _enabled:
+        return 0
+    wrapped = 0
+    for spec in (SHAPES if specs is None else specs):
+        owner, attr, fn = _resolve(spec)
+        if fn is None:
+            continue
+        setattr(owner, attr, _wrap(spec, fn))
+        _originals.append((owner, attr, fn))
+        wrapped += 1
+    _enabled = True
+    return wrapped
+
+
+def disable() -> None:
+    """Restore every wrapped function."""
+    global _enabled
+    for owner, attr, fn in reversed(_originals):
+        setattr(owner, attr, fn)
+    _originals.clear()
+    _enabled = False
+
+
+def _module_name(path: str) -> str:
+    return "repro." + path[:-len(".py")].replace("/", ".")
+
+
+def _resolve(spec: ShapeSpec) -> tuple[object, str, object | None]:
+    try:
+        module = importlib.import_module(_module_name(spec.path))
+    except ImportError:
+        return None, "", None
+    if "." in spec.qualname:
+        cls_name, attr = spec.qualname.split(".", 1)
+        cls = getattr(module, cls_name, None)
+        if cls is None:
+            return None, "", None
+        fn = cls.__dict__.get(attr)
+        return cls, attr, fn
+    fn = getattr(module, spec.qualname, None)
+    return module, spec.qualname, fn
+
+
+def _record(spec: ShapeSpec, message: str) -> None:
+    with _lock:
+        _violations.append(ShapeViolation(spec.qualname, message))
+
+
+def _wrap(spec: ShapeSpec, fn):
+    contract = parse_contract(spec.shape)
+    dtypes = parse_dtypes(spec.dtype)
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):
+        signature = None
+    if spec.args:
+        checked_args = list(spec.args)
+    elif signature is not None:
+        names = [name for name, param in signature.parameters.items()
+                 if name not in ("self", "cls")
+                 and param.kind in (param.POSITIONAL_ONLY,
+                                    param.POSITIONAL_OR_KEYWORD)]
+        checked_args = names[:len(contract.inputs)]
+    else:
+        checked_args = []
+
+    @wraps(fn)
+    def checked(*args, **kwargs):
+        out = fn(*args, **kwargs)
+        bindings: dict[str, int] = {}
+        bound = None
+        if signature is not None:
+            try:
+                bound = signature.bind(*args, **kwargs)
+            except TypeError:
+                bound = None
+        if bound is not None:
+            for name, dims in zip(checked_args, contract.inputs):
+                value = bound.arguments.get(name)
+                if not isinstance(value, np.ndarray):
+                    continue
+                problem = _match(dims, value.shape, bindings)
+                if problem is not None:
+                    _record(spec, f"argument '{name}' with shape "
+                                  f"{value.shape} violates "
+                                  f"'{spec.shape}': {problem}")
+        _check_output(spec, contract, dtypes, out, bindings)
+        return out
+
+    return checked
+
+
+def _check_output(spec: ShapeSpec, contract, dtypes, out, bindings) -> None:
+    value = out
+    if spec.tuple_index is not None:
+        if not isinstance(out, tuple) or len(out) <= spec.tuple_index:
+            _record(spec, f"expected a tuple with element "
+                          f"{spec.tuple_index}, got {type(out).__name__}")
+            return
+        value = out[spec.tuple_index]
+    if contract.output == ():
+        if isinstance(value, np.ndarray) and value.ndim > 0:
+            _record(spec, f"returned shape {value.shape} where the contract "
+                          f"'{spec.shape}' declares a scalar")
+        return
+    if not isinstance(value, np.ndarray):
+        _record(spec, f"returned {type(value).__name__} where the contract "
+                      f"'{spec.shape}' declares an array")
+        return
+    problem = _match(contract.output, value.shape, bindings)
+    if problem is not None:
+        _record(spec, f"returned shape {value.shape} violates "
+                      f"'{spec.shape}': {problem}")
+    if "any" not in dtypes and value.dtype.name not in dtypes:
+        _record(spec, f"returned dtype {value.dtype.name} outside the "
+                      f"declared {'|'.join(sorted(dtypes))}")
+
+
+def _match(dims: tuple, shape: tuple, bindings: dict) -> str | None:
+    """Match concrete ``shape`` against contract ``dims``, updating
+    ``bindings``; returns a problem description or None."""
+    if Ellipsis in dims:
+        marker = dims.index(Ellipsis)
+        prefix, suffix = dims[:marker], dims[marker + 1:]
+        if len(shape) < len(prefix) + len(suffix):
+            return (f"rank {len(shape)} is below the contract minimum "
+                    f"{len(prefix) + len(suffix)}")
+        pairs = list(zip(prefix, shape[:len(prefix)]))
+        if suffix:
+            pairs += list(zip(suffix, shape[-len(suffix):]))
+    else:
+        if len(shape) != len(dims):
+            return f"rank {len(shape)} != declared rank {len(dims)}"
+        pairs = list(zip(dims, shape))
+    for dim, extent in pairs:
+        if isinstance(dim, int):
+            if extent != dim:
+                return f"extent {extent} != declared {dim}"
+        else:  # a binding symbol
+            seen = bindings.setdefault(dim, extent)
+            if seen != extent:
+                return (f"symbol {dim} bound to {seen} but observed "
+                        f"{extent}")
+    return None

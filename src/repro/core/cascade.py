@@ -70,6 +70,8 @@ class Cascade:
     def classify(self, raw_images: np.ndarray,
                  store: RepresentationStore | None = None,
                  batch_size: int = 256) -> np.ndarray:
+        # shape: (N, H, W, C) -> (N,)
+        # dtype: int64
         """Actually execute the cascade over raw images, returning hard labels.
 
         A :class:`~repro.storage.store.RepresentationStore` can be passed so
@@ -84,6 +86,8 @@ class Cascade:
                             store: RepresentationStore | None = None,
                             batch_size: int = 256
                             ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        # shape: (N, H, W, C) -> (N,)
+        # dtype: int64
         """Like :meth:`classify` but also returns per-level execution counts.
 
         The stats dictionary contains ``evaluated`` (images reaching each

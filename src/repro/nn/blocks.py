@@ -62,6 +62,8 @@ class ResidualBlock(Layer):
 
     # -- execution ---------------------------------------------------------
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # shape: (N, H, W, C) -> (N, H, W, K)
+        # dtype: float64
         hidden = self.relu1.forward(self.conv1.forward(x, training), training)
         main = self.conv2.forward(hidden, training)
         skip = x if self.project is None else self.project.forward(x, training)

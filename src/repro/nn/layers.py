@@ -111,6 +111,8 @@ class Conv2D(Layer):
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # shape: (N, H, W, C) -> (N, H', W', K)
+        # dtype: float64
         if x.ndim != 4:
             raise ValueError(f"Conv2D expects NHWC input, got shape {x.shape}")
         if x.shape[3] != self.in_channels:
@@ -167,6 +169,7 @@ class MaxPool2D(Layer):
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # shape: (N, H, W, C) -> (N, H', W', C)
         batch, height, width, channels = x.shape
         pool, stride = self.pool_size, self.stride
         out_h = conv_output_size(height, pool, stride, 0)
@@ -227,6 +230,7 @@ class GlobalAveragePool(Layer):
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # shape: (N, H, W, C) -> (N, C)
         self._cache = x.shape
         return x.mean(axis=(1, 2))
 
@@ -257,6 +261,7 @@ class Flatten(Layer):
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # shape: (N, ...) -> (N, D)
         self._cache = x.shape
         return x.reshape(x.shape[0], -1)
 
@@ -287,6 +292,8 @@ class Dense(Layer):
         self._cache: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # shape: (N, D) -> (N, K)
+        # dtype: float64
         if x.ndim != 2:
             raise ValueError(f"Dense expects 2-D input, got shape {x.shape}")
         if x.shape[1] != self.in_features:
@@ -322,6 +329,7 @@ class ReLU(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # shape: (N, ...) -> (N, ...)
         # The output is computed from a local so concurrent inference on a
         # shared model (fan-out queries) never reads another thread's mask;
         # the attribute only feeds backward(), which is single-threaded.
@@ -346,6 +354,8 @@ class Sigmoid(Layer):
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # shape: (N, ...) -> (N, ...)
+        # dtype: float64
         out = np.empty_like(x, dtype=np.float64)
         pos = x >= 0
         out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
@@ -371,6 +381,7 @@ class Softmax(Layer):
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # shape: (..., K) -> (..., K)
         shifted = x - x.max(axis=-1, keepdims=True)
         exp = np.exp(shifted)
         out = exp / exp.sum(axis=-1, keepdims=True)
@@ -401,6 +412,7 @@ class Dropout(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # shape: (N, ...) -> (N, ...)
         if not training or self.rate == 0.0:
             self._mask = None
             return x
@@ -434,6 +446,8 @@ class BatchNorm(Layer):
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # shape: (N, ...) -> (N, ...)
+        # dtype: float64
         axes = tuple(range(x.ndim - 1))
         if training:
             mean = x.mean(axis=axes)

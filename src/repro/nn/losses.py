@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtypes import align_targets
+
 __all__ = ["Loss", "BinaryCrossEntropy", "MeanSquaredError"]
 
 _EPS = 1e-12
@@ -22,26 +24,22 @@ class Loss:
         return self.forward(predictions, targets)
 
 
-def _align(predictions: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    predictions = np.asarray(predictions, dtype=np.float64)
-    targets = np.asarray(targets, dtype=np.float64)
-    if targets.shape != predictions.shape:
-        targets = targets.reshape(predictions.shape)
-    return predictions, targets
-
-
 class BinaryCrossEntropy(Loss):
     """Binary cross-entropy over sigmoid outputs in (0, 1)."""
 
     def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
-        predictions, targets = _align(predictions, targets)
+        # shape: (N, ...), (...) -> ()
+        # dtype: float64
+        predictions, targets = align_targets(predictions, targets)
         clipped = np.clip(predictions, _EPS, 1.0 - _EPS)
         losses = -(targets * np.log(clipped)
                    + (1.0 - targets) * np.log(1.0 - clipped))
         return float(losses.mean())
 
     def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
-        predictions, targets = _align(predictions, targets)
+        # shape: (N, ...), (...) -> (N, ...)
+        # dtype: float64
+        predictions, targets = align_targets(predictions, targets)
         clipped = np.clip(predictions, _EPS, 1.0 - _EPS)
         grad = (clipped - targets) / (clipped * (1.0 - clipped))
         return grad / predictions.size
@@ -51,9 +49,13 @@ class MeanSquaredError(Loss):
     """Mean squared error."""
 
     def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
-        predictions, targets = _align(predictions, targets)
+        # shape: (N, ...), (...) -> ()
+        # dtype: float64
+        predictions, targets = align_targets(predictions, targets)
         return float(((predictions - targets) ** 2).mean())
 
     def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
-        predictions, targets = _align(predictions, targets)
+        # shape: (N, ...), (...) -> (N, ...)
+        # dtype: float64
+        predictions, targets = align_targets(predictions, targets)
         return 2.0 * (predictions - targets) / predictions.size

@@ -30,6 +30,7 @@ class Sequential:
 
     # -- execution -------------------------------------------------------
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # shape: (N, ...) -> (N, ...)
         out = x
         for layer in self.layers:
             out = layer.forward(out, training=training)
@@ -42,6 +43,7 @@ class Sequential:
         return grad
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        # shape: (N, ...) -> (N, ...)
         """Run inference in batches and concatenate the outputs."""
         outputs = []
         for start in range(0, x.shape[0], batch_size):
@@ -49,17 +51,23 @@ class Sequential:
         return np.concatenate(outputs, axis=0)
 
     def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Inference returning a flat vector of probabilities.
+        # shape: (N, ...) -> (N, ...)
+        """Inference returning per-example probabilities.
 
-        For a single sigmoid output node this squeezes the trailing dimension;
-        for a two-node softmax head it returns the probability of class 1.
+        For a single sigmoid output node this drops the trailing feature
+        dimension; for a two-node softmax head it returns the probability of
+        class 1.  The batch dimension always survives — a batch of one maps
+        to shape ``(1,)``, never a 0-d scalar.
         """
         out = self.predict(x, batch_size=batch_size)
         if out.ndim == 2 and out.shape[1] == 1:
             return out[:, 0]
         if out.ndim == 2 and out.shape[1] == 2:
             return out[:, 1]
-        return out.reshape(out.shape[0], -1).squeeze()
+        flat = out.reshape(out.shape[0], -1)
+        if flat.shape[1] == 1:
+            return flat[:, 0]
+        return flat
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x, training=False)

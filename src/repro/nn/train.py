@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.nn.dtypes import as_float
 from repro.nn.losses import BinaryCrossEntropy, Loss
 from repro.nn.network import Sequential
 from repro.nn.optimizers import Adam, Optimizer
@@ -69,6 +70,7 @@ def iterate_minibatches(x: np.ndarray, y: np.ndarray, batch_size: int,
 
 def evaluate_accuracy(network: Sequential, x: np.ndarray, y: np.ndarray,
                       threshold: float = 0.5, batch_size: int = 256) -> float:
+    # shape: (N, ...), (...) -> ()
     """Binary classification accuracy of ``network`` on ``(x, y)``."""
     if x.shape[0] == 0:
         return float("nan")
@@ -100,7 +102,7 @@ def fit(network: Sequential, x_train: np.ndarray, y_train: np.ndarray,
     loss = loss or BinaryCrossEntropy()
     optimizer = optimizer or Adam(learning_rate=0.002)
     rng = rng or np.random.default_rng(0)
-    y_train = np.asarray(y_train, dtype=np.float64)
+    y_train = as_float(y_train)
 
     history = TrainingHistory()
     for epoch in range(epochs):
@@ -120,7 +122,7 @@ def fit(network: Sequential, x_train: np.ndarray, y_train: np.ndarray,
 
         if x_val is not None and y_val is not None:
             val_pred = network.predict(x_val)
-            val_loss = loss.forward(val_pred, np.asarray(y_val, dtype=np.float64))
+            val_loss = loss.forward(val_pred, as_float(y_val))
             history.val_loss.append(float(val_loss))
             history.val_accuracy.append(
                 evaluate_accuracy(network, x_val, y_val))

@@ -9,6 +9,7 @@ __all__ = ["normalize", "horizontal_flip"]
 
 def normalize(image: np.ndarray, mean: float | np.ndarray = 0.5,
               std: float | np.ndarray = 0.5) -> np.ndarray:
+    # shape: (...) -> (...)
     """Standardize pixel values: ``(image - mean) / std``."""
     std_arr = np.asarray(std, dtype=np.float64)
     if np.any(std_arr == 0):
@@ -17,6 +18,7 @@ def normalize(image: np.ndarray, mean: float | np.ndarray = 0.5,
 
 
 def horizontal_flip(image: np.ndarray) -> np.ndarray:
+    # shape: (..., H, W, C) -> (..., H, W, C)
     """Mirror an HWC image (or NHWC batch) left-to-right.
 
     This is the data-augmentation operation the paper uses to double its

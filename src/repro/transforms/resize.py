@@ -27,6 +27,7 @@ def _validate_size(size: int) -> None:
 
 
 def resize_nearest(image: np.ndarray, size: int) -> np.ndarray:
+    # shape: (..., H, W, C) -> (..., R, R, C)
     """Nearest-neighbour resize to ``size`` x ``size``."""
     _validate_size(size)
     batch, squeeze = _as_batch(image)
@@ -38,6 +39,7 @@ def resize_nearest(image: np.ndarray, size: int) -> np.ndarray:
 
 
 def resize_bilinear(image: np.ndarray, size: int) -> np.ndarray:
+    # shape: (..., H, W, C) -> (..., R, R, C)
     """Bilinear resize to ``size`` x ``size``."""
     _validate_size(size)
     batch, squeeze = _as_batch(image)
@@ -63,6 +65,7 @@ def resize_bilinear(image: np.ndarray, size: int) -> np.ndarray:
 
 
 def resize_area(image: np.ndarray, size: int) -> np.ndarray:
+    # shape: (..., H, W, C) -> (..., R, R, C)
     """Area (block-average) resize to ``size`` x ``size``.
 
     Exact block averaging when the input size is an integer multiple of the
@@ -87,6 +90,7 @@ _MODES = {
 
 
 def resize(image: np.ndarray, size: int, mode: str = "area") -> np.ndarray:
+    # shape: (..., H, W, C) -> (..., R, R, C)
     """Resize ``image`` to ``size`` x ``size`` using the given interpolation mode."""
     try:
         fn = _MODES[mode]

@@ -77,11 +77,13 @@ class TransformSpec:
 
     # -- application ---------------------------------------------------------
     def apply(self, image: np.ndarray) -> np.ndarray:
+        # shape: (..., H, W, C) -> (..., R, R, C')
         """Transform one HWC image (or an NHWC batch) into this representation."""
         resized = resize(image, self.resolution, mode=self.resize_mode)
         return to_color_mode(resized, self.color_mode)
 
     def apply_batch(self, images: np.ndarray) -> np.ndarray:
+        # shape: (N, H, W, C) -> (N, R, R, C')
         """Transform an NHWC batch; provided for readability at call sites."""
         if images.ndim != 4:
             raise ValueError(f"expected NHWC batch, got shape {images.shape}")

@@ -1,0 +1,212 @@
+"""Self-tests for the static shape/dtype abstract interpreter.
+
+Same scheme as ``test_lockcheck.py``: the real tree must check clean, and
+each detection test copies the covered modules into a scratch package root,
+injects one specific violation class, and asserts the checker reports exactly
+that class at a ``path:line`` location.
+"""
+
+import shutil
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.guards import CONFINED, DURABILITY_MODULES, REGISTRY
+from repro.analysis.shapes import check_shapes
+from repro.analysis.shapes_spec import (SHAPES, SOURCE_ROOT, Contract,
+                                        ShapeSpec, parse_contract,
+                                        parse_dtypes)
+
+
+@pytest.fixture()
+def scratch(tmp_path):
+    """A scratch package root holding copies of every covered module.
+
+    Lock/durability modules are included too so the CLI (which runs every
+    pass over ``--root``) can analyze the scratch tree end to end.
+    """
+    root = tmp_path / "repro"
+    needed = {spec.path for spec in SHAPES}
+    needed.update(spec.path for spec in REGISTRY)
+    needed.update(confined.path for confined in CONFINED)
+    needed.update(DURABILITY_MODULES)
+    for rel in sorted(needed):
+        (root / rel).parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(SOURCE_ROOT / rel, root / rel)
+    return root
+
+
+def _edit(root, rel, old, new):
+    path = root / rel
+    source = path.read_text(encoding="utf-8")
+    assert old in source, f"injection anchor not found in {rel}: {old!r}"
+    path.write_text(source.replace(old, new, 1), encoding="utf-8")
+
+
+def _rules(findings):
+    return {finding.rule for finding in findings}
+
+
+class TestContractGrammar:
+    def test_round_trip(self):
+        contract = parse_contract("(N, H, W, C) -> (N, H', W', K)")
+        assert isinstance(contract, Contract)
+        assert len(contract.inputs) == 1
+        assert contract.inputs[0] == ("N", "H", "W", "C")
+        assert contract.output == ("N", "H'", "W'", "K")
+
+    def test_scalar_and_ellipsis(self):
+        contract = parse_contract("(N, ...), (...) -> ()")
+        assert contract.inputs[0] == ("N", Ellipsis)
+        assert contract.inputs[1] == (Ellipsis,)
+        assert contract.output == ()
+
+    def test_no_inputs(self):
+        contract = parse_contract("-> (S,)")
+        assert contract.inputs == ()
+        assert contract.output == ("S",)
+
+    def test_dtype_alternatives(self):
+        assert parse_dtypes("float32|float64") == {"float32", "float64"}
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            parse_dtypes("float63")
+
+    def test_malformed_contract_rejected(self):
+        with pytest.raises(ValueError):
+            parse_contract("(N, H W) -> (N,)")
+
+
+class TestCleanTree:
+    def test_installed_tree_is_clean(self):
+        assert check_shapes() == []
+
+    def test_scratch_copy_is_clean(self, scratch):
+        assert check_shapes(scratch) == []
+
+
+class TestBatchDimLoss:
+    def test_bare_squeeze_detected(self, scratch):
+        _edit(scratch, "nn/network.py", "        return flat\n",
+              "        return flat.squeeze()\n")
+        findings = check_shapes(scratch)
+        assert _rules(findings) == {"batch-dim-loss"}
+        (finding,) = findings
+        assert finding.path == "nn/network.py"
+        assert "Sequential.predict_proba" in finding.message
+        assert "0-d" in finding.message
+
+    def test_suppression_comment_honored(self, scratch):
+        _edit(scratch, "nn/network.py", "        return flat\n",
+              "        return flat.squeeze()  # shape ok: self-test fixture\n")
+        assert check_shapes(scratch) == []
+
+
+class TestContractMismatch:
+    def test_full_reduction_where_contract_keeps_batch(self, scratch):
+        _edit(scratch, "nn/layers.py", "return x.mean(axis=(1, 2))",
+              "return x.mean()")
+        findings = check_shapes(scratch)
+        assert _rules(findings) == {"contract-mismatch"}
+        (finding,) = findings
+        assert "GlobalAveragePool.forward" in finding.message
+        assert "rank 0" in finding.message
+        assert "(N, C)" in finding.message
+
+    def test_wrong_axis_count_detected(self, scratch):
+        # GAP reducing only one spatial axis returns rank 3, not (N, C).
+        _edit(scratch, "nn/layers.py", "return x.mean(axis=(1, 2))",
+              "return x.mean(axis=1)")
+        findings = check_shapes(scratch)
+        assert _rules(findings) == {"contract-mismatch"}
+
+
+class TestDtypeWidening:
+    def _float32_specs(self):
+        return tuple(
+            ShapeSpec(s.path, s.qualname, s.shape, dtype="float32",
+                      args=s.args, tuple_index=s.tuple_index, hot=s.hot)
+            if s.qualname == "ReLU.forward" else s for s in SHAPES)
+
+    def test_float64_creation_crosses_float32_boundary(self, scratch):
+        _edit(scratch, "nn/layers.py", "        mask = x > 0",
+              "        x = x.astype(np.float64)\n        mask = x > 0")
+        _edit(scratch, "nn/layers.py",
+              "        # shape: (N, ...) -> (N, ...)\n        # The output",
+              "        # shape: (N, ...) -> (N, ...)\n"
+              "        # dtype: float32\n        # The output")
+        findings = check_shapes(scratch, specs=self._float32_specs())
+        # The widening itself is flagged, and the interpreter independently
+        # notices the widened dtype reaching the return.
+        assert _rules(findings) == {"dtype-widening", "contract-mismatch"}
+        widening = [f for f in findings if f.rule == "dtype-widening"]
+        assert "float32 boundary" in widening[0].message
+
+
+class TestAnnotationCrossCheck:
+    def test_annotation_differs_from_manifest_is_drift(self, scratch):
+        _edit(scratch, "nn/layers.py", "# shape: (N, ...) -> (N, D)",
+              "# shape: (N, ...) -> (N, E)")
+        findings = check_shapes(scratch)
+        assert _rules(findings) == {"contract-drift"}
+        assert "Flatten.forward" in findings[0].message
+
+    def test_annotation_without_manifest_entry_is_drift(self, scratch):
+        _edit(scratch, "nn/im2col.py",
+              "def conv_output_size(size: int, kernel: int, stride: int, "
+              "pad: int) -> int:\n",
+              "def conv_output_size(size: int, kernel: int, stride: int, "
+              "pad: int) -> int:\n    # shape: (N,) -> (N,)\n")
+        findings = check_shapes(scratch)
+        assert _rules(findings) == {"contract-drift"}
+        assert "missing from the shapes_spec.py manifest" in findings[0].message
+
+    def test_manifest_entry_without_annotation_is_missing(self, scratch):
+        _edit(scratch, "nn/layers.py",
+              "        # shape: (N, ...) -> (N, D)\n", "")
+        findings = check_shapes(scratch)
+        assert _rules(findings) == {"missing-contract"}
+        assert "Flatten.forward" in findings[0].message
+
+
+class TestSilentCopyInLoop:
+    def test_concatenate_in_hot_loop_detected(self, scratch):
+        _edit(scratch, "nn/network.py",
+              """        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[start:start + batch_size], training=False))
+        return np.concatenate(outputs, axis=0)""",
+              """        out = None
+        for start in range(0, x.shape[0], batch_size):
+            chunk = self.forward(x[start:start + batch_size], training=False)
+            out = chunk if out is None else np.concatenate([out, chunk], axis=0)
+        return out""")
+        findings = check_shapes(scratch)
+        assert _rules(findings) == {"silent-copy-in-loop"}
+        assert "Sequential.predict" in findings[0].message
+        assert "np.concatenate" in findings[0].message
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "analysis: clean" in out
+        assert f"{len(SHAPES)} shape contracts" in out
+
+    def test_shape_findings_exit_nonzero_with_locations(self, scratch, capsys):
+        _edit(scratch, "nn/network.py", "        return flat\n",
+              "        return flat.squeeze()\n")
+        assert main(["--root", str(scratch)]) == 1
+        out = capsys.readouterr().out
+        assert "[batch-dim-loss]" in out
+        assert "nn/network.py:" in out
+        assert "1 finding(s)" in out
+
+    def test_list_shows_shape_coverage(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert f"shapes: ({len(SHAPES)} contracts)" in out
+        assert "Conv2D.forward" in out
+        assert "'(N, H, W, C) -> (N, H', W', K)'" in out
