@@ -119,6 +119,9 @@ def test_query_api_overhead(benchmark, default_workspace, smoke_mode,
             "facade_warm": facade_warm_s,
             "facade_materialized": facade_hot_s,
         },
+        # The database's own view of the same run: plan/execute latency
+        # histograms, rows classified per cascade, store hit/miss counts.
+        "telemetry": db.telemetry()["metrics"],
     })
 
     # The facade must not add classification work: with a warm store both

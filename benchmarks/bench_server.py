@@ -105,6 +105,15 @@ def test_server_concurrent_latency(benchmark, default_workspace, smoke_mode,
         admission = server.admission.stats()
         queries = server.counters.snapshot()
 
+        # The wire `metrics` command must expose every declared metric even
+        # where this load produced no traffic (the CI smoke contract).
+        with connect(*server.address, timeout=120) as conn:
+            exposition = conn.metrics(format="text")
+            telemetry = conn.metrics()
+        from repro.telemetry.metrics import CATALOG
+        for spec in CATALOG:
+            assert f"# TYPE {spec.name} {spec.kind}" in exposition, spec.name
+
     def fmt(seconds):
         return f"{seconds * 1e3:.2f}"
 
@@ -116,6 +125,9 @@ def test_server_concurrent_latency(benchmark, default_workspace, smoke_mode,
         "plan_cache": cache_stats,
         "admission": admission,
         "queries": queries,
+        # Registry snapshot of the same run: per-command request latency
+        # histograms, queue depth, unified plan-cache/admission counters.
+        "telemetry": telemetry,
     }
     for label, samples in latencies.items():
         data = np.array(samples)

@@ -122,6 +122,10 @@ def test_wal_storage_engine(smoke_mode, results_dir, tmp_path):
                        retention=RetentionPolicy(max_rows=8 * BATCH_ROWS))
     idle = query_latencies(database, n_queries)
 
+    # Registry view of the durable ingest run: WAL append latency histogram
+    # (per-table), alongside the wall-clock numbers above.
+    payload["telemetry"] = durable.telemetry()["metrics"]
+
     stop = threading.Event()
     errors = []
 

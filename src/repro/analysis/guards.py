@@ -145,27 +145,19 @@ REGISTRY: tuple[GuardSpec, ...] = (
         cls="RepresentationStore",
         state="_state",
         lock="lock",
-        guarded=_fs("arrays", "specs", "registered", "evictions"),
+        guarded=_fs("arrays", "specs", "registered"),
         lock_held=_fs("_entry_bytes", "_evict", "_enforce_budget"),
         mutable=_fs("arrays", "specs", "registered"),
     ),
     GuardSpec(
         path="server/admission.py",
         cls="AdmissionController",
-        guarded=_fs("_closing", "_in_flight", "submitted", "rejected",
-                    "completed", "failed"),
-    ),
-    GuardSpec(
-        path="server/session.py",
-        cls="QueryCounters",
-        guarded=_fs("completed", "failed", "timeouts", "rejected"),
+        guarded=_fs("_closing", "_in_flight"),
     ),
     GuardSpec(
         path="server/plan_cache.py",
         cls="PlanCache",
-        guarded=_fs("_entries", "hits", "rebinds", "misses",
-                    "invalidations", "evictions"),
-        lock_free=_fs("__repr__"),
+        guarded=_fs("_entries"),
         mutable=_fs("_entries"),
     ),
     GuardSpec(
@@ -173,6 +165,45 @@ REGISTRY: tuple[GuardSpec, ...] = (
         cls="VisualDatabaseServer",
         guarded=_fs("_sessions", "_closed", "_thread"),
         lock_free=_fs("__repr__"),
+    ),
+    GuardSpec(
+        path="telemetry/metrics.py",
+        cls="MetricsRegistry",
+        guarded=_fs("_metrics"),
+        mutable=_fs("_metrics"),
+    ),
+    GuardSpec(
+        path="telemetry/metrics.py",
+        cls="Counter",
+        guarded=_fs("_series"),
+        mutable=_fs("_series"),
+    ),
+    GuardSpec(
+        path="telemetry/metrics.py",
+        cls="Gauge",
+        guarded=_fs("_series", "_functions"),
+        mutable=_fs("_series", "_functions"),
+    ),
+    GuardSpec(
+        path="telemetry/metrics.py",
+        cls="Histogram",
+        guarded=_fs("_series"),
+        mutable=_fs("_series"),
+    ),
+    GuardSpec(
+        path="telemetry/trace.py",
+        cls="Span",
+        guarded=_fs("_children", "_attrs", "_elapsed_s", "_error"),
+        lock_held=_fs("_as_dict"),
+        mutable=_fs("_children", "_attrs"),
+        runtime=_fs("_elapsed_s", "_error"),
+    ),
+    GuardSpec(
+        path="telemetry/trace.py",
+        cls="Tracer",
+        guarded=_fs("_next_id", "_recent"),
+        mutable=_fs("_recent"),
+        runtime=_fs("_next_id"),
     ),
 )
 

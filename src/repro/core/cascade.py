@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.model import TrainedModel
 from repro.core.thresholds import DecisionThresholds
 from repro.storage.store import RepresentationStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["CascadeLevel", "Cascade", "CascadeBuilder", "count_cascades"]
 
@@ -69,7 +73,8 @@ class Cascade:
     # -- execution ---------------------------------------------------------
     def classify(self, raw_images: np.ndarray,
                  store: RepresentationStore | None = None,
-                 batch_size: int = 256) -> np.ndarray:
+                 batch_size: int = 256,
+                 metrics: "MetricsRegistry | None" = None) -> np.ndarray:
         # shape: (N, H, W, C) -> (N,)
         # dtype: int64
         """Actually execute the cascade over raw images, returning hard labels.
@@ -79,12 +84,14 @@ class Cascade:
         only once, mirroring the paper's once-per-input data-handling rule.
         """
         labels, _ = self.classify_with_stats(raw_images, store=store,
-                                             batch_size=batch_size)
+                                             batch_size=batch_size,
+                                             metrics=metrics)
         return labels
 
     def classify_with_stats(self, raw_images: np.ndarray,
                             store: RepresentationStore | None = None,
-                            batch_size: int = 256
+                            batch_size: int = 256,
+                            metrics: "MetricsRegistry | None" = None
                             ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
         # shape: (N, H, W, C) -> (N,)
         # dtype: int64
@@ -92,7 +99,10 @@ class Cascade:
 
         The stats dictionary contains ``evaluated`` (images reaching each
         level) and ``decided`` (images decided at each level), both arrays of
-        length ``depth``.
+        length ``depth``.  A :class:`~repro.telemetry.metrics.MetricsRegistry`
+        additionally records the per-level filter rates as
+        ``repro_cascade_level_evaluated_total`` / ``_decided_total``
+        counters labelled by cascade name and level index.
         """
         if raw_images.ndim != 4:
             raise ValueError(f"expected NHWC batch, got shape {raw_images.shape}")
@@ -122,6 +132,19 @@ class Cascade:
                     probabilities[confident])
                 decided[index] = decided_idx.size
                 pending = pending[~confident]
+
+        if metrics is not None:
+            evaluated_total = metrics.counter(
+                "repro_cascade_level_evaluated_total")
+            decided_total = metrics.counter(
+                "repro_cascade_level_decided_total")
+            for index in range(self.depth):
+                if evaluated[index]:
+                    evaluated_total.inc(int(evaluated[index]),
+                                        cascade=self.name, level=str(index))
+                if decided[index]:
+                    decided_total.inc(int(decided[index]),
+                                      cascade=self.name, level=str(index))
 
         return labels, {"evaluated": evaluated, "decided": decided}
 

@@ -25,6 +25,7 @@ from repro.db.retention import RetentionPolicy
 from repro.locking import make_rlock
 from repro.query.processor import DEFAULT_TABLE
 from repro.storage.store import RepresentationStore
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["Catalog", "DEFAULT_TABLE", "FANOUT_TABLE"]
 
@@ -44,10 +45,17 @@ class Catalog:
         Byte budget for the *shared* representation store.  All tables draw
         on one budget; accounting is namespace-aware (see
         :mod:`repro.storage.store`).
+    metrics:
+        The registry the store's hit/miss/eviction counters and every
+        attached executor's query histograms land on; a private registry is
+        created when omitted so a standalone catalog still meters itself.
     """
 
-    def __init__(self, store_budget: int | None = None) -> None:
-        self._store = RepresentationStore(byte_budget=store_budget)
+    def __init__(self, store_budget: int | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._store = RepresentationStore(byte_budget=store_budget,
+                                          metrics=self.metrics)
         # Reentrant: replace() detaches and re-attaches under one hold, so
         # membership changes are atomic to concurrent readers.  The catalog
         # lock is only ever the *outermost* lock (catalog -> executor ->
@@ -70,7 +78,8 @@ class Catalog:
                 raise ValueError(f"table {name!r} already attached; "
                                  f"detach it first or use replace()")
             executor = QueryExecutor(corpus, store=self._store.scoped(name),
-                                     table=name, retention=retention)
+                                     table=name, retention=retention,
+                                     metrics=self.metrics)
             self._executors[name] = executor
             return executor
 

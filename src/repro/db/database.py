@@ -36,6 +36,7 @@ columns + a per-table namespace of the shared representation store).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -53,12 +54,14 @@ from repro.costs.scenario import INFER_ONLY, Scenario, get_scenario
 from repro.data.corpus import ImageCorpus, PredicateDataSplits
 from repro.db.catalog import DEFAULT_TABLE, FANOUT_TABLE, Catalog
 from repro.db.executor import QueryExecutor
-from repro.db.planner import QueryPlan, QueryPlanner
+from repro.db.planner import QueryPlan, QueryPlanner, annotate_plan_dict
 from repro.db.results import (AggregateResultSet, FanoutResultSet, ResultSet,
                               build_result_set)
 from repro.db.retention import RetentionPolicy
 from repro.query.processor import Query
-from repro.query.sql import parse_query
+from repro.query.sql import parse_query, split_explain_analyze
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import NO_SPAN, Tracer
 
 __all__ = ["VisualDatabase", "connect", "PredicateDefinition",
            "initialize_predicate"]
@@ -206,7 +209,14 @@ class VisualDatabase:
         self.default_constraints = default_constraints or UserConstraints()
         self.store_budget = store_budget
 
-        self._catalog = Catalog(store_budget=store_budget)
+        # One registry + tracer per database: every layer beneath (catalog,
+        # store, executors, WAL, planner, plan cache) meters onto this
+        # registry, and the serving layer picks it up via ``db.metrics`` so
+        # ``stats`` and ``metrics`` can never disagree.
+        self._metrics = MetricsRegistry()
+        self._tracer = Tracer()
+        self._catalog = Catalog(store_budget=store_budget,
+                                metrics=self._metrics)
         self._optimizers: dict[str, TahomaOptimizer] = {}
         self._pending: dict[str, PredicateDefinition] = {}
         self._reference_params: dict[str, dict] = {}
@@ -294,6 +304,34 @@ class VisualDatabase:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    # -- telemetry -------------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The database-wide metrics registry (see :mod:`repro.telemetry`).
+
+        Every layer meters here: planner/executor latency histograms,
+        per-cascade classification counters, WAL append/replay timings,
+        store hit/miss/eviction counts.  The network server adopts this
+        registry for its own admission/plan-cache/outcome counters, so the
+        wire ``metrics`` command and :meth:`telemetry` read one source.
+        """
+        return self._metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        """The per-query span recorder (last few traces kept)."""
+        return self._tracer
+
+    def telemetry(self) -> dict:
+        """One JSON-safe observability snapshot: metrics plus recent traces.
+
+        ``metrics`` is the registry snapshot (every metric's labeled series);
+        ``traces`` is the tracer's ring buffer of recent span trees, oldest
+        first — each query's parse/plan/snapshot/classify/merge breakdown.
+        """
+        return {"metrics": self._metrics.snapshot(),
+                "traces": self._tracer.recent()}
+
     # -- plan cache ------------------------------------------------------------
     @property
     def plan_cache(self):
@@ -314,7 +352,8 @@ class VisualDatabase:
         if self._plan_cache is None:
             from repro.server.plan_cache import PlanCache
 
-            self._plan_cache = PlanCache(capacity=capacity)
+            self._plan_cache = PlanCache(capacity=capacity,
+                                         metrics=self._metrics)
         return self._plan_cache
 
     def _invalidate_plans(self) -> None:
@@ -441,8 +480,12 @@ class VisualDatabase:
             materialize = self._scenario.materializes_on_ingest
         executor = (self.executor if table is None
                     else self.executor_for(table))
-        return executor.ingest(images, metadata=metadata,
-                               content=content, materialize=materialize)
+        trace = self._tracer.trace("ingest", table=executor.table or "-",
+                                   rows=int(len(images)))
+        with trace.root as span:
+            return executor.ingest(images, metadata=metadata,
+                                   content=content, materialize=materialize,
+                                   span=span)
 
     def _default_executor(self) -> QueryExecutor:
         default = self._catalog.default_table()
@@ -659,7 +702,7 @@ class VisualDatabase:
         if table is not None and table in self._catalog:
             hook = self._catalog.executor(table).observed_positive_rate
         return QueryPlanner(self._optimizers, self._profiler_for(table),
-                            selectivity_hook=hook)
+                            selectivity_hook=hook, metrics=self._metrics)
 
     def _resolve_single_table(self, query: Query) -> str:
         if query.table in self._catalog:
@@ -760,7 +803,7 @@ class VisualDatabase:
                 constraints: UserConstraints | None = None, *,
                 tables: Iterable[str] | None = None,
                 cancel=None
-                ) -> ResultSet | FanoutResultSet | AggregateResultSet:
+                ) -> ResultSet | FanoutResultSet | AggregateResultSet | dict:
         """Parse, plan and run one SELECT query, returning a :class:`ResultSet`.
 
         The dialect supports projection (``SELECT col, ...``), aggregates
@@ -783,40 +826,135 @@ class VisualDatabase:
         boundaries during execution; raising from it aborts the query (see
         :meth:`~repro.db.executor.QueryExecutor.execute`).  The network
         server's per-query timeouts are built on it.
+
+        A query prefixed ``EXPLAIN ANALYZE`` executes normally but returns
+        the :meth:`explain_analyze` report (a JSON-safe dict) instead of a
+        result set.
         """
         self._check_open()
-        plans = self._plan_for(sql, constraints, tables)
-        if isinstance(plans, dict):
-            return self._execute_fanout(plans, cancel=cancel)
-        executor = self._catalog.executor(plans.table)
-        return build_result_set(executor.execute(plans, cancel=cancel),
-                                plans)
+        # Cheap prefix sniff before tokenizing: plan-cache hits must not pay
+        # a tokenize pass on every ordinary query.
+        if sql.lstrip()[:7].upper() == "EXPLAIN":
+            analyze, body = split_explain_analyze(sql)
+            if analyze:
+                return self._analyze_report(body, constraints, tables=tables,
+                                            cancel=cancel)
+        result_set, _, _, _, _ = self._execute_traced(sql, constraints,
+                                                      tables, cancel)
+        return result_set
 
-    def _execute_fanout(self, plans: dict[str, QueryPlan], cancel=None
-                        ) -> FanoutResultSet | AggregateResultSet:
-        """Run per-shard plans concurrently and merge with provenance.
+    def _execute_traced(self, sql: str, constraints, tables, cancel):
+        """Plan and run one query under a fresh trace.
+
+        Returns ``(result_set, plans, raw, trace, wall_time_s)`` — ``raw``
+        is the executor-level :class:`~repro.query.processor.QueryResult`
+        (or ``{table: QueryResult}`` for a fan-out), which still carries the
+        per-plan-node measurements ``EXPLAIN ANALYZE`` annotates with.
+        """
+        trace = self._tracer.trace("query", sql=sql.strip())
+        started = time.perf_counter()
+        with trace.root as root:
+            with root.child("plan"):
+                plans = self._plan_for(sql, constraints, tables)
+            if isinstance(plans, dict):
+                raw = self._fanout_results(plans, cancel=cancel, span=root)
+                if next(iter(plans.values())).is_aggregate:
+                    result_set = AggregateResultSet.from_fanout(raw, plans)
+                else:
+                    result_set = FanoutResultSet(raw, plans)
+            else:
+                executor = self._catalog.executor(plans.table)
+                with root.child(f"table:{plans.table}",
+                                table=plans.table) as shard_span:
+                    raw = executor.execute(plans, cancel=cancel,
+                                           span=shard_span)
+                result_set = build_result_set(raw, plans)
+        wall = time.perf_counter() - started
+        root.annotate(rows=len(result_set))
+        result_set.attach_stats(trace_id=trace.trace_id, wall_time_s=wall)
+        return result_set, plans, raw, trace, wall
+
+    def _fanout_results(self, plans: dict[str, QueryPlan], cancel=None,
+                        span=NO_SPAN) -> dict:
+        """Run per-shard plans concurrently; ``{table: QueryResult}``.
 
         Executors are independent (per-table state; the shared store is
         namespace-locked, models compute outputs from locals), so shards run
         on a thread pool — classification is NumPy matmul-bound and releases
-        the GIL.
+        the GIL.  Per-shard spans are created on the coordinator thread and
+        handed to the workers explicitly, so the trace tree stays correct
+        under fan-out.
+        """
+        shard_spans = {table: span.child(f"table:{table}", table=table)
+                       for table in plans}
+
+        def run_shard(table: str, plan: QueryPlan):
+            with shard_spans[table] as shard_span:
+                return self._catalog.executor(table).execute(
+                    plan, cancel=cancel, span=shard_span)
+
+        workers = min(len(plans), os.cpu_count() or 1)
+        with ThreadPoolExecutor(max_workers=workers,
+                                thread_name_prefix="repro-fanout") as pool:
+            futures = {table: pool.submit(run_shard, table, plan)
+                       for table, plan in plans.items()}
+            return {table: future.result()
+                    for table, future in futures.items()}
+
+    def _execute_fanout(self, plans: dict[str, QueryPlan], cancel=None
+                        ) -> FanoutResultSet | AggregateResultSet:
+        """Run per-shard plans concurrently and merge with provenance.
 
         For an aggregate query each shard returns *partial aggregates*
         (group tuples — COUNT/SUM/MIN/MAX associative states, AVG as
         sum+count) and the coordinator merges them exactly; selected rows
         never cross the shard boundary.
         """
-        workers = min(len(plans), os.cpu_count() or 1)
-        with ThreadPoolExecutor(max_workers=workers,
-                                thread_name_prefix="repro-fanout") as pool:
-            futures = {table: pool.submit(self._catalog.executor(table).execute,
-                                          plan, cancel)
-                       for table, plan in plans.items()}
-            results = {table: future.result()
-                       for table, future in futures.items()}
+        results = self._fanout_results(plans, cancel=cancel)
         if next(iter(plans.values())).is_aggregate:
             return AggregateResultSet.from_fanout(results, plans)
         return FanoutResultSet(results, plans)
+
+    def explain_analyze(self, sql: str,
+                        constraints: UserConstraints | None = None, *,
+                        tables: Iterable[str] | None = None,
+                        cancel=None) -> dict:
+        """Execute ``sql`` and report where its time actually went.
+
+        The query runs exactly as :meth:`execute` would run it (same plan
+        cache, same fan-out); the return value is a JSON-safe report instead
+        of a result set::
+
+            {"sql": ..., "trace_id": ..., "wall_time_s": ..., "rows": ...,
+             "plan": {... per-node "estimated_selectivity" + "actual":
+                      {rows_in, rows_out, rows_classified, elapsed_s,
+                       actual_selectivity, ...}},
+             "spans": {... the query's span tree ...}}
+
+        A fan-out query reports ``"plans"`` — one annotated plan per shard —
+        since shards plan (and measure) independently.  ``sql`` may carry
+        the ``EXPLAIN ANALYZE`` prefix or be a bare SELECT.
+        """
+        self._check_open()
+        _, body = split_explain_analyze(sql)
+        return self._analyze_report(body, constraints, tables=tables,
+                                    cancel=cancel)
+
+    def _analyze_report(self, sql: str, constraints, *, tables=None,
+                        cancel=None) -> dict:
+        """Run the (prefix-stripped) query and build the analyze report."""
+        result_set, plans, raw, trace, wall = self._execute_traced(
+            sql, constraints, tables, cancel)
+        report = {"sql": sql.strip(), "trace_id": trace.trace_id,
+                  "wall_time_s": wall, "rows": len(result_set),
+                  "spans": trace.to_dict()}
+        if isinstance(plans, dict):
+            report["plans"] = {
+                table: annotate_plan_dict(plan, raw[table].node_stats)
+                for table, plan in plans.items()}
+        else:
+            report["plan"] = annotate_plan_dict(plans, raw.node_stats)
+        return report
 
     def explain(self, sql: str,
                 constraints: UserConstraints | None = None, *,
@@ -939,7 +1077,7 @@ class VisualDatabase:
         from repro.db.wal import TableWal
 
         executor = self._catalog.executor(name)
-        wal = TableWal(self._wal_root, name)
+        wal = TableWal(self._wal_root, name, metrics=self._metrics)
         if baseline:
             corpus = executor.corpus
             wal.log_attach(

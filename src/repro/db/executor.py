@@ -30,6 +30,7 @@ rows keep their results.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -39,6 +40,8 @@ from repro.data.corpus import ImageCorpus
 from repro.locking import make_rlock
 from repro.query.relation import Relation
 from repro.storage.store import RepresentationStore
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import NO_SPAN
 
 from repro.db.planner import (ContentStep, MetadataStep, PlanAnd, PlanNot,
                               PlanOr, QueryPlan)
@@ -74,6 +77,10 @@ class _Snapshot:
     dirty_materialized: set[tuple[str, str]] = field(default_factory=set)
     dirty_reps: set[str] = field(default_factory=set)
     registered: list = field(default_factory=list)
+    # Per-plan-node execution measurements, keyed by ``id(plan node)``:
+    # rows in/out, rows classified, elapsed seconds — accumulated across
+    # chunks and surfaced as QueryResult.node_stats (EXPLAIN ANALYZE).
+    node_stats: dict = field(default_factory=dict)
 
 
 class QueryExecutor:
@@ -113,7 +120,8 @@ class QueryExecutor:
                  full_materialize_fraction: float = 0.5,
                  min_limit_chunk: int = 64,
                  table: str = "",
-                 retention: RetentionPolicy | None = None) -> None:
+                 retention: RetentionPolicy | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         if len(corpus) == 0:
             raise ValueError("corpus is empty")
         if not 0.0 <= full_materialize_fraction <= 1.0:
@@ -125,6 +133,17 @@ class QueryExecutor:
         self.full_materialize_fraction = full_materialize_fraction
         self.min_limit_chunk = min_limit_chunk
         self.table = table
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._execute_seconds = self.metrics.histogram(
+            "repro_query_execute_seconds")
+        self._snapshot_seconds = self.metrics.histogram(
+            "repro_query_snapshot_capture_seconds")
+        self._merge_seconds = self.metrics.histogram(
+            "repro_query_merge_seconds")
+        self._replay_seconds = self.metrics.histogram(
+            "repro_wal_replay_seconds")
+        self._rows_classified = self.metrics.counter(
+            "repro_query_rows_classified_total")
         # One lock per table: ingest and retention on the same shard
         # serialize; queries only take it for snapshot capture and merge
         # (fan-out stays concurrent — each shard has its own lock).  Created
@@ -200,7 +219,7 @@ class QueryExecutor:
     def ingest(self, images: np.ndarray,
                metadata: dict[str, np.ndarray] | None = None,
                content: dict[str, np.ndarray] | None = None, *,
-               materialize: bool = False) -> np.ndarray:
+               materialize: bool = False, span=NO_SPAN) -> np.ndarray:
         """Append new frames and grow query-time state incrementally.
 
         The batch lands as one immutable corpus segment, the base relation
@@ -235,7 +254,9 @@ class QueryExecutor:
             # before any state changed), still under the lock so log order
             # is apply order.
             if self._wal is not None:
-                self._wal.log_segment(self.corpus.segments[-1])
+                with span.child("wal-append", table=self.table,
+                                rows=int(new_ids.size)):
+                    self._wal.log_segment(self.corpus.segments[-1])
             self._pad_materialized(new_ids.size)
             if materialize:
                 for spec in self.store.registered_specs():
@@ -327,6 +348,7 @@ class QueryExecutor:
         O(total rows), not O(records × rows).  Journaling is suspended while
         replaying — the log already holds these records.
         """
+        started = time.perf_counter()
         with self._lock:
             wal, self._wal = self._wal, None
             try:
@@ -349,6 +371,8 @@ class QueryExecutor:
             finally:
                 self._wal = wal
             self._rebuild_base_relation()
+        self._replay_seconds.observe(time.perf_counter() - started,
+                                     table=self.table or "-")
 
     def materialized_categories(self) -> list[str]:
         """Categories with at least one row's virtual column materialized."""
@@ -422,7 +446,8 @@ class QueryExecutor:
             }
 
     def execute(self, plan: QueryPlan,
-                cancel: "Callable[[], None] | None" = None) -> "QueryResult":
+                cancel: "Callable[[], None] | None" = None,
+                span=NO_SPAN) -> "QueryResult":
         """Run the plan: metadata filters, then cost-ordered content steps.
 
         Execution is snapshot-based: the shard's state is captured under the
@@ -453,12 +478,31 @@ class QueryExecutor:
         so unbounded scans still hit cancellation points; chunk boundaries
         are the abort granularity, so a single in-flight chunk always runs
         to completion.
+
+        ``span``, when given, receives ``snapshot-capture`` / ``execute`` /
+        ``merge`` children (and, under ``execute``, one child per content
+        predicate with rows in/out); the same timings land on the
+        ``repro_query_*_seconds`` histograms either way.
         """
-        snapshot = self._capture_snapshot()
+        table = self.table or plan.table or "-"
+        started = time.perf_counter()
+        with span.child("snapshot-capture", table=table):
+            capture_started = time.perf_counter()
+            snapshot = self._capture_snapshot()
+            self._snapshot_seconds.observe(
+                time.perf_counter() - capture_started, table=table)
         try:
-            return self._execute_snapshot(snapshot, plan, cancel)
+            with span.child("execute", table=table) as execute_span:
+                return self._execute_snapshot(snapshot, plan, cancel,
+                                              span=execute_span)
         finally:
-            self._merge_snapshot(snapshot)
+            with span.child("merge", table=table):
+                merge_started = time.perf_counter()
+                self._merge_snapshot(snapshot)
+                self._merge_seconds.observe(
+                    time.perf_counter() - merge_started, table=table)
+            self._execute_seconds.observe(time.perf_counter() - started,
+                                          table=table)
 
     # -- snapshot lifecycle --------------------------------------------------
     def _capture_snapshot(self) -> _Snapshot:
@@ -524,9 +568,30 @@ class QueryExecutor:
             for spec in snap.registered:
                 self.store.register(spec)
 
+    @staticmethod
+    def _accumulate(node_stats: dict, node, rows_in: int, rows_out: int,
+                    rows_classified: int, elapsed_s: float, **extra) -> None:
+        """Fold one evaluation of a plan node into its per-query stats entry.
+
+        A node can run many times per query (once per chunk); the entry sums
+        across runs and keeps the derived actual selectivity current.
+        """
+        entry = node_stats.setdefault(id(node), {
+            "rows_in": 0, "rows_out": 0, "rows_classified": 0,
+            "elapsed_s": 0.0})
+        entry["rows_in"] += int(rows_in)
+        entry["rows_out"] += int(rows_out)
+        entry["rows_classified"] += int(rows_classified)
+        entry["elapsed_s"] += float(elapsed_s)
+        for key, value in extra.items():
+            entry[key] = entry.get(key, 0) + value
+        entry["actual_selectivity"] = (
+            entry["rows_out"] / entry["rows_in"] if entry["rows_in"]
+            else None)
+
     def _execute_snapshot(self, snap: _Snapshot, plan: QueryPlan,
                           cancel: "Callable[[], None] | None" = None,
-                          ) -> "QueryResult":
+                          span=NO_SPAN) -> "QueryResult":
         from repro.db.aggregates import compute_partials
         from repro.query.processor import QueryResult
 
@@ -543,10 +608,16 @@ class QueryExecutor:
         # identity) and sliced per chunk — a LIMIT query over many chunks
         # must not re-evaluate full-corpus metadata predicates per chunk.
         metadata_masks: dict[int, np.ndarray] = {}
+        node_stats = snap.node_stats
+        table = self.table or plan.table or "-"
         if plan.predicate_tree is None:
             mask = np.ones(n, dtype=bool)
             for step in plan.metadata_steps:
+                rows_in = int(mask.sum())
+                step_started = time.perf_counter()
                 mask &= step.predicate.evaluate(snap.relation)
+                self._accumulate(node_stats, step, rows_in, int(mask.sum()),
+                                 0, time.perf_counter() - step_started)
             candidates = np.where(mask)[0]
         else:
             # Top-level AND metadata children are a conjunctive prefilter:
@@ -587,10 +658,18 @@ class QueryExecutor:
             chunk_mask[chunk] = True
             if plan.predicate_tree is None:
                 for step in plan.content_steps:
+                    rows_in = int(chunk_mask.sum())
+                    step_started = time.perf_counter()
                     labels, n_classified = self._evaluate_content(snap, step,
                                                                   chunk_mask)
                     images_classified[step.category] += n_classified
                     chunk_mask &= labels.astype(bool)
+                    self._accumulate(node_stats, step, rows_in,
+                                     int(chunk_mask.sum()), n_classified,
+                                     time.perf_counter() - step_started)
+                    if n_classified:
+                        self._rows_classified.inc(n_classified, table=table,
+                                                  category=step.category)
             else:
                 chunk_mask = self._evaluate_tree(snap, plan.predicate_tree,
                                                  chunk_mask,
@@ -618,9 +697,16 @@ class QueryExecutor:
             referenced = plan.referenced_columns()
             for step in plan.content_steps:
                 if step.predicate.column_name in referenced:
+                    gap_started = time.perf_counter()
                     _, n_classified = self._evaluate_content(snap, step,
                                                              final_mask)
                     images_classified[step.category] += n_classified
+                    if n_classified:
+                        self._accumulate(
+                            node_stats, step, 0, 0, n_classified,
+                            time.perf_counter() - gap_started)
+                        self._rows_classified.inc(n_classified, table=table,
+                                                  category=step.category)
 
         # Content columns are rebuilt from the materialized state: real
         # labels where a cascade evaluated the row (this query or an earlier
@@ -642,13 +728,31 @@ class QueryExecutor:
         if plan.is_aggregate:
             partials = compute_partials(selected_relation, plan.aggregates,
                                         plan.group_by)
+        # One span per content predicate, carrying the accumulated per-node
+        # measurements (rows in/out, classified, elapsed) so the trace tree
+        # mirrors the plan's cascade structure.
+        for step in plan.content_steps:
+            stats = node_stats.get(id(step))
+            if stats:
+                step_span = span.child(f"cascade:{step.category}",
+                                       cascade=step.evaluation.name)
+                step_span.annotate(**stats)
+        if plan.predicate_tree is not None:
+            tree_stats = node_stats.get(id(plan.predicate_tree))
+            if tree_stats and "short_circuit_rows_saved" in tree_stats:
+                span.annotate(short_circuit_rows_saved=tree_stats[
+                    "short_circuit_rows_saved"])
+        span.annotate(rows_selected=int(selected.size),
+                      images_classified=dict(images_classified))
+
         # Selected indices are *stable* image ids (offset + row position),
         # matching the relation's image_id column across retention passes.
         return QueryResult(relation=selected_relation,
                            selected_indices=selected + snap.id_offset,
                            cascades_used=cascades_used,
                            images_classified=images_classified,
-                           partials=partials)
+                           partials=partials,
+                           node_stats=dict(node_stats))
 
     def _metadata_mask(self, snap: _Snapshot, step: MetadataStep,
                        cache: dict[int, np.ndarray]) -> np.ndarray:
@@ -674,14 +778,27 @@ class QueryExecutor:
         failed to decide — so in ``cheap OR cascade`` the cascade classifies
         exactly the rows the cheap side left undecided.
         """
+        node_stats = snap.node_stats
+        rows_in = int(mask.sum())
+        started = time.perf_counter()
         if isinstance(node, MetadataStep):
-            return mask & self._metadata_mask(snap, node, metadata_masks)
+            accepted = mask & self._metadata_mask(snap, node, metadata_masks)
+            self._accumulate(node_stats, node, rows_in, int(accepted.sum()),
+                             0, time.perf_counter() - started)
+            return accepted
         if isinstance(node, ContentStep):
             if not mask.any():
                 return mask
             labels, n_classified = self._evaluate_content(snap, node, mask)
             images_classified[node.category] += n_classified
-            return mask & labels.astype(bool)
+            accepted = mask & labels.astype(bool)
+            self._accumulate(node_stats, node, rows_in, int(accepted.sum()),
+                             n_classified, time.perf_counter() - started)
+            if n_classified:
+                self._rows_classified.inc(
+                    n_classified, table=self.table or "-",
+                    category=node.category)
+            return accepted
         if isinstance(node, PlanAnd):
             accepted = mask
             for child in node.children:
@@ -690,11 +807,18 @@ class QueryExecutor:
                                                metadata_masks)
                 if not accepted.any():
                     break
+            self._accumulate(node_stats, node, rows_in, int(accepted.sum()),
+                             0, time.perf_counter() - started)
             return accepted
         if isinstance(node, PlanOr):
             decided = np.zeros_like(mask)
             undecided = mask.copy()
-            for child in node.children:
+            # Rows an earlier (cheaper) disjunct decided are never handed to
+            # a later child — the per-node stats report that saving.
+            saved = 0
+            for index, child in enumerate(node.children):
+                if index:
+                    saved += rows_in - int(undecided.sum())
                 child_mask = self._evaluate_tree(snap, child, undecided,
                                                  images_classified,
                                                  metadata_masks)
@@ -702,11 +826,17 @@ class QueryExecutor:
                 undecided &= ~child_mask
                 if not undecided.any():
                     break
+            self._accumulate(node_stats, node, rows_in, int(decided.sum()),
+                             0, time.perf_counter() - started,
+                             short_circuit_rows_saved=saved)
             return decided
         if isinstance(node, PlanNot):
-            return mask & ~self._evaluate_tree(snap, node.child, mask,
-                                               images_classified,
-                                               metadata_masks)
+            accepted = mask & ~self._evaluate_tree(snap, node.child, mask,
+                                                   images_classified,
+                                                   metadata_masks)
+            self._accumulate(node_stats, node, rows_in, int(accepted.sum()),
+                             0, time.perf_counter() - started)
+            return accepted
         raise TypeError(f"not a plan node: {node!r}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -739,7 +869,8 @@ class QueryExecutor:
         if n_classified > 0:
             new_labels = step.evaluation.cascade.classify(
                 snap.images[to_classify],
-                store=self._subset_store(snap, step, to_classify))
+                store=self._subset_store(snap, step, to_classify),
+                metrics=self.metrics)
             labels = labels.copy()
             labels[to_classify] = new_labels
             evaluated_mask = evaluated_mask | to_classify

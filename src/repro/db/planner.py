@@ -17,6 +17,7 @@ returns it directly for inspection.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
@@ -30,13 +31,15 @@ from repro.query.ast import (Aggregate, AndExpr, BooleanExpr, NotExpr,
                              OrderItem, OrExpr, PredicateExpr, SelectItem,
                              conjunctive_predicates, select_label)
 from repro.query.predicates import ContainsObject, MetadataPredicate
+from repro.telemetry.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.query.processor import Query
 
 __all__ = ["MetadataStep", "ContentStep", "QueryPlan", "QueryPlanner",
            "PlanAnd", "PlanOr", "PlanNot",
-           "estimate_selectivity", "DEFAULT_SELECTIVITY"]
+           "estimate_selectivity", "annotate_plan_dict",
+           "DEFAULT_SELECTIVITY"]
 
 #: Selectivity assumed when an evaluation carries no positive rate (e.g. an
 #: externally built evaluation installed via ``register_optimizer``).
@@ -213,6 +216,52 @@ def _content_step_dict(step: ContentStep) -> dict:
             "cost_per_image_s": float(step.cost_per_image_s),
             "expected_accuracy": float(step.evaluation.accuracy),
             "throughput_fps": float(step.evaluation.throughput)}
+
+
+def _annotated_node(node, node_stats: dict) -> dict:
+    """Serialize one plan node with estimated *and* actual execution stats.
+
+    ``node_stats`` maps ``id(plan node)`` to the executor's measurements for
+    that node (rows in/out, actual selectivity, rows classified, elapsed
+    seconds).  Nodes execution never reached — e.g. an OR disjunct decided
+    away by short-circuiting — carry no ``"actual"`` key, which is itself
+    informative.
+    """
+    if isinstance(node, PlanNot):
+        rendered = {"op": "not",
+                    "child": _annotated_node(node.child, node_stats)}
+    elif isinstance(node, (PlanAnd, PlanOr)):
+        rendered = {"op": "and" if isinstance(node, PlanAnd) else "or",
+                    "children": [_annotated_node(child, node_stats)
+                                 for child in node.children]}
+    else:
+        rendered = _node_dict(node)
+    estimated, _ = _node_stats(node)
+    rendered.setdefault("estimated_selectivity", float(estimated))
+    actual = node_stats.get(id(node))
+    if actual is not None:
+        rendered["actual"] = dict(actual)
+    return rendered
+
+
+def annotate_plan_dict(plan: "QueryPlan", node_stats: dict) -> dict:
+    """:meth:`QueryPlan.to_dict` with per-node ``"actual"`` blocks attached.
+
+    The ``EXPLAIN ANALYZE`` serialization: every predicate node carries its
+    planner estimate (``estimated_selectivity``) next to the executor's
+    measurements (``actual``: rows in/out, actual selectivity, rows
+    classified, elapsed seconds), keyed off ``node_stats`` as recorded by
+    :class:`~repro.db.executor.QueryExecutor` during the run.
+    """
+    rendered = plan.to_dict()
+    rendered["metadata_steps"] = [_annotated_node(step, node_stats)
+                                  for step in plan.metadata_steps]
+    rendered["content_steps"] = [_annotated_node(step, node_stats)
+                                 for step in plan.content_steps]
+    if plan.predicate_tree is not None:
+        rendered["predicate_tree"] = _annotated_node(plan.predicate_tree,
+                                                     node_stats)
+    return rendered
 
 
 def _describe_node(node, indent: str = "") -> str:
@@ -410,15 +459,23 @@ class QueryPlanner:
         (:meth:`~repro.db.executor.QueryExecutor.observed_positive_rate`).
         ``None`` (or a ``None`` return) falls back to the evaluation-set
         estimate.
+    metrics:
+        The registry planning time is recorded on
+        (``repro_query_plan_seconds`` by table); a private registry is
+        created when omitted.
     """
 
     def __init__(self, optimizers: dict[str, TahomaOptimizer],
                  profiler: CostProfiler,
                  selectivity_hook: Callable[[str, str], float | None]
-                 | None = None) -> None:
+                 | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.optimizers = dict(optimizers)
         self.profiler = profiler
         self.selectivity_hook = selectivity_hook
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._plan_seconds = self.metrics.histogram(
+            "repro_query_plan_seconds")
 
     def _optimizer_for(self, category: str) -> TahomaOptimizer:
         try:
@@ -494,6 +551,7 @@ class QueryPlanner:
         while parsing-cheap structure (ordering, projection, limit) is
         rebuilt from the fresh query.
         """
+        started = time.perf_counter()
         cache: dict[str, ContentStep] = dict(selections) if selections else {}
         wanted = {predicate.category
                   for predicate in query.content_predicates}
@@ -514,7 +572,7 @@ class QueryPlanner:
                 (step for step in cache.values() if step.category in wanted),
                 key=lambda step: step.rank)
 
-        return QueryPlan(metadata_steps=metadata_steps,
+        plan = QueryPlan(metadata_steps=metadata_steps,
                          content_steps=tuple(content_steps),
                          limit=query.limit,
                          scenario_name=self.profiler.scenario.name,
@@ -523,3 +581,6 @@ class QueryPlanner:
                          select=query.select,
                          group_by=query.group_by,
                          order_by=query.order_by)
+        self._plan_seconds.observe(time.perf_counter() - started,
+                                   table=plan.table or "-")
+        return plan

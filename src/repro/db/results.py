@@ -51,6 +51,7 @@ class ResultSet:
         self._result = result
         self.plan = plan
         self._cursor = 0
+        self._query_stats: dict = {}
 
     # -- shape ---------------------------------------------------------------
     def __len__(self) -> int:
@@ -80,6 +81,40 @@ class ResultSet:
     def images_classified(self) -> dict[str, int]:
         """How many rows each content predicate actually classified."""
         return self._result.images_classified
+
+    def attach_stats(self, **stats) -> None:
+        """Record query-level execution facts (``wall_time_s``, ``trace_id``).
+
+        Called by :meth:`repro.db.database.VisualDatabase.execute` after the
+        query's trace closes; the values surface through :meth:`stats`.
+        """
+        self._query_stats.update(stats)
+
+    def stats(self) -> dict:
+        """A JSON-safe summary of the execution that produced this result.
+
+        Keys: ``rows`` (selected rows, or groups for an aggregate),
+        ``images_classified`` (per content predicate — per shard for a
+        fan-out), ``cascades_used`` (the *name* of the cascade each content
+        predicate ran), plus whatever :meth:`attach_stats` recorded —
+        ``wall_time_s`` and ``trace_id`` when the database executed the
+        query (both ``None`` for a result set built outside it).
+        """
+        def names(mapping: dict) -> dict:
+            return {key: (names(value) if isinstance(value, dict)
+                          else getattr(value, "name", str(value)))
+                    for key, value in mapping.items()}
+
+        classified = {
+            key: (dict(value) if isinstance(value, dict) else int(value))
+            for key, value in self._result.images_classified.items()}
+        return {"rows": len(self),
+                "images_classified": classified,
+                "cascades_used": names(self._result.cascades_used),
+                "wall_time_s": self._query_stats.get("wall_time_s"),
+                "trace_id": self._query_stats.get("trace_id"),
+                **{key: value for key, value in self._query_stats.items()
+                   if key not in ("wall_time_s", "trace_id")}}
 
     # -- row access -----------------------------------------------------------
     def row(self, index: int) -> dict:

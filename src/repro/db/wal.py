@@ -51,6 +51,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import time
 from collections.abc import Iterator
 from pathlib import Path
 
@@ -58,6 +59,7 @@ import numpy as np
 
 from repro.data.corpus import CorpusSegment
 from repro.locking import make_lock
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["TableWal", "wal_dir", "wal_tables"]
 
@@ -121,10 +123,14 @@ class TableWal:
     :meth:`close` flushes and releases it (idempotent).
     """
 
-    def __init__(self, root: Path | str, table: str) -> None:
+    def __init__(self, root: Path | str, table: str,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.table = table
         self.directory = wal_dir(root, table)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._append_seconds = self.metrics.histogram(
+            "repro_wal_append_seconds")
         self._lock = make_lock(f"wal:{table}")
         generations = self.generations()
         self._generation = generations[-1] if generations else 0  # guarded by: self._lock
@@ -188,6 +194,7 @@ class TableWal:
 
     def _append_with_payload(self, record_type: str, segment: CorpusSegment,
                              extra: dict | None = None) -> None:
+        started = time.perf_counter()
         with self._lock:
             self._ensure_open()
             payload_name = f"seg-{self._generation}-{self._sequence}.npz"
@@ -209,12 +216,17 @@ class TableWal:
                 record.update(extra)
             self._write_line(record)
             self._advance()
+        self._append_seconds.observe(time.perf_counter() - started,
+                                     table=self.table)
 
     def _append_line(self, record: dict) -> None:
+        started = time.perf_counter()
         with self._lock:
             self._ensure_open()
             self._write_line(record)
             self._advance()
+        self._append_seconds.observe(time.perf_counter() - started,
+                                     table=self.table)
 
     def _advance(self) -> None:
         self._sequence += 1

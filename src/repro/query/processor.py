@@ -54,7 +54,9 @@ class Query:
     ``limit`` caps the number of returned rows (result *groups* for an
     aggregate query).  ``table`` is the ``FROM`` target — a catalog table
     name, or the virtual ``all_cameras`` table that fans the query out
-    across every shard.
+    across every shard.  ``explain_analyze`` marks a query prefixed with
+    ``EXPLAIN ANALYZE``: it executes normally, but the caller returns the
+    annotated plan (estimated vs. actual per node) instead of the rows.
     """
 
     metadata_predicates: tuple[MetadataPredicate, ...] = ()
@@ -66,6 +68,7 @@ class Query:
     select: tuple[SelectItem, ...] | None = None
     group_by: tuple[str, ...] = ()
     order_by: tuple[OrderItem, ...] = ()
+    explain_analyze: bool = False
 
     def __post_init__(self) -> None:
         if self.where is None:
@@ -114,6 +117,11 @@ class QueryResult:
     cascades_used: dict[str, CascadeEvaluation]
     images_classified: dict[str, int]
     partials: "GroupedPartials | None" = None
+    #: Per-plan-node execution measurements keyed by ``id(plan node)`` —
+    #: rows in/out, actual selectivity, rows classified, elapsed seconds —
+    #: consumed by ``EXPLAIN ANALYZE``
+    #: (:func:`repro.db.planner.annotate_plan_dict`).
+    node_stats: dict = field(default_factory=dict)
 
     def __len__(self) -> int:
         return int(self.selected_indices.size)

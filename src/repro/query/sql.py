@@ -8,7 +8,7 @@ This module parses the dialect into a :class:`~repro.query.processor.Query`
 via the AST node types of :mod:`repro.query.ast`.  Supported grammar
 (case-insensitive keywords)::
 
-    query      := SELECT select_list FROM <table>
+    query      := [EXPLAIN ANALYZE] SELECT select_list FROM <table>
                   [WHERE expr]
                   [GROUP BY column [, column]*]
                   [ORDER BY order_key [ASC|DESC] [, order_key [ASC|DESC]]*]
@@ -35,6 +35,11 @@ planner orders and short-circuits it at execution time.  A WHERE clause is
 optional — ``SELECT * FROM images LIMIT 5`` is a plain scan/preview.  In an
 aggregate query every non-aggregate SELECT item must appear in GROUP BY, and
 ORDER BY keys must be group columns or aggregates from the SELECT list.
+
+An ``EXPLAIN ANALYZE`` prefix marks the query for profiled execution: it
+runs normally, but ``db.execute`` returns the plan tree annotated with
+estimated vs. actual selectivity, rows classified and elapsed time per node
+instead of a result set (``db.explain_analyze`` is the direct API).
 """
 
 from __future__ import annotations
@@ -49,7 +54,7 @@ from repro.query.ast import (AGGREGATE_FUNCTIONS, Aggregate, AndExpr,
 from repro.query.predicates import ContainsObject, MetadataPredicate
 from repro.query.processor import Query
 
-__all__ = ["parse_query", "SqlParseError"]
+__all__ = ["parse_query", "split_explain_analyze", "SqlParseError"]
 
 #: SQL comparison spellings mapped to MetadataPredicate operators.
 _OP_MAP = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
@@ -343,6 +348,25 @@ class _Parser:
                         "(add it to the SELECT list with GROUP BY)")
 
 
+def split_explain_analyze(sql: str) -> tuple[bool, str]:
+    """``(is_explain_analyze, remaining sql)`` for one statement.
+
+    Token-based, so comments-free weird spacing and case all work; anything
+    that fails to tokenize is returned unchanged (the parser will report the
+    real error on the full text).  A bare ``EXPLAIN`` (without ``ANALYZE``)
+    is *not* stripped — ``db.explain`` is the plan-only API and has no SQL
+    spelling.
+    """
+    try:
+        tokens = tokenize(sql)
+    except SqlParseError:
+        return False, sql
+    if (len(tokens) >= 2 and tokens[0].keyword() == "EXPLAIN"
+            and tokens[1].keyword() == "ANALYZE"):
+        return True, sql[tokens[1].offset + len(tokens[1].text):]
+    return False, sql
+
+
 def parse_query(sql: str,
                 constraints: UserConstraints | None = None,
                 known_tables: "Iterable[str] | None" = None) -> Query:
@@ -366,7 +390,10 @@ def parse_query(sql: str,
     """
     if not sql or not sql.strip():
         raise SqlParseError("empty query")
-    parsed = _Parser(sql).parse()
+    explain_analyze, body = split_explain_analyze(sql)
+    if explain_analyze and not body.strip():
+        raise SqlParseError("EXPLAIN ANALYZE needs a SELECT statement")
+    parsed = _Parser(body).parse()
 
     table = parsed["table"]
     if known_tables is not None:
@@ -381,4 +408,5 @@ def parse_query(sql: str,
                  where=parsed["where"],
                  select=parsed["select"],
                  group_by=parsed["group_by"],
-                 order_by=parsed["order_by"])
+                 order_by=parsed["order_by"],
+                 explain_analyze=explain_analyze)

@@ -34,12 +34,17 @@ docstring convention of :mod:`repro.query.sql`::
                       (error-specific keys: "offset", "token", ...)* '}'
 
     command    := "execute" | "fetch" | "close_cursor" | "explain"
-                | "stats" | "tables" | "ping" | "quit"
+                | "stats" | "metrics" | "tables" | "ping" | "quit"
 
     execute    keys: "sql" (required), "timeout" (seconds, optional),
                      "tables" (shard list, optional), "constraints"
                      (optional: {"max_accuracy_loss", "min_throughput"})
                result: {"cursor", "rowcount", "columns", "remaining"}
+                       | {"explain_analyze": report} for an
+                       ``EXPLAIN ANALYZE`` query — the annotated-plan
+                       report of
+                       :meth:`repro.db.database.VisualDatabase.explain_analyze`,
+                       whole, with no cursor to page
     fetch      keys: "cursor" (required), "n" (optional, default 64)
                result: {"rows": [row...], "remaining": int}
     close_cursor keys: "cursor"           result: {"closed": bool}
@@ -50,6 +55,13 @@ docstring convention of :mod:`repro.query.sql`::
                         "admission": {...}, "plan_cache": {...},
                         "queries": {"completed", "failed", "timeouts",
                                     "rejected"}}
+    metrics    keys: "format" ("json" default | "text")
+               result: {"metrics": snapshot} — the
+                       :mod:`repro.telemetry` registry snapshot — or
+                       {"exposition": string} for "text" (the
+                       Prometheus-style exposition).  Counters here and
+                       the "stats" result read one registry, so the two
+                       never disagree.
     tables     result: {"tables": [name...]}
     ping       result: {"pong": true}
     quit       result: {"bye": true}; the server then closes the connection
@@ -70,7 +82,8 @@ The serving pieces:
 * :mod:`repro.server.admission` — bounded query queue + worker pool with
   immediate backpressure rejection and cooperative per-query timeouts;
 * :mod:`repro.server.plan_cache` — plans keyed by normalized query shape
-  (literals stripped) with hit/miss/rebind counters;
+  (literals stripped) with hit/miss/rebind counters on the
+  :mod:`repro.telemetry` registry;
 * :mod:`repro.server.server` — the TCP server and graceful shutdown;
 * :mod:`repro.server.client` — the matching ``connect()`` client.
 """

@@ -34,6 +34,7 @@ from typing import Callable
 from repro.locking import make_lock
 from repro.query.ast import QueryTimeoutError
 from repro.server.protocol import BackpressureError
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["AdmissionController"]
 
@@ -53,24 +54,29 @@ class AdmissionController:
         :class:`~repro.server.protocol.BackpressureError`.
     name:
         Thread-name prefix (diagnostics).
+    metrics:
+        The registry the lifetime counters (``repro_admission_queries_total``
+        by event) and the queue-depth gauge live on; a private registry is
+        created when omitted.
     """
 
     def __init__(self, max_workers: int = 4, max_queue: int = 16,
-                 name: str = "repro-server") -> None:
+                 name: str = "repro-server",
+                 metrics: MetricsRegistry | None = None) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
         if max_queue < 1:
             raise ValueError(f"max_queue must be positive, got {max_queue}")
         self.max_workers = max_workers
         self.max_queue = max_queue
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._lock = make_lock("admission")
         self._closing = False  # guarded by: self._lock
         self._in_flight = 0  # guarded by: self._lock
-        self.submitted = 0  # guarded by: self._lock
-        self.rejected = 0  # guarded by: self._lock
-        self.completed = 0  # guarded by: self._lock
-        self.failed = 0  # guarded by: self._lock
+        self._events = self.metrics.counter("repro_admission_queries_total")
+        self.metrics.gauge("repro_admission_queue_depth").set_function(
+            self._queue.qsize)
         self._workers = [
             threading.Thread(target=self._work, name=f"{name}-worker-{i}",
                              daemon=True)
@@ -95,15 +101,13 @@ class AdmissionController:
         try:
             self._queue.put_nowait((fn, future))
         except queue.Full:
-            with self._lock:
-                self.rejected += 1
+            self._events.inc(event="rejected")
             raise BackpressureError(
                 f"admission queue full ({self.max_queue} queries waiting); "
                 "retry after a backoff",
                 queue_depth=self.max_queue,
                 max_queue=self.max_queue) from None
-        with self._lock:
-            self.submitted += 1
+        self._events.inc(event="submitted")
         return future
 
     def cancel_for(self, timeout_s: float | None,
@@ -147,12 +151,12 @@ class AdmissionController:
                 future.set_exception(exc)
                 with self._lock:
                     self._in_flight -= 1
-                    self.failed += 1
+                self._events.inc(event="failed")
             else:
                 future.set_result(result)
                 with self._lock:
                     self._in_flight -= 1
-                    self.completed += 1
+                self._events.inc(event="completed")
             finally:
                 self._queue.task_done()
 
@@ -194,12 +198,14 @@ class AdmissionController:
     def stats(self) -> dict:
         """Queue/worker occupancy and lifetime counters."""
         with self._lock:
-            return {"max_workers": self.max_workers,
-                    "max_queue": self.max_queue,
-                    "queue_depth": self._queue.qsize(),
-                    "in_flight": self._in_flight,
-                    "submitted": self.submitted,
-                    "rejected": self.rejected,
-                    "completed": self.completed,
-                    "failed": self.failed,
-                    "closing": self._closing}
+            in_flight = self._in_flight
+            closing = self._closing
+        return {"max_workers": self.max_workers,
+                "max_queue": self.max_queue,
+                "queue_depth": self._queue.qsize(),
+                "in_flight": in_flight,
+                "submitted": int(self._events.value(event="submitted")),
+                "rejected": int(self._events.value(event="rejected")),
+                "completed": int(self._events.value(event="completed")),
+                "failed": int(self._events.value(event="failed")),
+                "closing": closing}

@@ -97,7 +97,7 @@ class Connection:
     # -- commands --------------------------------------------------------------
     def execute(self, sql: str, *, timeout: float | None = None,
                 constraints: dict | None = None,
-                tables: list[str] | None = None) -> "RemoteCursor":
+                tables: list[str] | None = None) -> "RemoteCursor | dict":
         """Run one query server side, returning its :class:`RemoteCursor`.
 
         ``timeout`` (seconds) bounds the query's execution — past it the
@@ -105,9 +105,16 @@ class Connection:
         :class:`~repro.query.ast.QueryTimeoutError`; the session stays
         usable.  ``constraints`` takes ``{"max_accuracy_loss", ...}``;
         ``tables`` restricts an ``all_cameras`` fan-out to named shards.
+
+        An ``EXPLAIN ANALYZE`` query has no rows to page: the annotated-plan
+        report (see
+        :meth:`~repro.db.database.VisualDatabase.explain_analyze`) comes
+        back whole as a plain dict instead of a cursor.
         """
         result = self._call("execute", sql=sql, timeout=timeout,
                             constraints=constraints, tables=tables)
+        if "explain_analyze" in result:
+            return result["explain_analyze"]
         return RemoteCursor(self, result)
 
     def fetch(self, cursor: int, n: int = DEFAULT_FETCH_SIZE) -> dict:
@@ -126,6 +133,19 @@ class Connection:
 
     def stats(self) -> dict:
         return self._call("stats")
+
+    def metrics(self, format: str | None = None) -> dict | str:
+        """The server's telemetry registry snapshot.
+
+        ``format="json"`` (the default) returns the structured snapshot
+        (``{metric: {"kind", "help", "series": [...]}}``);
+        ``format="text"`` returns the Prometheus-style text exposition as
+        one string.
+        """
+        result = self._call("metrics", format=format)
+        if "exposition" in result:
+            return result["exposition"]
+        return result.get("metrics", {})
 
     def tables(self) -> list[str]:
         return list(self._call("tables").get("tables", []))

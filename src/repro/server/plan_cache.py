@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.locking import make_lock
 from repro.query.ast import tokenize
+from repro.telemetry.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.selector import UserConstraints
@@ -82,19 +83,27 @@ class CacheEntry:
 
 
 class PlanCache:
-    """A bounded, thread-safe, LRU plan cache with hit/miss/rebind counters."""
+    """A bounded, thread-safe, LRU plan cache with hit/miss/rebind counters.
 
-    def __init__(self, capacity: int = 128) -> None:
+    The counters live on a :class:`~repro.telemetry.metrics.MetricsRegistry`
+    (``repro_plan_cache_*`` metrics) — the served database injects its own
+    registry so the ``stats`` and ``metrics`` wire views agree by
+    construction; a standalone cache gets a private one.
+    """
+
+    def __init__(self, capacity: int = 128,
+                 metrics: MetricsRegistry | None = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = make_lock("plan-cache")
         self._entries: OrderedDict[Any, CacheEntry] = OrderedDict()  # guarded by: self._lock
-        self.hits = 0  # guarded by: self._lock
-        self.rebinds = 0  # guarded by: self._lock
-        self.misses = 0  # guarded by: self._lock
-        self.invalidations = 0  # guarded by: self._lock
-        self.evictions = 0  # guarded by: self._lock
+        self._lookups = self.metrics.counter("repro_plan_cache_lookups_total")
+        self._invalidations = self.metrics.counter(
+            "repro_plan_cache_invalidations_total")
+        self._evictions = self.metrics.counter(
+            "repro_plan_cache_evictions_total")
 
     @staticmethod
     def key_for(sql: str, constraints: "UserConstraints",
@@ -117,48 +126,55 @@ class PlanCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self.misses += 1
-                return "miss", None
-            self._entries.move_to_end(key)
-            if entry.literals == literals:
-                self.hits += 1
-                return "hit", entry
-            self.rebinds += 1
-            return "rebind", entry
+                outcome = "miss"
+            else:
+                self._entries.move_to_end(key)
+                outcome = ("hit" if entry.literals == literals
+                           else "rebind")
+        self._lookups.inc(outcome=outcome)
+        return outcome, entry
 
     def store(self, key, literals: tuple, plans) -> None:
         """Install (or refresh) one shape's plan, evicting LRU beyond capacity."""
+        evicted = 0
         with self._lock:
             self._entries[key] = CacheEntry(literals=literals, plans=plans)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self.evictions += 1
+                evicted += 1
+        if evicted:
+            self._evictions.inc(evicted)
 
     def invalidate(self) -> None:
         """Drop every cached plan (scenario/catalog/retention changed)."""
         with self._lock:
             self._entries.clear()
-            self.invalidations += 1
+        self._invalidations.inc()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
+    def _count(self, outcome: str) -> int:
+        return int(self._lookups.value(outcome=outcome))
+
     def stats(self) -> dict:
         """Counters + occupancy, as surfaced by the server's ``stats``."""
-        with self._lock:
-            lookups = self.hits + self.rebinds + self.misses
-            return {"hits": self.hits,
-                    "rebinds": self.rebinds,
-                    "misses": self.misses,
-                    "invalidations": self.invalidations,
-                    "evictions": self.evictions,
-                    "entries": len(self._entries),
-                    "capacity": self.capacity,
-                    "hit_rate": ((self.hits + self.rebinds) / lookups
-                                 if lookups else 0.0)}
+        hits, rebinds, misses = (self._count("hit"), self._count("rebind"),
+                                 self._count("miss"))
+        lookups = hits + rebinds + misses
+        return {"hits": hits,
+                "rebinds": rebinds,
+                "misses": misses,
+                "invalidations": int(self._invalidations.value()),
+                "evictions": int(self._evictions.value()),
+                "entries": len(self),
+                "capacity": self.capacity,
+                "hit_rate": ((hits + rebinds) / lookups if lookups else 0.0)}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (f"PlanCache(entries={len(self)}, hits={self.hits}, "
-                f"rebinds={self.rebinds}, misses={self.misses})")
+        return (f"PlanCache(entries={len(self)}, "
+                f"hits={self._count('hit')}, "
+                f"rebinds={self._count('rebind')}, "
+                f"misses={self._count('miss')})")

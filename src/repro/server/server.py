@@ -125,9 +125,11 @@ class VisualDatabaseServer:
             database.enable_plan_cache(
                 plan_cache if isinstance(plan_cache, int)
                 and not isinstance(plan_cache, bool) else 128)
+        registry = getattr(database, "metrics", None)
         self.admission = AdmissionController(max_workers=max_workers,
-                                             max_queue=max_queue)
-        self.counters = QueryCounters()
+                                             max_queue=max_queue,
+                                             metrics=registry)
+        self.counters = QueryCounters(registry)
         self._lock = make_lock("server")
         self._sessions = 0  # guarded by: self._lock
         self._closed = False  # guarded by: self._lock

@@ -18,13 +18,15 @@ nothing else; the connection and its other cursors stay usable.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.core.selector import UserConstraints
-from repro.locking import make_lock
 from repro.query.ast import QueryTimeoutError
 from repro.server.protocol import (PROTOCOL_VERSION, BackpressureError,
                                    ProtocolError)
+from repro.telemetry.export import render_prometheus
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["Session", "QueryCounters"]
 
@@ -35,23 +37,27 @@ _CONSTRAINT_KEYS = ("max_accuracy_loss", "min_throughput")
 
 
 class QueryCounters:
-    """Server-wide query outcome counters (shared across sessions)."""
+    """Server-wide query outcome counters (shared across sessions).
 
-    def __init__(self) -> None:
-        self._lock = make_lock("query-counters")
-        self.completed = 0  # guarded by: self._lock
-        self.failed = 0  # guarded by: self._lock
-        self.timeouts = 0  # guarded by: self._lock
-        self.rejected = 0  # guarded by: self._lock
+    A thin view over the ``repro_queries_total`` registry counter, so the
+    ``stats`` command's ``queries`` object and the ``metrics`` exposition
+    are the same numbers by construction."""
+
+    OUTCOMES = ("completed", "failed", "timeouts", "rejected")
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._outcomes = self.metrics.counter("repro_queries_total")
 
     def record(self, outcome: str) -> None:
-        with self._lock:
-            setattr(self, outcome, getattr(self, outcome) + 1)
+        if outcome not in self.OUTCOMES:
+            raise ValueError(f"unknown query outcome {outcome!r}; "
+                             f"known: {list(self.OUTCOMES)}")
+        self._outcomes.inc(outcome=outcome)
 
     def snapshot(self) -> dict:
-        with self._lock:
-            return {"completed": self.completed, "failed": self.failed,
-                    "timeouts": self.timeouts, "rejected": self.rejected}
+        return {outcome: int(self._outcomes.value(outcome=outcome))
+                for outcome in self.OUTCOMES}
 
 
 class Session:
@@ -87,7 +93,13 @@ class Session:
         self.admission = admission
         self.default_timeout = default_timeout
         self.max_cursors = max_cursors
-        self.counters = counters if counters is not None else QueryCounters()
+        registry = getattr(database, "metrics", None)
+        self.metrics = (registry if isinstance(registry, MetricsRegistry)
+                        else MetricsRegistry())
+        self.counters = (counters if counters is not None
+                         else QueryCounters(self.metrics))
+        self._request_seconds = self.metrics.histogram(
+            "repro_server_request_seconds")
         self._stats_extra = stats_extra
         self._cursors: dict[int, object] = {}
         self._next_cursor = 1
@@ -109,7 +121,12 @@ class Session:
             raise ProtocolError(
                 f"unknown command {cmd!r}; commands: "
                 f"{sorted(self._COMMANDS)}") from None
-        return handler(self, request)
+        started = time.perf_counter()
+        try:
+            return handler(self, request)
+        finally:
+            self._request_seconds.observe(time.perf_counter() - started,
+                                          cmd=cmd)
 
     # -- commands --------------------------------------------------------------
     def _cmd_execute(self, request: dict) -> dict:
@@ -144,6 +161,10 @@ class Session:
             self.counters.record("failed")
             raise
         self.counters.record("completed")
+        if isinstance(result_set, dict):
+            # EXPLAIN ANALYZE: the result is a JSON report, not row data —
+            # return it whole, no cursor to page.
+            return {"explain_analyze": result_set}
         cursor_id = self._next_cursor
         self._next_cursor += 1
         self._cursors[cursor_id] = result_set
@@ -193,6 +214,16 @@ class Session:
             result.update(self._stats_extra())
         return result
 
+    def _cmd_metrics(self, request: dict) -> dict:
+        fmt = request.get("format", "json")
+        if fmt not in ("json", "text"):
+            raise ProtocolError(f'"format" must be "json" or "text", '
+                                f"got {fmt!r}")
+        snapshot = self.metrics.snapshot()
+        if fmt == "text":
+            return {"exposition": render_prometheus(snapshot)}
+        return {"metrics": snapshot}
+
     def _cmd_tables(self, request: dict) -> dict:
         return {"tables": self.database.tables()}
 
@@ -208,6 +239,7 @@ class Session:
                  "close_cursor": _cmd_close_cursor,
                  "explain": _cmd_explain,
                  "stats": _cmd_stats,
+                 "metrics": _cmd_metrics,
                  "tables": _cmd_tables,
                  "ping": _cmd_ping,
                  "quit": _cmd_quit}

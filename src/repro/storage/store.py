@@ -41,6 +41,7 @@ import numpy as np
 from repro.locking import make_rlock
 from repro.storage.encoding import representation_bytes
 from repro.storage.tiers import SSD, StorageTier
+from repro.telemetry.metrics import MetricsRegistry
 from repro.transforms.spec import TransformSpec
 
 __all__ = ["RepresentationStore"]
@@ -64,10 +65,18 @@ class _StoreState:
     arrays: dict[_Key, list[np.ndarray]] = field(default_factory=dict)  # guarded by: lock
     specs: dict[_Key, TransformSpec] = field(default_factory=dict)  # guarded by: lock
     registered: dict[_Key, TransformSpec] = field(default_factory=dict)  # guarded by: lock
-    evictions: int = 0  # guarded by: lock
+    # Hit/miss/eviction counts live on the metrics registry (thread-safe on
+    # its own lock), so `stats` and `metrics` views can never disagree.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     # Reentrant: public entry points hold it while calling each other
     # (extend -> get/add) and the _enforce_budget/_evict helpers.
     lock: threading.RLock = field(default_factory=lambda: make_rlock("store"))
+
+    def __post_init__(self) -> None:
+        self.hit_counter = self.metrics.counter("repro_store_hits_total")
+        self.miss_counter = self.metrics.counter("repro_store_misses_total")
+        self.eviction_counter = self.metrics.counter(
+            "repro_store_evictions_total")
 
 
 class RepresentationStore:
@@ -92,11 +101,14 @@ class RepresentationStore:
     def __init__(self, tier: StorageTier = SSD,
                  byte_budget: int | None = None, *,
                  namespace: str = "",
+                 metrics: MetricsRegistry | None = None,
                  _state: _StoreState | None = None) -> None:
         if _state is None:
             if byte_budget is not None and byte_budget <= 0:
                 raise ValueError("byte_budget must be positive (or None)")
-            _state = _StoreState(tier=tier, byte_budget=byte_budget)
+            _state = _StoreState(
+                tier=tier, byte_budget=byte_budget,
+                metrics=metrics if metrics is not None else MetricsRegistry())
         self._state = _state
         self.namespace = namespace
 
@@ -244,9 +256,11 @@ class RepresentationStore:
             try:
                 chunks = state.arrays.pop(key)
             except KeyError:
+                state.miss_counter.inc()
                 return None
             array = _consolidate(chunks)
             state.arrays[key] = [array]
+            state.hit_counter.inc()
             return array
 
     def get_or_transform(self, spec: TransformSpec,
@@ -395,8 +409,12 @@ class RepresentationStore:
     @property
     def evictions(self) -> int:
         """Representations evicted so far (all namespaces) to stay within budget."""
-        with self._state.lock:
-            return self._state.evictions
+        return int(self._state.metrics.value("repro_store_evictions_total"))
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry this store's hit/miss/eviction counters live on."""
+        return self._state.metrics
 
     def load_time(self, spec: TransformSpec) -> float:
         """Simulated seconds to load one image's representation from the tier."""
@@ -415,7 +433,7 @@ class RepresentationStore:
         state = self._state
         del state.arrays[key]
         del state.specs[key]
-        state.evictions += 1
+        state.eviction_counter.inc()
 
     def _enforce_budget(self, newest: _Key | None = None) -> None:
         state = self._state

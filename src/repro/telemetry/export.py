@@ -1,0 +1,66 @@
+"""Exporting metrics: JSON snapshots and Prometheus text exposition.
+
+The JSON side is trivial — :meth:`MetricsRegistry.snapshot` is already
+JSON-safe and :func:`render_json` just serializes it.  The text side
+renders the same snapshot in the Prometheus exposition format (version
+0.0.4): ``# HELP`` / ``# TYPE`` headers for every declared metric (even
+with zero series, so scrapers and the CI smoke check always see the full
+catalog), one sample line per series, and histograms expanded into
+cumulative ``_bucket{le=...}`` samples plus ``_sum`` / ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["render_json", "render_prometheus"]
+
+
+def render_json(snapshot: dict) -> str:
+    """The snapshot as stable, indented JSON text."""
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{name}="{_escape(str(value))}"'
+                    for name, value in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    number = float(value)
+    if number.is_integer():
+        return str(int(number))
+    return repr(number)
+
+
+def _sample(name: str, labels: dict, value: float) -> str:
+    return f"{name}{_format_labels(labels)} {_format_value(value)}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """The snapshot in Prometheus text exposition format."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        lines.append(f"# HELP {name} {_escape(entry.get('help', ''))}")
+        lines.append(f"# TYPE {name} {entry['type']}")
+        for series in entry.get("series", ()):
+            labels = dict(series.get("labels") or {})
+            if entry["type"] == "histogram":
+                for bound, count in series["buckets"].items():
+                    lines.append(_sample(f"{name}_bucket",
+                                         {**labels, "le": bound}, count))
+                lines.append(_sample(f"{name}_sum", labels, series["sum"]))
+                lines.append(_sample(f"{name}_count", labels,
+                                     series["count"]))
+            else:
+                lines.append(_sample(name, labels, series["value"]))
+    return "\n".join(lines) + "\n"

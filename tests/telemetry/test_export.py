@@ -1,0 +1,54 @@
+"""Exposition tests: JSON snapshot rendering and Prometheus text format."""
+
+import json
+
+from repro.telemetry.export import render_json, render_prometheus
+from repro.telemetry.metrics import CATALOG, MetricsRegistry
+
+
+class TestRenderJson:
+    def test_round_trips(self):
+        registry = MetricsRegistry(catalog=())
+        registry.counter("n", labels=("k",)).inc(k="a")
+        text = render_json(registry.snapshot())
+        assert json.loads(text) == registry.snapshot()
+
+
+class TestRenderPrometheus:
+    def test_every_catalog_metric_exposed_without_traffic(self):
+        # The CI smoke check relies on this: a fresh registry's exposition
+        # must already name every declared metric.
+        text = render_prometheus(MetricsRegistry().snapshot())
+        for spec in CATALOG:
+            assert f"# HELP {spec.name} " in text
+            assert f"# TYPE {spec.name} {spec.kind}" in text
+
+    def test_counter_sample_line(self):
+        registry = MetricsRegistry(catalog=())
+        registry.counter("hits_total", help="Hits.",
+                         labels=("table",)).inc(3, table="cam_a")
+        text = render_prometheus(registry.snapshot())
+        assert "# HELP hits_total Hits." in text
+        assert "# TYPE hits_total counter" in text
+        assert 'hits_total{table="cam_a"} 3' in text.splitlines()
+
+    def test_histogram_expansion(self):
+        registry = MetricsRegistry(catalog=())
+        registry.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        lines = render_prometheus(registry.snapshot()).splitlines()
+        assert 'lat_bucket{le="0.1"} 0' in lines
+        assert 'lat_bucket{le="1"} 1' in lines
+        assert 'lat_bucket{le="+Inf"} 1' in lines
+        assert "lat_sum 0.5" in lines
+        assert "lat_count 1" in lines
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry(catalog=())
+        registry.counter("n", labels=("sql",)).inc(sql='say "hi"\n')
+        text = render_prometheus(registry.snapshot())
+        assert r'n{sql="say \"hi\"\n"} 1' in text
+
+    def test_gauge_series(self):
+        registry = MetricsRegistry(catalog=())
+        registry.gauge("depth").set(2)
+        assert "depth 2" in render_prometheus(registry.snapshot()).splitlines()

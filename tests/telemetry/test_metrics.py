@@ -1,0 +1,187 @@
+"""Unit tests for the metrics registry: kinds, labels, thread safety.
+
+The concurrency tests here run under ``pytest --sanitize`` in CI, so the
+registry's lock discipline is exercised by the runtime checker too.
+"""
+
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (CATALOG, DEFAULT_BUCKETS, Counter,
+                                     Histogram, MetricsRegistry)
+
+
+class TestCatalog:
+    def test_catalog_preregistered(self):
+        registry = MetricsRegistry()
+        names = registry.names()
+        for spec in CATALOG:
+            assert spec.name in names
+
+    def test_empty_catalog_registry_starts_bare(self):
+        registry = MetricsRegistry(catalog=())
+        assert registry.names() == []
+
+    def test_catalog_kinds_respected(self):
+        registry = MetricsRegistry()
+        assert registry.counter("repro_store_hits_total").kind == "counter"
+        assert registry.gauge("repro_admission_queue_depth").kind == "gauge"
+        assert registry.histogram(
+            "repro_query_plan_seconds").kind == "histogram"
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry(catalog=())
+        counter = registry.counter("requests_total", labels=("cmd",))
+        counter.inc(cmd="execute")
+        counter.inc(2, cmd="execute")
+        counter.inc(cmd="fetch")
+        assert counter.value(cmd="execute") == 3.0
+        assert counter.value(cmd="fetch") == 1.0
+        assert registry.value("requests_total", cmd="execute") == 3.0
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry(catalog=()).counter("n")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        counter = MetricsRegistry(catalog=()).counter("n", labels=("a",))
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc(b="x")
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.value()
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry(catalog=())
+        registry.counter("n")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("n")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.histogram("n")
+
+    def test_unknown_metric_value_is_zero(self):
+        assert MetricsRegistry(catalog=()).value("nope") == 0.0
+
+
+class TestGauge:
+    def test_set_and_value(self):
+        gauge = MetricsRegistry(catalog=()).gauge("depth")
+        gauge.set(4)
+        assert gauge.value() == 4.0
+        gauge.set(1.5)
+        assert gauge.value() == 1.5
+
+    def test_callback_backed_series(self):
+        gauge = MetricsRegistry(catalog=()).gauge("depth")
+        state = {"n": 7}
+        gauge.set_function(lambda: state["n"])
+        assert gauge.value() == 7.0
+        state["n"] = 9
+        assert gauge.value() == 9.0
+        assert gauge.series() == [{"labels": {}, "value": 9.0}]
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative(self):
+        histogram = MetricsRegistry(catalog=()).histogram(
+            "latency", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        (series,) = histogram.series()
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(5.555)
+        assert series["buckets"] == {"0.01": 1, "0.1": 2, "1": 3, "+Inf": 4}
+
+    def test_value_is_observation_count(self):
+        histogram = MetricsRegistry(catalog=()).histogram("latency")
+        assert histogram.value() == 0.0
+        histogram.observe(0.2)
+        histogram.observe(0.3)
+        assert histogram.value() == 2.0
+
+    def test_bound_equal_observation_lands_in_its_bucket(self):
+        histogram = MetricsRegistry(catalog=()).histogram(
+            "latency", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        (series,) = histogram.series()
+        assert series["buckets"]["1"] == 1
+
+    def test_default_buckets_sorted(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+    def test_empty_buckets_fall_back_to_defaults(self):
+        histogram = MetricsRegistry(catalog=()).histogram("h", buckets=())
+        assert histogram.buckets == DEFAULT_BUCKETS
+
+    def test_empty_buckets_rejected_when_explicit(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("h", "", (), threading.RLock(), buckets=())
+
+
+class TestSnapshot:
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry(catalog=())
+        counter = registry.counter("n")
+        counter.inc()
+        snapshot = registry.snapshot()
+        snapshot["n"]["series"][0]["value"] = 99
+        assert counter.value() == 1.0
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry(catalog=())
+        registry.counter("n", help="things", labels=("kind",)).inc(kind="a")
+        assert registry.snapshot() == {
+            "n": {"type": "counter", "help": "things", "labels": ["kind"],
+                  "series": [{"labels": {"kind": "a"}, "value": 1.0}]}}
+
+
+class TestThreadSafety:
+    """Exercised under ``pytest --sanitize`` by CI."""
+
+    def test_concurrent_counter_increments(self):
+        registry = MetricsRegistry(catalog=())
+        counter = registry.counter("n", labels=("worker",))
+
+        def work(worker: int) -> None:
+            for _ in range(500):
+                counter.inc(worker=str(worker % 2))
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = sum(series["value"] for series in counter.series())
+        assert total == 3000
+
+    def test_concurrent_mixed_kinds_and_snapshots(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_query_execute_seconds")
+        errors: list[Exception] = []
+
+        def work() -> None:
+            try:
+                for index in range(200):
+                    histogram.observe(0.001 * index, table="t")
+                    registry.counter("repro_store_hits_total").inc()
+                    registry.snapshot()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert histogram.value(table="t") == 800
+        assert registry.value("repro_store_hits_total") == 800
+
+
+def test_counter_and_histogram_are_registry_types():
+    registry = MetricsRegistry(catalog=())
+    assert isinstance(registry.counter("a"), Counter)
+    assert isinstance(registry.histogram("b"), Histogram)
